@@ -1,0 +1,86 @@
+#![allow(missing_docs)]
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * packet batching on vs off (§2.3's packet buffers);
+//! * packed binary codec throughput (the "high-bandwidth
+//!   communication" claim);
+//! * synchronization filter modes under identical traffic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mrnet_bench::{experiment_topology, BenchTree};
+use mrnet_packet::{
+    decode_batch, decode_packet, encode_batch, encode_packet, BatchPolicy, PacketBuilder,
+};
+
+fn batching_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_batching_100waves");
+    group.sample_size(10);
+    const WAVES: usize = 100;
+    group.throughput(Throughput::Elements(WAVES as u64));
+    for (label, policy) in [
+        ("batched", BatchPolicy::default()),
+        ("unbatched", BatchPolicy::unbatched()),
+    ] {
+        let tree = BenchTree::new(experiment_topology(Some(4), 16), policy);
+        group.bench_function(label, |b| b.iter(|| tree.reduction_waves(WAVES)));
+        tree.shutdown();
+    }
+    group.finish();
+}
+
+fn codec_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_codec");
+    let small = PacketBuilder::new(1, 7).push(42i32).push(1.5f32).build();
+    let large = PacketBuilder::new(1, 7)
+        .push(vec![0i64; 512])
+        .push("a".repeat(256))
+        .build();
+    group.throughput(Throughput::Bytes(encode_packet(&small).len() as u64));
+    group.bench_function("encode_small", |b| b.iter(|| encode_packet(&small)));
+    group.throughput(Throughput::Bytes(encode_packet(&large).len() as u64));
+    group.bench_function("encode_large", |b| b.iter(|| encode_packet(&large)));
+    let small_wire = encode_packet(&small);
+    group.bench_function("decode_small", |b| {
+        b.iter(|| decode_packet(small_wire.clone()).unwrap())
+    });
+    let batch: Vec<_> = (0..64).map(|_| small.clone()).collect();
+    let batch_wire = encode_batch(&batch);
+    group.throughput(Throughput::Bytes(batch_wire.len() as u64));
+    group.bench_function("encode_batch_64", |b| b.iter(|| encode_batch(&batch)));
+    group.bench_function("decode_batch_64", |b| {
+        b.iter(|| decode_batch(batch_wire.clone()).unwrap())
+    });
+    group.finish();
+}
+
+fn sync_modes(c: &mut Criterion) {
+    use mrnet_filters::{SyncFilter, SyncMode};
+    let mut group = c.benchmark_group("ablation_sync_modes");
+    const CHILDREN: usize = 16;
+    const WAVES: usize = 100;
+    group.throughput(Throughput::Elements((CHILDREN * WAVES) as u64));
+    for (label, mode) in [
+        ("wait_for_all", SyncMode::WaitForAll),
+        ("timeout_10ms", SyncMode::TimeOut(0.010)),
+        ("do_not_wait", SyncMode::DoNotWait),
+    ] {
+        group.bench_with_input(BenchmarkId::new("mode", label), &mode, |b, &mode| {
+            let pkt = PacketBuilder::new(1, 0).push(1i32).build();
+            b.iter(|| {
+                let mut f = SyncFilter::new(mode, CHILDREN);
+                let mut waves_out = 0;
+                for w in 0..WAVES {
+                    let now = w as f64 * 0.001;
+                    for child in 0..CHILDREN {
+                        waves_out += f.push(child, pkt.clone(), now).len();
+                    }
+                }
+                waves_out
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, batching_ablation, codec_throughput, sync_modes);
+criterion_main!(benches);

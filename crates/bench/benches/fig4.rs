@@ -1,0 +1,40 @@
+#![allow(missing_docs)]
+//! Criterion bench for the Figure 4 comparison, measured on *live*
+//! thread trees: round-trip latency and pipelined reduction throughput
+//! on the balanced 4-ary (Figure 4a) and binomial-rooted unbalanced
+//! (Figure 4b) topologies, both reaching sixteen back-ends.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrnet_bench::BenchTree;
+use mrnet_packet::BatchPolicy;
+use mrnet_topology::{generator, HostPool};
+
+fn fig4_topologies(c: &mut Criterion) {
+    let balanced = BenchTree::new(
+        generator::fig4_balanced(&mut HostPool::synthetic(64)).unwrap(),
+        BatchPolicy::default(),
+    );
+    let unbalanced = BenchTree::new(
+        generator::fig4_unbalanced(&mut HostPool::synthetic(64)).unwrap(),
+        BatchPolicy::default(),
+    );
+
+    let mut group = c.benchmark_group("fig4_roundtrip");
+    group.bench_function("balanced_4ary", |b| b.iter(|| balanced.roundtrip()));
+    group.bench_function("unbalanced_binomial", |b| b.iter(|| unbalanced.roundtrip()));
+    group.finish();
+
+    let mut group = c.benchmark_group("fig4_pipelined_50waves");
+    group.sample_size(10);
+    group.bench_function("balanced_4ary", |b| b.iter(|| balanced.reduction_waves(50)));
+    group.bench_function("unbalanced_binomial", |b| {
+        b.iter(|| unbalanced.reduction_waves(50))
+    });
+    group.finish();
+
+    balanced.shutdown();
+    unbalanced.shutdown();
+}
+
+criterion_group!(benches, fig4_topologies);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+#![allow(missing_docs)]
+//! Criterion bench for the Figure 7 micro-benchmarks on the real
+//! threaded implementation: instantiation latency (7a), round-trip
+//! latency (7b), and pipelined reduction throughput (7c) across flat /
+//! 4-way / 8-way topologies at laptop scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mrnet_bench::{experiment_topology, fanout_label, BenchTree};
+use mrnet_packet::BatchPolicy;
+
+const FANOUTS: [Option<usize>; 3] = [None, Some(4), Some(8)];
+
+fn fig7a_instantiation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7a_instantiation");
+    group.sample_size(10);
+    for fanout in FANOUTS {
+        for backends in [16usize, 64] {
+            group.bench_with_input(
+                BenchmarkId::new(fanout_label(fanout), backends),
+                &backends,
+                |b, &n| {
+                    b.iter(|| {
+                        let tree =
+                            BenchTree::new(experiment_topology(fanout, n), BatchPolicy::default());
+                        tree.shutdown();
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn fig7b_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7b_roundtrip");
+    for fanout in FANOUTS {
+        for backends in [16usize, 64] {
+            let tree = BenchTree::new(experiment_topology(fanout, backends), BatchPolicy::default());
+            group.bench_with_input(
+                BenchmarkId::new(fanout_label(fanout), backends),
+                &backends,
+                |b, _| b.iter(|| tree.roundtrip()),
+            );
+            tree.shutdown();
+        }
+    }
+    group.finish();
+}
+
+fn fig7c_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7c_reduction_throughput");
+    group.sample_size(10);
+    const WAVES: usize = 100;
+    group.throughput(Throughput::Elements(WAVES as u64));
+    for fanout in FANOUTS {
+        for backends in [16usize, 64] {
+            let tree = BenchTree::new(experiment_topology(fanout, backends), BatchPolicy::default());
+            group.bench_with_input(
+                BenchmarkId::new(fanout_label(fanout), backends),
+                &backends,
+                |b, _| b.iter(|| tree.reduction_waves(WAVES)),
+            );
+            tree.shutdown();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7a_instantiation, fig7b_roundtrip, fig7c_throughput);
+criterion_main!(benches);

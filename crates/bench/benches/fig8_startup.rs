@@ -1,0 +1,76 @@
+#![allow(missing_docs)]
+//! Criterion bench for the Figure 8 experiment on the real threaded
+//! tool: the complete eleven-activity Paradyn start-up protocol over
+//! live trees, flat vs 4-way, at laptop scale. Also benches the
+//! simulated skew-detection algorithms (the §4.2.1 experiment).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrnet::NetworkBuilder;
+use mrnet_bench::{experiment_topology, fanout_label};
+use mrnet_topology::{generator, HostPool};
+use paradyn::{
+    app::Executable, mdl, paradyn_registry, run_startup, skew, Daemon,
+};
+
+/// Runs one full start-up protocol over a live tree, returning after
+/// Report Done completes.
+fn startup_once(fanout: Option<usize>, daemons: usize, mdl_doc: &str) {
+    let dep = NetworkBuilder::new(experiment_topology(fanout, daemons))
+        .registry(paradyn_registry())
+        .launch()
+        .expect("instantiate");
+    let net = dep.network.clone();
+    let exe = Executable::synthetic("bench_app", 64, 4, 5);
+    let threads: Vec<_> = dep
+        .backends
+        .into_iter()
+        .enumerate()
+        .map(|(i, be)| {
+            let exe = exe.clone();
+            std::thread::spawn(move || {
+                let d = Daemon::new(be, exe, format!("n{i}"), i as u32);
+                let _ = d.serve_startup();
+            })
+        })
+        .collect();
+    run_startup(&net, mdl_doc, 3).expect("start-up");
+    net.shutdown();
+    for t in threads {
+        let _ = t.join();
+    }
+}
+
+fn fig8_startup_live(c: &mut Criterion) {
+    let mdl_doc = mdl::to_mdl(&mdl::standard_metrics(8));
+    let mut group = c.benchmark_group("fig8_startup_live");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(12));
+    for fanout in [None, Some(4)] {
+        for daemons in [8usize, 16] {
+            group.bench_with_input(
+                BenchmarkId::new(fanout_label(fanout), daemons),
+                &daemons,
+                |b, &n| b.iter(|| startup_once(fanout, n, &mdl_doc)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn skew_detection(c: &mut Criterion) {
+    let topo = generator::balanced(4, 3, &mut HostPool::synthetic(256)).unwrap();
+    let params = skew::SkewParams::default();
+    let mut group = c.benchmark_group("skew_detection_64x4way");
+    group.bench_function("mrnet_cumulative", |b| {
+        b.iter(|| skew::mrnet_skew(&topo, &params))
+    });
+    group.bench_function("direct_connection", |b| {
+        b.iter(|| skew::direct_skew(&topo, &params))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig8_startup_live, skew_detection);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+#![allow(missing_docs)]
+//! Criterion bench for the Figure 9 machinery: throughput of the
+//! custom time-aligned Performance Data Aggregation filter (the
+//! front-end's per-sample work that saturates in the paper's flat
+//! configurations) and of the equivalence-class binning filter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use paradyn::aggregation::{AlignOp, OrdinalAggregator, TimeAlignedAggregator};
+use paradyn::eqclass::{encode_classes, EqClass, EqClassFilter};
+use paradyn::samples::{Sample, SampleGenerator};
+
+/// Pushes `rounds` samples from each of `inputs` generators through a
+/// fresh aggregator.
+fn aligned_throughput(inputs: usize, rounds: usize) -> usize {
+    let mut agg = TimeAlignedAggregator::new(inputs, 0.2, AlignOp::Sum);
+    let mut gens: Vec<_> = (0..inputs)
+        .map(|i| SampleGenerator::new(5.0, 0.01 * i as f64, 0.2, 1.0, i as u64))
+        .collect();
+    let mut out = 0;
+    for _ in 0..rounds {
+        for (i, g) in gens.iter_mut().enumerate() {
+            out += agg.push(i, g.next_sample()).len();
+        }
+    }
+    out
+}
+
+fn time_aligned_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_time_aligned_filter");
+    const ROUNDS: usize = 200;
+    for inputs in [4usize, 16, 64, 256] {
+        group.throughput(Throughput::Elements((inputs * ROUNDS) as u64));
+        group.bench_with_input(BenchmarkId::new("inputs", inputs), &inputs, |b, &n| {
+            b.iter(|| aligned_throughput(n, ROUNDS));
+        });
+    }
+    group.finish();
+}
+
+fn ordinal_vs_aligned(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_ordinal_baseline");
+    const ROUNDS: usize = 200;
+    const INPUTS: usize = 64;
+    group.throughput(Throughput::Elements((INPUTS * ROUNDS) as u64));
+    group.bench_function("ordinal_64_inputs", |b| {
+        b.iter(|| {
+            let mut agg = OrdinalAggregator::new(INPUTS, AlignOp::Sum);
+            let mut out = 0;
+            for r in 0..ROUNDS {
+                for i in 0..INPUTS {
+                    let t = r as f64 * 0.2;
+                    out += agg.push(i, Sample::new(1.0, t, t + 0.2)).len();
+                }
+            }
+            out
+        })
+    });
+    group.finish();
+}
+
+fn eqclass_merging(c: &mut Criterion) {
+    use mrnet::{FilterContext, Transform};
+    let mut group = c.benchmark_group("eqclass_filter");
+    for daemons in [64usize, 512] {
+        group.throughput(Throughput::Elements(daemons as u64));
+        group.bench_with_input(BenchmarkId::new("daemons", daemons), &daemons, |b, &n| {
+            let wave: Vec<_> = (0..n as u32)
+                .map(|r| encode_classes(1, 0, &[EqClass::singleton(u64::from(r % 4), r)]))
+                .collect();
+            let ctx = FilterContext::new(1, 0, n);
+            b.iter(|| {
+                let mut f = EqClassFilter::new();
+                f.transform(wave.clone(), &ctx).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    time_aligned_aggregation,
+    ordinal_vs_aligned,
+    eqclass_merging
+);
+criterion_main!(benches);

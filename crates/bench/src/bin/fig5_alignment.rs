@@ -1,0 +1,115 @@
+//! Figure 5 companion: ordinal vs time-aligned aggregation accuracy
+//! under asynchronous sampling (the semantics the figure illustrates,
+//! quantified as an ablation).
+//!
+//! Workload: N daemons sample a common square-wave signal at 5 Hz with
+//! per-daemon phase shifts and interval jitter. The correct global sum
+//! over any interval is N × signal(t). Ordinal aggregation pairs k-th
+//! samples regardless of the intervals they cover; time-aligned
+//! aggregation splits samples proportionally onto a common grid. The
+//! table reports each scheme's RMS error against ground truth.
+//!
+//! Run with: `cargo run -p mrnet-bench --release --bin fig5_alignment`
+
+use paradyn::aggregation::{AlignOp, OrdinalAggregator, TimeAlignedAggregator};
+use paradyn::samples::Sample;
+
+/// The application signal each daemon measures: a square wave in time,
+/// value-per-second units.
+fn signal(t: f64) -> f64 {
+    if (t / 2.0).fract() < 0.5 {
+        1.0
+    } else {
+        3.0
+    }
+}
+
+/// Integral of the signal over [a, b) — exact sample values.
+fn integrate(a: f64, b: f64) -> f64 {
+    // Numeric integration is fine at this resolution.
+    let steps = ((b - a) / 1e-3).ceil().max(1.0) as usize;
+    let dt = (b - a) / steps as f64;
+    (0..steps).map(|i| signal(a + (i as f64 + 0.5) * dt) * dt).sum()
+}
+
+fn rms(errors: &[f64]) -> f64 {
+    (errors.iter().map(|e| e * e).sum::<f64>() / errors.len().max(1) as f64).sqrt()
+}
+
+fn run(daemons: usize, phase_spread: f64, jitter: f64) -> (f64, f64) {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(42);
+    let interval = 0.2;
+    let horizon = 40.0;
+
+    // Per-daemon sample streams over the shared signal.
+    let streams: Vec<Vec<Sample>> = (0..daemons)
+        .map(|d| {
+            let mut t = phase_spread * d as f64 / daemons.max(1) as f64;
+            let mut out = Vec::new();
+            while t < horizon {
+                let len = interval * rng.gen_range(1.0 - jitter..1.0 + jitter + 1e-9);
+                out.push(Sample::new(integrate(t, t + len), t, t + len));
+                t += len;
+            }
+            out
+        })
+        .collect();
+
+    // Time-aligned.
+    let mut aligned = TimeAlignedAggregator::new(daemons, interval, AlignOp::Sum);
+    let mut aligned_err = Vec::new();
+    let max_len = streams.iter().map(Vec::len).min().unwrap();
+    for k in 0..max_len {
+        for (d, s) in streams.iter().enumerate() {
+            for out in aligned.push(d, s[k]) {
+                let truth = daemons as f64 * integrate(out.start, out.end);
+                aligned_err.push(out.value - truth);
+            }
+        }
+    }
+
+    // Ordinal.
+    let mut ordinal = OrdinalAggregator::new(daemons, AlignOp::Sum);
+    let mut ordinal_err = Vec::new();
+    for k in 0..max_len {
+        for (d, s) in streams.iter().enumerate() {
+            for out in ordinal.push(d, s[k]) {
+                // Ground truth for the interval the output claims.
+                let truth =
+                    daemons as f64 * integrate(out.start, out.end) * (interval / out.len());
+                // Normalize both to per-interval scale for fairness.
+                ordinal_err.push(out.value * (interval / out.len()) - truth);
+            }
+        }
+    }
+    (rms(&aligned_err), rms(&ordinal_err))
+}
+
+fn main() {
+    println!("Figure 5 ablation: RMS error of global-sum samples (value units)");
+    println!("signal: square wave 1↔3 val/s; 5 Hz sampling; 32 daemons\n");
+    println!(
+        "{:>12} {:>8} {:>16} {:>16} {:>8}",
+        "phase spread", "jitter", "time-aligned", "ordinal", "ratio"
+    );
+    for (phase, jitter) in [
+        (0.0, 0.0),
+        (0.1, 0.0),
+        (0.2, 0.0),
+        (0.0, 0.2),
+        (0.1, 0.2),
+        (0.2, 0.4),
+    ] {
+        let (a, o) = run(32, phase, jitter);
+        println!(
+            "{phase:>12.2} {jitter:>8.2} {a:>16.4} {o:>16.4} {:>8.1}x",
+            o / a.max(1e-9)
+        );
+    }
+    println!("\ntime-aligned aggregation attributes sample values to the intervals");
+    println!("they actually cover (Figure 6's proportional splitting); ordinal");
+    println!("aggregation mixes data from different execution intervals as soon as");
+    println!("daemons drift out of phase (Figure 5a).");
+}

@@ -1,0 +1,39 @@
+//! Figure 7a: MRNet instantiation latency vs number of back-ends.
+//!
+//! Paper series: flat (single-level), 4-way fan-out, 8-way fan-out
+//! balanced trees; back-ends up to 512 on ASCI Blue Pacific. The flat
+//! topology serializes ~1.5 s `rsh` launches at the front-end and
+//! climbs to ~800 s; the trees create branches concurrently and stay
+//! nearly flat.
+//!
+//! Run with: `cargo run -p mrnet-bench --release --bin fig7a_startup`
+
+use mrnet::simulate::instantiation_latency;
+use mrnet_bench::{experiment_topology, fanout_label, print_header, print_row};
+use mrnet_sim::{LaunchParams, LogGpParams};
+
+fn main() {
+    println!("Figure 7a: tool instantiation latency (seconds) vs back-ends");
+    println!("simulated Blue Pacific substrate: rsh ≈ 1.55 s serialized per launch\n");
+    let fanouts = [None, Some(4), Some(8)];
+    print_header(
+        "backends",
+        &fanouts.iter().map(|&f| fanout_label(f)).collect::<Vec<_>>(),
+    );
+    for backends in [4usize, 8, 16, 32, 64, 128, 256, 384, 512] {
+        let row: Vec<f64> = fanouts
+            .iter()
+            .map(|&fanout| {
+                let topo = experiment_topology(fanout, backends);
+                instantiation_latency(
+                    &topo,
+                    LaunchParams::blue_pacific(),
+                    LogGpParams::blue_pacific(),
+                    0x000F_167A,
+                )
+            })
+            .collect();
+        print_row(backends, &row);
+    }
+    println!("\npaper shape: flat ≈ 800 s at 512 back-ends; 4/8-way grow quite slowly");
+}

@@ -1,0 +1,45 @@
+//! Figure 8a: Paradyn start-up latency vs number of daemons.
+//!
+//! Paper series: No MRNet (serialized front-end/daemon communication),
+//! and MRNet trees with 4-, 8-, and 16-way fan-outs, monitoring
+//! smg2000. Without MRNet the latency rises steeply to ~70 s at 512
+//! daemons; with moderate fan-outs the curves are "much flatter and
+//! growth is nearly linear", 3.4× faster overall at 512.
+//!
+//! Run with: `cargo run -p mrnet-bench --release --bin fig8a_paradyn_startup`
+
+use mrnet_bench::{experiment_topology, fanout_label, print_header, print_row};
+use paradyn::model::{startup_total, StartupModel};
+
+fn main() {
+    println!("Figure 8a: Paradyn start-up latency (seconds) vs daemons");
+    println!("workload: smg2000-like executable (434 functions), simulated substrate\n");
+    let fanouts = [None, Some(4), Some(8), Some(16)];
+    print_header(
+        "daemons",
+        &fanouts
+            .iter()
+            .map(|&f| {
+                if f.is_none() {
+                    "No MRNet".to_owned()
+                } else {
+                    fanout_label(f)
+                }
+            })
+            .collect::<Vec<_>>(),
+    );
+    let model = StartupModel::default();
+    for daemons in [4usize, 8, 16, 32, 64, 128, 256, 384, 512] {
+        let row: Vec<f64> = fanouts
+            .iter()
+            .map(|&fanout| startup_total(&experiment_topology(fanout, daemons), &model))
+            .collect();
+        print_row(daemons, &row);
+    }
+    let no = startup_total(&experiment_topology(None, 512), &model);
+    let yes = startup_total(&experiment_topology(Some(8), 512), &model);
+    println!(
+        "\nspeedup at 512 daemons with 8-way fan-out: {:.2}x (paper: 3.4x)",
+        no / yes
+    );
+}

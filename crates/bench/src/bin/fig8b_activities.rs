@@ -1,0 +1,48 @@
+//! Figure 8b: Paradyn start-up latency by activity, 512 daemons,
+//! No-MRNet vs 8-way fan-out.
+//!
+//! "Each activity that used MRNet to communicate with all daemons
+//! showed a significant latency reduction … The activities that did
+//! not show a significant improvement … consist either of work done
+//! entirely in parallel by the daemons ('Parse Executable') or
+//! point-to-point communication between a small number of daemons and
+//! the front-end ('Report Code Resources', 'Report Callgraph')."
+//!
+//! Run with: `cargo run -p mrnet-bench --release --bin fig8b_activities`
+
+use mrnet_bench::experiment_topology;
+use paradyn::model::{startup_latencies, StartupModel};
+
+fn main() {
+    println!("Figure 8b: start-up latency by activity, 512 daemons (seconds)\n");
+    let model = StartupModel::default();
+    let no = startup_latencies(&experiment_topology(None, 512), &model);
+    let yes = startup_latencies(&experiment_topology(Some(8), 512), &model);
+    println!(
+        "{:<30} {:>12} {:>12} {:>9}  MRNet aggregation?",
+        "activity", "No MRNet", "8-way", "speedup"
+    );
+    let mut total_no = 0.0;
+    let mut total_yes = 0.0;
+    for ((act, t_no), (_, t_yes)) in no.iter().zip(&yes) {
+        total_no += t_no;
+        total_yes += t_yes;
+        println!(
+            "{:<30} {:>12.3} {:>12.3} {:>8.1}x  {}",
+            act.name(),
+            t_no,
+            t_yes,
+            t_no / t_yes.max(1e-9),
+            if act.uses_aggregation() { "yes" } else { "no" }
+        );
+    }
+    println!(
+        "{:<30} {:>12.3} {:>12.3} {:>8.1}x",
+        "TOTAL",
+        total_no,
+        total_yes,
+        total_no / total_yes
+    );
+    println!("\npaper: overall 3.4x at 512 daemons; aggregation activities improve most,");
+    println!("Parse Executable / Report Code Resources / Report Callgraph ~unchanged");
+}

@@ -1,0 +1,54 @@
+//! Figure 9 (a–d): fraction of the offered performance-data load the
+//! Paradyn front-end services, for 1/8/16/32 metrics.
+//!
+//! Workload: every daemon generates 5 samples/second/metric, so the
+//! tool-wide offered rate is 5·D·M samples/second. Without MRNet the
+//! front-end aligns and reduces every sample itself and degrades
+//! ("about 60% at 64 daemons × 32 metrics; below 5% at 256 × 32");
+//! with 4/8/16-way MRNet fan-outs internal processes absorb the
+//! alignment work and the front-end services the full load everywhere.
+//!
+//! Run with: `cargo run -p mrnet-bench --release --bin fig9_dataproc`
+
+use mrnet_bench::{fanout_label, print_header, print_row};
+use paradyn::model::LoadModel;
+
+fn main() {
+    let model = LoadModel::default();
+    let fanouts = [None, Some(4), Some(8), Some(16)];
+    for metrics in [1usize, 8, 16, 32] {
+        println!(
+            "Figure 9{}: fraction of offered load, {} metric(s)\n",
+            match metrics {
+                1 => "a",
+                8 => "b",
+                16 => "c",
+                _ => "d",
+            },
+            metrics
+        );
+        print_header(
+            "daemons",
+            &fanouts
+                .iter()
+                .map(|&f| {
+                    if f.is_none() {
+                        "flat".to_owned()
+                    } else {
+                        fanout_label(f)
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+        for daemons in [4usize, 8, 16, 32, 64, 128, 256] {
+            let row: Vec<f64> = fanouts
+                .iter()
+                .map(|&fanout| model.fraction_of_offered_load(daemons, metrics, fanout))
+                .collect();
+            print_row(daemons, &row);
+        }
+        println!();
+    }
+    println!("paper checkpoints: flat at 64×32 ≈ 0.6; flat at 256×32 < 0.05;");
+    println!("all MRNet fan-outs service the entire offered load (1.0)");
+}

@@ -1,0 +1,172 @@
+//! Shared machinery for the MRNet benchmark harness.
+//!
+//! Two kinds of measurement live in this crate:
+//!
+//! * **Generator binaries** (`src/bin/fig*.rs`) regenerate every table
+//!   and figure of the paper's evaluation section on the simulated
+//!   Blue Pacific substrate, printing the same series the paper plots.
+//! * **Criterion benches** (`benches/*.rs`) measure the *real*
+//!   threaded implementation at laptop scale — live trees of threads
+//!   exchanging real frames.
+//!
+//! [`BenchTree`] stands up a live tree whose back-ends answer
+//! reduction requests on demand, the workload shape of the Figure 7
+//! micro-benchmarks.
+
+#![forbid(unsafe_code)]
+
+use std::time::Duration;
+
+use mrnet::{Deployment, Network, NetworkBuilder, Stream, SyncMode, Value};
+use mrnet_packet::BatchPolicy;
+use mrnet_topology::{generator, HostPool, Topology};
+
+/// Builds the standard experiment topologies: `None` = flat,
+/// `Some(k)` = balanced k-way tree, both with exactly `backends`
+/// leaves.
+pub fn experiment_topology(fanout: Option<usize>, backends: usize) -> Topology {
+    let mut pool = HostPool::synthetic((backends * 3).max(64));
+    match fanout {
+        None => generator::flat(backends, &mut pool).expect("flat topology"),
+        Some(k) => {
+            generator::balanced_for(k, backends, &mut pool).expect("balanced topology")
+        }
+    }
+}
+
+/// Label used in tables for a topology choice.
+pub fn fanout_label(fanout: Option<usize>) -> String {
+    match fanout {
+        None => "flat".to_owned(),
+        Some(k) => format!("{k}-way"),
+    }
+}
+
+/// Tag understood by [`BenchTree`] back-end threads: reply with
+/// `payload` waves of one `%d` packet each.
+const GO: i32 = 900;
+
+/// A live MRNet tree whose back-ends answer reduction requests; used
+/// by the Criterion benches to measure real round-trip latency and
+/// reduction throughput.
+pub struct BenchTree {
+    /// The front-end handle.
+    pub net: Network,
+    stream: Stream,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl BenchTree {
+    /// Stands up the tree with an integer-sum reduction stream.
+    pub fn new(topology: Topology, batch: BatchPolicy) -> BenchTree {
+        let Deployment { network, backends } = NetworkBuilder::new(topology)
+            .batch_policy(batch)
+            .launch()
+            .expect("instantiate bench tree");
+        let threads: Vec<_> = backends
+            .into_iter()
+            .map(|be| {
+                std::thread::spawn(move || loop {
+                    match be.recv() {
+                        Ok((pkt, sid)) => {
+                            if pkt.tag() == GO {
+                                let waves = pkt.get(0).and_then(Value::as_i32).unwrap_or(1);
+                                for w in 0..waves {
+                                    if be.send(sid, GO, "%d", vec![Value::Int32(w)]).is_err() {
+                                        return;
+                                    }
+                                }
+                            }
+                        }
+                        Err(_) => return,
+                    }
+                })
+            })
+            .collect();
+        let comm = network.broadcast_communicator();
+        let sum = network.registry().id_of("d_sum").expect("built-in");
+        let stream = network
+            .new_stream(&comm, sum, SyncMode::WaitForAll)
+            .expect("bench stream");
+        BenchTree {
+            net: network,
+            stream,
+            threads,
+        }
+    }
+
+    /// One broadcast + one reduction (the Figure 7b operation).
+    pub fn roundtrip(&self) {
+        self.stream
+            .send(GO, "%d", vec![Value::Int32(1)])
+            .expect("broadcast");
+        self.stream
+            .recv_timeout(Duration::from_secs(60))
+            .expect("reduction");
+    }
+
+    /// One broadcast triggering `waves` pipelined reductions; blocks
+    /// until all have arrived (the Figure 7c workload).
+    pub fn reduction_waves(&self, waves: usize) {
+        self.stream
+            .send(GO, "%d", vec![Value::Int32(waves as i32)])
+            .expect("broadcast");
+        for _ in 0..waves {
+            self.stream
+                .recv_timeout(Duration::from_secs(60))
+                .expect("reduction wave");
+        }
+    }
+
+    /// Tears the tree down.
+    pub fn shutdown(self) {
+        self.net.shutdown();
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Prints a table header: first column plus one column per series.
+pub fn print_header(xlabel: &str, series: &[String]) {
+    print!("{xlabel:>10}");
+    for s in series {
+        print!(" {s:>14}");
+    }
+    println!();
+}
+
+/// Prints one table row.
+pub fn print_row(x: impl std::fmt::Display, values: &[f64]) {
+    print!("{x:>10}");
+    for v in values {
+        print!(" {v:>14.4}");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topologies_have_requested_backends() {
+        assert_eq!(experiment_topology(None, 10).num_backends(), 10);
+        assert_eq!(experiment_topology(Some(4), 64).num_backends(), 64);
+        assert_eq!(experiment_topology(Some(8), 512).num_backends(), 512);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(fanout_label(None), "flat");
+        assert_eq!(fanout_label(Some(8)), "8-way");
+    }
+
+    #[test]
+    fn bench_tree_round_trips() {
+        let tree = BenchTree::new(experiment_topology(Some(2), 4), BatchPolicy::default());
+        tree.roundtrip();
+        tree.reduction_waves(5);
+        tree.shutdown();
+    }
+}

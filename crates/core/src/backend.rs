@@ -1,0 +1,208 @@
+//! The tool back-end API.
+//!
+//! Mirrors the back-end side of the paper's Figure 2: a back-end joins
+//! the network (`MR_Network::init_backend`), performs stream-anonymous
+//! receives that yield both the data and the stream it arrived on, and
+//! sends scalar values upstream on those streams.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use mrnet_packet::{Packet, PacketBuilder, Rank, StreamId, Value};
+use mrnet_transport::{LocalFabric, SharedConnection, TcpConnection};
+
+use crate::error::{MrnetError, Result};
+use crate::proto::{decode_frame, encode_data_frame, Control, Frame};
+use crate::streams::StreamDef;
+
+/// A tool back-end (daemon) endpoint of the MRNet network.
+pub struct Backend {
+    rank: Rank,
+    conn: SharedConnection,
+    streams: Mutex<HashMap<StreamId, StreamDef>>,
+    pending: Mutex<VecDeque<Packet>>,
+    down: Mutex<bool>,
+}
+
+impl Backend {
+    /// Joins the network over an established connection to the parent
+    /// process, announcing this back-end's rank via a subtree report
+    /// (§2.5). Used by mode-1 instantiation.
+    pub(crate) fn new(rank: Rank, conn: SharedConnection) -> Result<Backend> {
+        conn.send(
+            Control::SubtreeReport {
+                endpoints: vec![rank],
+            }
+            .to_frame(),
+        )?;
+        Ok(Backend {
+            rank,
+            conn,
+            streams: Mutex::new(HashMap::new()),
+            pending: Mutex::new(VecDeque::new()),
+            down: Mutex::new(false),
+        })
+    }
+
+    /// Mode-2 instantiation: an externally created back-end connects
+    /// to a waiting leaf process through the in-process rendezvous
+    /// fabric (the analogue of "the leaf processes' host names and
+    /// connection port numbers … provided via the environment", §2.5).
+    pub fn attach(fabric: &LocalFabric, endpoint: &str, rank: Rank) -> Result<Backend> {
+        let conn = fabric.connect(endpoint, &format!("backend-{rank}"))?;
+        let conn: SharedConnection = std::sync::Arc::from(conn);
+        conn.send(Control::Attach { rank }.to_frame())?;
+        Backend::new(rank, conn)
+    }
+
+    /// Mode-2 instantiation over TCP: connect to a leaf process's
+    /// published address.
+    pub fn attach_tcp(addr: &str, rank: Rank) -> Result<Backend> {
+        let conn = TcpConnection::connect(addr).map_err(MrnetError::Transport)?;
+        let conn: SharedConnection = std::sync::Arc::new(conn);
+        conn.send(Control::Attach { rank }.to_frame())?;
+        Backend::new(rank, conn)
+    }
+
+    /// This back-end's rank (its end-point identity).
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    fn note_shutdown(&self) {
+        *self.down.lock() = true;
+    }
+
+    fn handle_frame(&self, frame: bytes::Bytes) -> Result<()> {
+        match decode_frame(frame)? {
+            Frame::Data(packets) => {
+                self.pending.lock().extend(packets);
+            }
+            Frame::Control(pkt) => {
+                let control = Control::from_packet(&pkt)?;
+                match control {
+                    Control::NewStream { .. } => {
+                        let def =
+                            StreamDef::from_control(&control).expect("NewStream parses");
+                        self.streams.lock().insert(def.id, def);
+                    }
+                    Control::DeleteStream { stream_id } => {
+                        self.streams.lock().remove(&stream_id);
+                    }
+                    Control::Shutdown => {
+                        self.note_shutdown();
+                        return Err(MrnetError::Shutdown);
+                    }
+                    other => {
+                        return Err(MrnetError::Protocol(format!(
+                            "unexpected control at back-end: {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Stream-anonymous blocking receive: the next data packet and the
+    /// id of the stream it arrived on (Figure 2's
+    /// `MR_Stream::recv(&val, &stream)`).
+    pub fn recv(&self) -> Result<(Packet, StreamId)> {
+        loop {
+            if let Some(p) = self.pending.lock().pop_front() {
+                let sid = p.stream_id();
+                return Ok((p, sid));
+            }
+            if *self.down.lock() {
+                return Err(MrnetError::Shutdown);
+            }
+            let frame = self.conn.recv().map_err(|_| {
+                self.note_shutdown();
+                MrnetError::Shutdown
+            })?;
+            self.handle_frame(frame)?;
+        }
+    }
+
+    /// Like [`Backend::recv`] but gives up after `timeout`, returning
+    /// `Ok(None)`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<(Packet, StreamId)>> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(p) = self.pending.lock().pop_front() {
+                let sid = p.stream_id();
+                return Ok(Some((p, sid)));
+            }
+            if *self.down.lock() {
+                return Err(MrnetError::Shutdown);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            match self.conn.recv_timeout(deadline - now) {
+                Ok(Some(frame)) => self.handle_frame(frame)?,
+                Ok(None) => return Ok(None),
+                Err(_) => {
+                    self.note_shutdown();
+                    return Err(MrnetError::Shutdown);
+                }
+            }
+        }
+    }
+
+    /// Sends values upstream on `stream` (Figure 2's
+    /// `stream->send("%f", value)`).
+    pub fn send(&self, stream: StreamId, tag: i32, fmt: &str, values: Vec<Value>) -> Result<()> {
+        let packet = Packet::with_fmt_str(stream, tag, fmt, values)?.with_src(self.rank);
+        self.send_packet(packet)
+    }
+
+    /// Sends a pre-built packet upstream.
+    pub fn send_packet(&self, packet: Packet) -> Result<()> {
+        if *self.down.lock() {
+            return Err(MrnetError::Shutdown);
+        }
+        let sid = packet.stream_id();
+        if !self.streams.lock().contains_key(&sid) {
+            return Err(MrnetError::UnknownStream(sid));
+        }
+        let packet = packet.with_src(self.rank);
+        self.conn
+            .send(encode_data_frame(&[packet]))
+            .map_err(MrnetError::Transport)
+    }
+
+    /// Convenience: build and send a packet from Rust values.
+    pub fn send_values(
+        &self,
+        stream: StreamId,
+        tag: i32,
+        values: impl IntoIterator<Item = Value>,
+    ) -> Result<()> {
+        let mut builder = PacketBuilder::new(stream, tag).src(self.rank);
+        for v in values {
+            builder = builder.push(v);
+        }
+        self.send_packet(builder.build())
+    }
+
+    /// The definition of a stream this back-end has learned about.
+    pub fn stream_def(&self, stream: StreamId) -> Option<StreamDef> {
+        self.streams.lock().get(&stream).cloned()
+    }
+
+    /// Ids of all streams known to this back-end.
+    pub fn known_streams(&self) -> Vec<StreamId> {
+        let mut v: Vec<StreamId> = self.streams.lock().keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// True once the network has shut down.
+    pub fn is_down(&self) -> bool {
+        *self.down.lock()
+    }
+}

@@ -1,0 +1,31 @@
+//! `mrnet_commnode` — the standalone MRNet internal-process program.
+//!
+//! "MRNet has two main components: libmrnet, a library that is linked
+//! into a tool's front-end and back-end components, and
+//! mrnet_commnode, a program that runs on intermediate nodes
+//! interposed between the front-end and back-ends" (§2).
+//!
+//! This binary carries the built-in filter set; tools with custom
+//! filters ship their own wrapper around [`mrnet::commnode::run`]
+//! (see `paradyn_commnode` in the paradyn crate).
+//!
+//! Usage: `mrnet_commnode --parent HOST:PORT --rank N`
+
+use std::process::ExitCode;
+
+use mrnet::commnode;
+use mrnet::FilterRegistry;
+
+fn main() -> ExitCode {
+    let result = commnode::parse_args(std::env::args().skip(1)).and_then(|(parent, rank)| {
+        let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+        commnode::run(&parent, rank, FilterRegistry::with_builtins(), &exe)
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("mrnet_commnode: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

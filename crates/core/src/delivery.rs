@@ -1,0 +1,237 @@
+//! Delivery of upstream packets to the front-end's user threads.
+//!
+//! The root node loop pushes fully-aggregated packets here; user
+//! threads block in [`Delivery::recv_on`] (per-stream receive, the
+//! paper's `stream->recv`) or [`Delivery::recv_any`] (stream-anonymous
+//! receive). Supports multiple concurrent receivers via condvar
+//! wake-ups.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use mrnet_packet::{Packet, StreamId};
+
+use crate::error::{MrnetError, Result};
+
+#[derive(Default)]
+struct State {
+    per_stream: HashMap<StreamId, VecDeque<Packet>>,
+    /// Arrival order of stream ids, for fair any-stream receives.
+    /// Entries may be stale (their packet already taken by a
+    /// per-stream receive); stale entries are skipped.
+    order: VecDeque<StreamId>,
+    /// Lifetime count of packets delivered per stream (not reduced by
+    /// consumption) — the front-end's receive counters.
+    received: HashMap<StreamId, u64>,
+    closed: bool,
+}
+
+/// Thread-safe packet mailbox for the front-end.
+#[derive(Default)]
+pub struct Delivery {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Delivery {
+    /// Creates an empty mailbox.
+    pub fn new() -> Delivery {
+        Delivery::default()
+    }
+
+    /// Deposits a packet (called by the root node loop).
+    pub fn push(&self, packet: Packet) {
+        let mut st = self.state.lock();
+        let sid = packet.stream_id();
+        st.per_stream.entry(sid).or_default().push_back(packet);
+        st.order.push_back(sid);
+        *st.received.entry(sid).or_insert(0) += 1;
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Lifetime count of packets delivered on `stream` (including ones
+    /// already consumed by receives).
+    pub fn received_on(&self, stream: StreamId) -> u64 {
+        self.state.lock().received.get(&stream).copied().unwrap_or(0)
+    }
+
+    /// Marks the network as shut down; blocked receivers return
+    /// [`MrnetError::Shutdown`] once drained.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.cv.notify_all();
+    }
+
+    /// True once closed.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().closed
+    }
+
+    /// Packets currently queued for `stream`.
+    pub fn pending_on(&self, stream: StreamId) -> usize {
+        self.state
+            .lock()
+            .per_stream
+            .get(&stream)
+            .map_or(0, VecDeque::len)
+    }
+
+    /// Receives the next packet on `stream`, blocking up to `timeout`
+    /// (forever if `None`).
+    pub fn recv_on(&self, stream: StreamId, timeout: Option<Duration>) -> Result<Packet> {
+        let deadline = timeout.map(|t| std::time::Instant::now() + t);
+        let mut st = self.state.lock();
+        loop {
+            if let Some(q) = st.per_stream.get_mut(&stream) {
+                if let Some(p) = q.pop_front() {
+                    return Ok(p);
+                }
+            }
+            if st.closed {
+                return Err(MrnetError::Shutdown);
+            }
+            match deadline {
+                Some(d) => {
+                    let now = std::time::Instant::now();
+                    if now >= d || self.cv.wait_until(&mut st, d).timed_out() {
+                        return Err(MrnetError::Timeout);
+                    }
+                }
+                None => self.cv.wait(&mut st),
+            }
+        }
+    }
+
+    /// Receives the next packet on any stream (arrival order),
+    /// blocking up to `timeout` (forever if `None`).
+    pub fn recv_any(&self, timeout: Option<Duration>) -> Result<Packet> {
+        let deadline = timeout.map(|t| std::time::Instant::now() + t);
+        let mut st = self.state.lock();
+        loop {
+            while let Some(sid) = st.order.pop_front() {
+                if let Some(p) = st.per_stream.get_mut(&sid).and_then(VecDeque::pop_front) {
+                    return Ok(p);
+                }
+                // Stale entry (taken by a per-stream receive): skip.
+            }
+            if st.closed {
+                return Err(MrnetError::Shutdown);
+            }
+            match deadline {
+                Some(d) => {
+                    let now = std::time::Instant::now();
+                    if now >= d || self.cv.wait_until(&mut st, d).timed_out() {
+                        return Err(MrnetError::Timeout);
+                    }
+                }
+                None => self.cv.wait(&mut st),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrnet_packet::PacketBuilder;
+    use std::sync::Arc;
+
+    fn pkt(sid: StreamId, v: i32) -> Packet {
+        PacketBuilder::new(sid, 0).push(v).build()
+    }
+
+    #[test]
+    fn per_stream_fifo() {
+        let d = Delivery::new();
+        d.push(pkt(1, 10));
+        d.push(pkt(1, 11));
+        d.push(pkt(2, 20));
+        assert_eq!(d.recv_on(1, None).unwrap().get(0).unwrap().as_i32(), Some(10));
+        assert_eq!(d.recv_on(1, None).unwrap().get(0).unwrap().as_i32(), Some(11));
+        assert_eq!(d.recv_on(2, None).unwrap().get(0).unwrap().as_i32(), Some(20));
+    }
+
+    #[test]
+    fn any_receives_in_arrival_order() {
+        let d = Delivery::new();
+        d.push(pkt(2, 20));
+        d.push(pkt(1, 10));
+        assert_eq!(d.recv_any(None).unwrap().stream_id(), 2);
+        assert_eq!(d.recv_any(None).unwrap().stream_id(), 1);
+    }
+
+    #[test]
+    fn any_skips_entries_taken_by_stream_recv() {
+        let d = Delivery::new();
+        d.push(pkt(1, 10));
+        d.push(pkt(2, 20));
+        assert_eq!(d.recv_on(1, None).unwrap().get(0).unwrap().as_i32(), Some(10));
+        // The order entry for stream 1 is stale; recv_any must deliver
+        // stream 2's packet.
+        assert_eq!(d.recv_any(None).unwrap().stream_id(), 2);
+    }
+
+    #[test]
+    fn timeout_when_empty() {
+        let d = Delivery::new();
+        let r = d.recv_on(1, Some(Duration::from_millis(10)));
+        assert_eq!(r, Err(MrnetError::Timeout));
+        let r = d.recv_any(Some(Duration::from_millis(10)));
+        assert_eq!(r, Err(MrnetError::Timeout));
+    }
+
+    #[test]
+    fn close_wakes_blockers() {
+        let d = Arc::new(Delivery::new());
+        let d2 = d.clone();
+        let h = std::thread::spawn(move || d2.recv_on(1, None));
+        std::thread::sleep(Duration::from_millis(20));
+        d.close();
+        assert_eq!(h.join().unwrap(), Err(MrnetError::Shutdown));
+        assert!(d.is_closed());
+    }
+
+    #[test]
+    fn drain_after_close() {
+        let d = Delivery::new();
+        d.push(pkt(1, 5));
+        d.close();
+        assert!(d.recv_on(1, None).is_ok());
+        assert_eq!(d.recv_on(1, None), Err(MrnetError::Shutdown));
+    }
+
+    #[test]
+    fn blocked_receiver_wakes_on_push() {
+        let d = Arc::new(Delivery::new());
+        let d2 = d.clone();
+        let h = std::thread::spawn(move || d2.recv_any(Some(Duration::from_secs(5))));
+        std::thread::sleep(Duration::from_millis(20));
+        d.push(pkt(3, 1));
+        let got = h.join().unwrap().unwrap();
+        assert_eq!(got.stream_id(), 3);
+    }
+
+    #[test]
+    fn pending_count() {
+        let d = Delivery::new();
+        assert_eq!(d.pending_on(1), 0);
+        d.push(pkt(1, 0));
+        d.push(pkt(1, 1));
+        assert_eq!(d.pending_on(1), 2);
+    }
+
+    #[test]
+    fn received_counter_survives_consumption() {
+        let d = Delivery::new();
+        assert_eq!(d.received_on(1), 0);
+        d.push(pkt(1, 0));
+        d.push(pkt(1, 1));
+        d.recv_on(1, None).unwrap();
+        assert_eq!(d.received_on(1), 2);
+        assert_eq!(d.pending_on(1), 1);
+        assert_eq!(d.received_on(9), 0);
+    }
+}

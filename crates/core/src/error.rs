@@ -1,0 +1,105 @@
+//! Error types for the MRNet core library.
+
+use std::fmt;
+
+use mrnet_filters::FilterError;
+use mrnet_packet::PacketError;
+use mrnet_topology::TopologyError;
+use mrnet_transport::TransportError;
+
+/// Errors produced by the MRNet library.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MrnetError {
+    /// A packet-layer failure (encoding, format strings).
+    Packet(PacketError),
+    /// A topology-layer failure (parsing, validation).
+    Topology(TopologyError),
+    /// A transport-layer failure (I/O, closed connections).
+    Transport(TransportError),
+    /// A filter-layer failure (unknown filters, format mismatches).
+    Filter(FilterError),
+    /// An operation referenced an unknown stream id.
+    UnknownStream(u32),
+    /// An operation referenced an unknown end-point rank.
+    UnknownEndpoint(u32),
+    /// A communicator was created with no end-points.
+    EmptyCommunicator,
+    /// The network (or this process's view of it) has shut down.
+    Shutdown,
+    /// A protocol violation: an unexpected frame or control message.
+    Protocol(String),
+    /// A blocking receive timed out.
+    Timeout,
+    /// Instantiation failed.
+    Instantiation(String),
+}
+
+impl fmt::Display for MrnetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrnetError::Packet(e) => write!(f, "packet error: {e}"),
+            MrnetError::Topology(e) => write!(f, "topology error: {e}"),
+            MrnetError::Transport(e) => write!(f, "transport error: {e}"),
+            MrnetError::Filter(e) => write!(f, "filter error: {e}"),
+            MrnetError::UnknownStream(id) => write!(f, "unknown stream id {id}"),
+            MrnetError::UnknownEndpoint(r) => write!(f, "unknown end-point rank {r}"),
+            MrnetError::EmptyCommunicator => write!(f, "communicator has no end-points"),
+            MrnetError::Shutdown => write!(f, "the MRNet network has shut down"),
+            MrnetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            MrnetError::Timeout => write!(f, "receive timed out"),
+            MrnetError::Instantiation(msg) => write!(f, "instantiation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MrnetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MrnetError::Packet(e) => Some(e),
+            MrnetError::Topology(e) => Some(e),
+            MrnetError::Transport(e) => Some(e),
+            MrnetError::Filter(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PacketError> for MrnetError {
+    fn from(e: PacketError) -> Self {
+        MrnetError::Packet(e)
+    }
+}
+impl From<TopologyError> for MrnetError {
+    fn from(e: TopologyError) -> Self {
+        MrnetError::Topology(e)
+    }
+}
+impl From<TransportError> for MrnetError {
+    fn from(e: TransportError) -> Self {
+        MrnetError::Transport(e)
+    }
+}
+impl From<FilterError> for MrnetError {
+    fn from(e: FilterError) -> Self {
+        MrnetError::Filter(e)
+    }
+}
+
+/// Convenient result alias for MRNet operations.
+pub type Result<T> = std::result::Result<T, MrnetError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e: MrnetError = PacketError::InvalidUtf8.into();
+        assert!(e.to_string().contains("packet error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: MrnetError = TransportError::Closed.into();
+        assert!(e.to_string().contains("transport"));
+        assert!(MrnetError::UnknownStream(7).to_string().contains('7'));
+        assert!(std::error::Error::source(&MrnetError::Timeout).is_none());
+    }
+}

@@ -1,0 +1,5 @@
+//! MRNet internal-process machinery (the `mrnet_commnode` layers of
+//! paper Figure 3).
+
+pub mod process;
+pub mod stream_manager;

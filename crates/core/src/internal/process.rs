@@ -1,0 +1,541 @@
+//! The MRNet process event loop (`mrnet_commnode` and the front-end's
+//! root router).
+//!
+//! Implements the functional layers of Figure 3: inbound packet
+//! buffers are unbatched, packets demultiplexed by stream id to their
+//! stream managers, synchronized and aggregated, then re-batched per
+//! neighbor for transmission. Packets are manipulated by reference
+//! throughout (cheap [`Packet`] handle clones), matching §2.3's
+//! zero-copy paths.
+//!
+//! One [`NodeLoop`] drives one process. At the tree root (the
+//! front-end) there is no parent; fully aggregated packets are
+//! deposited into a delivery mailbox for user threads, and user
+//! commands (stream creation, downstream sends, shutdown) arrive on
+//! the same inbox as network traffic.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use mrnet_filters::FilterRegistry;
+use mrnet_packet::{BatchPolicy, Batcher, Packet, Rank, StreamId};
+use mrnet_transport::SharedConnection;
+
+use crate::delivery::Delivery;
+use crate::error::{MrnetError, Result};
+use crate::internal::stream_manager::StreamManager;
+use crate::proto::{decode_frame, encode_data_frame, Control, Frame};
+use crate::route::RoutingTable;
+use crate::streams::StreamDef;
+
+/// How often pump threads re-check the stop flag while idle.
+const PUMP_POLL: Duration = Duration::from_millis(50);
+
+/// Messages merged into a node's inbox.
+#[derive(Debug)]
+pub enum Inbound {
+    /// A frame from the parent connection.
+    Parent(bytes::Bytes),
+    /// The parent connection closed.
+    ParentClosed,
+    /// A frame from child `usize`.
+    Child(usize, bytes::Bytes),
+    /// Child `usize`'s connection closed.
+    ChildClosed(usize),
+    /// A user command (root only).
+    Cmd(Command),
+}
+
+/// Front-end commands injected into the root loop.
+#[derive(Debug)]
+pub enum Command {
+    /// Create a stream and announce it downstream.
+    NewStream(StreamDef),
+    /// Send a packet downstream on its stream.
+    SendDown(Packet),
+    /// Tear down a stream.
+    DeleteStream(StreamId),
+    /// Shut the whole network down.
+    Shutdown,
+}
+
+/// One MRNet process's event loop.
+pub struct NodeLoop {
+    rank: Rank,
+    registry: FilterRegistry,
+    parent: Option<SharedConnection>,
+    children: Vec<SharedConnection>,
+    child_alive: Vec<bool>,
+    routes: RoutingTable,
+    managers: HashMap<StreamId, StreamManager>,
+    inbox: Receiver<Inbound>,
+    delivery: Option<Arc<Delivery>>,
+    epoch: Instant,
+    child_batchers: Vec<Batcher>,
+    parent_batcher: Batcher,
+    stop: Arc<AtomicBool>,
+    ready_tx: Option<Sender<Vec<Rank>>>,
+    /// Root only: receives `(backend rank, endpoint)` rendezvous
+    /// advertisements harvested from AttachInfo messages during
+    /// process instantiation.
+    attach_tx: Option<Sender<(Rank, String)>>,
+}
+
+fn spawn_pump(
+    conn: SharedConnection,
+    stop: Arc<AtomicBool>,
+    tx: Sender<Inbound>,
+    wrap: impl Fn(bytes::Bytes) -> Inbound + Send + 'static,
+    closed: Inbound,
+) {
+    std::thread::Builder::new()
+        .name("mrnet-pump".to_owned())
+        .spawn(move || {
+            loop {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                match conn.recv_timeout(PUMP_POLL) {
+                    Ok(Some(frame)) => {
+                        if tx.send(wrap(frame)).is_err() {
+                            return;
+                        }
+                    }
+                    Ok(None) => continue,
+                    Err(_) => {
+                        let _ = tx.send(closed);
+                        return;
+                    }
+                }
+            }
+        })
+        .expect("spawn pump thread");
+}
+
+impl NodeLoop {
+    /// Creates the inbox channel for a node loop. The sender side is
+    /// how the front-end injects [`Command`]s into its root loop.
+    pub fn inbox() -> (Sender<Inbound>, Receiver<Inbound>) {
+        unbounded()
+    }
+
+    /// Builds a node loop and starts its connection pumps.
+    ///
+    /// `inbox` is the channel pair from [`NodeLoop::inbox`] (created by
+    /// the caller so the front-end can keep a command sender before the
+    /// loop thread starts). `delivery` is `Some` at the root;
+    /// `ready_tx` (root only) receives the end-point set once subtree
+    /// reports have been collected.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        rank: Rank,
+        registry: FilterRegistry,
+        parent: Option<SharedConnection>,
+        children: Vec<SharedConnection>,
+        delivery: Option<Arc<Delivery>>,
+        batch_policy: BatchPolicy,
+        ready_tx: Option<Sender<Vec<Rank>>>,
+        inbox: (Sender<Inbound>, Receiver<Inbound>),
+    ) -> NodeLoop {
+        let (tx, rx) = inbox;
+        let stop = Arc::new(AtomicBool::new(false));
+        if let Some(p) = &parent {
+            spawn_pump(
+                p.clone(),
+                stop.clone(),
+                tx.clone(),
+                Inbound::Parent,
+                Inbound::ParentClosed,
+            );
+        }
+        for (i, c) in children.iter().enumerate() {
+            spawn_pump(
+                c.clone(),
+                stop.clone(),
+                tx.clone(),
+                move |f| Inbound::Child(i, f),
+                Inbound::ChildClosed(i),
+            );
+        }
+        let n = children.len();
+        NodeLoop {
+            rank,
+            registry,
+            parent,
+            child_alive: vec![true; n],
+            children,
+            routes: RoutingTable::new(),
+            managers: HashMap::new(),
+            inbox: rx,
+            delivery,
+            epoch: Instant::now(),
+            child_batchers: (0..n).map(|_| Batcher::new(batch_policy)).collect(),
+            parent_batcher: Batcher::new(batch_policy),
+            stop,
+            ready_tx,
+            attach_tx: None,
+        }
+    }
+
+    /// Installs the root-side sink for AttachInfo advertisements
+    /// (process instantiation). Must be called before
+    /// [`NodeLoop::setup`].
+    pub fn set_attach_sink(&mut self, tx: Sender<(Rank, String)>) {
+        self.attach_tx = Some(tx);
+    }
+
+    fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Routes an AttachInfo advertisement: deliver at the root, relay
+    /// upstream elsewhere.
+    fn relay_attach_info(&self, ranks: Vec<Rank>, endpoints: Vec<String>) -> Result<()> {
+        if let Some(tx) = &self.attach_tx {
+            for (rank, endpoint) in ranks.into_iter().zip(endpoints) {
+                let _ = tx.send((rank, endpoint));
+            }
+            Ok(())
+        } else if let Some(parent) = &self.parent {
+            parent
+                .send(Control::AttachInfo { ranks, endpoints }.to_frame())
+                .map_err(MrnetError::Transport)
+        } else {
+            // Root without a sink: instantiation mode that doesn't use
+            // advertisements; ignore.
+            Ok(())
+        }
+    }
+
+    /// Collects one subtree report per child, then reports upstream
+    /// (§2.5). Must run before [`NodeLoop::run`].
+    pub fn setup(&mut self) -> Result<()> {
+        let mut reported: Vec<Option<Vec<Rank>>> = vec![None; self.children.len()];
+        let mut missing = self.children.len();
+        while missing > 0 {
+            match self.inbox.recv() {
+                Ok(Inbound::Child(i, frame)) => match decode_frame(frame)? {
+                    Frame::Control(pkt) => match Control::from_packet(&pkt)? {
+                        Control::SubtreeReport { endpoints } => {
+                            if reported[i].replace(endpoints).is_none() {
+                                missing -= 1;
+                            }
+                        }
+                        Control::AttachInfo { ranks, endpoints } => {
+                            self.relay_attach_info(ranks, endpoints)?;
+                        }
+                        other => {
+                            return Err(MrnetError::Protocol(format!(
+                                "unexpected control during setup: {other:?}"
+                            )))
+                        }
+                    },
+                    Frame::Data(_) => {
+                        return Err(MrnetError::Protocol(
+                            "data frame before instantiation finished".into(),
+                        ))
+                    }
+                },
+                Ok(Inbound::ChildClosed(i)) => {
+                    return Err(MrnetError::Instantiation(format!(
+                        "child {i} of rank {} died during instantiation",
+                        self.rank
+                    )))
+                }
+                Ok(other) => {
+                    return Err(MrnetError::Protocol(format!(
+                        "unexpected inbox message during setup: {other:?}"
+                    )))
+                }
+                Err(_) => return Err(MrnetError::Shutdown),
+            }
+        }
+        for endpoints in reported.into_iter().map(Option::unwrap) {
+            self.routes.add_child(endpoints);
+        }
+        let all = self.routes.all_endpoints();
+        if let Some(parent) = &self.parent {
+            parent.send(Control::SubtreeReport { endpoints: all }.to_frame())?;
+        } else if let Some(tx) = self.ready_tx.take() {
+            let _ = tx.send(all);
+        }
+        Ok(())
+    }
+
+    /// Runs the event loop until shutdown. Consumes the node.
+    pub fn run(mut self) {
+        loop {
+            let deadline = self
+                .managers
+                .values()
+                .filter_map(StreamManager::deadline)
+                .fold(f64::INFINITY, f64::min);
+            let msg = if deadline.is_finite() {
+                let wait = (deadline - self.now()).max(0.0);
+                match self.inbox.recv_timeout(Duration::from_secs_f64(wait)) {
+                    Ok(m) => Some(m),
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => None,
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                }
+            } else {
+                match self.inbox.recv() {
+                    Ok(m) => Some(m),
+                    Err(_) => break,
+                }
+            };
+            let keep_going = match msg {
+                Some(m) => self.dispatch(m),
+                None => {
+                    self.poll_timeouts();
+                    true
+                }
+            };
+            self.flush_all();
+            if !keep_going {
+                break;
+            }
+        }
+        self.shutdown_cleanup();
+    }
+
+    fn shutdown_cleanup(&mut self) {
+        // Tell the subtree, release pumps, close the mailbox.
+        let frame = Control::Shutdown.to_frame();
+        for (i, c) in self.children.iter().enumerate() {
+            if self.child_alive[i] {
+                let _ = c.send(frame.clone());
+            }
+        }
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(d) = &self.delivery {
+            d.close();
+        }
+    }
+
+    /// Returns false when the loop should exit.
+    fn dispatch(&mut self, msg: Inbound) -> bool {
+        match msg {
+            Inbound::Child(i, frame) => {
+                if let Err(e) = self.on_child_frame(i, frame) {
+                    eprintln!("mrnet[{}]: child frame error: {e}", self.rank);
+                }
+                true
+            }
+            Inbound::Parent(frame) => match self.on_parent_frame(frame) {
+                Ok(keep) => keep,
+                Err(e) => {
+                    eprintln!("mrnet[{}]: parent frame error: {e}", self.rank);
+                    true
+                }
+            },
+            Inbound::Cmd(cmd) => self.on_command(cmd),
+            Inbound::ChildClosed(i) => {
+                self.child_alive[i] = false;
+                true
+            }
+            // Parent vanished: treat as shutdown so the subtree exits.
+            Inbound::ParentClosed => false,
+        }
+    }
+
+    fn poll_timeouts(&mut self) {
+        let now = self.now();
+        let ready: Vec<(StreamId, Vec<Packet>)> = self
+            .managers
+            .iter_mut()
+            .filter_map(|(&sid, mgr)| match mgr.poll(now) {
+                Ok(pkts) if !pkts.is_empty() => Some((sid, pkts)),
+                _ => None,
+            })
+            .collect();
+        for (_, pkts) in ready {
+            for p in pkts {
+                self.forward_up(p);
+            }
+        }
+    }
+
+    fn on_child_frame(&mut self, child: usize, frame: bytes::Bytes) -> Result<()> {
+        match decode_frame(frame)? {
+            Frame::Data(packets) => {
+                let now = self.now();
+                for packet in packets {
+                    let sid = packet.stream_id();
+                    let ready = match self.managers.get_mut(&sid) {
+                        Some(mgr) => mgr.up(child, packet, now)?,
+                        // Stream unknown (deleted or never created):
+                        // drop, as the original does for stale data.
+                        None => continue,
+                    };
+                    for p in ready {
+                        self.forward_up(p);
+                    }
+                }
+            }
+            Frame::Control(pkt) => match Control::from_packet(&pkt)? {
+                // Late subtree reports / attaches are instantiation
+                // artifacts; ignore outside setup.
+                Control::SubtreeReport { .. }
+                | Control::Attach { .. }
+                | Control::AttachInfo { .. } => {}
+                other => {
+                    return Err(MrnetError::Protocol(format!(
+                        "unexpected upstream control: {other:?}"
+                    )))
+                }
+            },
+        }
+        Ok(())
+    }
+
+    fn forward_up(&mut self, packet: Packet) {
+        if let Some(delivery) = &self.delivery {
+            delivery.push(packet);
+        } else {
+            self.parent_batcher.push(packet);
+            if self.parent_batcher.should_flush() {
+                self.flush_parent();
+            }
+        }
+    }
+
+    /// Returns false when the loop should exit (shutdown received).
+    fn on_parent_frame(&mut self, frame: bytes::Bytes) -> Result<bool> {
+        match decode_frame(frame)? {
+            Frame::Data(packets) => {
+                for packet in packets {
+                    self.route_down(packet)?;
+                }
+                Ok(true)
+            }
+            Frame::Control(pkt) => {
+                let control = Control::from_packet(&pkt)?;
+                match &control {
+                    Control::NewStream { .. } => {
+                        let def = StreamDef::from_control(&control)
+                            .expect("NewStream parses to a def");
+                        self.create_stream(def)?;
+                        Ok(true)
+                    }
+                    Control::DeleteStream { stream_id } => {
+                        self.delete_stream(*stream_id);
+                        Ok(true)
+                    }
+                    Control::Shutdown => Ok(false),
+                    other => Err(MrnetError::Protocol(format!(
+                        "unexpected downstream control: {other:?}"
+                    ))),
+                }
+            }
+        }
+    }
+
+    fn on_command(&mut self, cmd: Command) -> bool {
+        match cmd {
+            Command::NewStream(def) => {
+                if let Err(e) = self.create_stream(def) {
+                    eprintln!("mrnet[{}]: stream creation error: {e}", self.rank);
+                }
+                true
+            }
+            Command::SendDown(packet) => {
+                if let Err(e) = self.route_down(packet) {
+                    eprintln!("mrnet[{}]: downstream send error: {e}", self.rank);
+                }
+                true
+            }
+            Command::DeleteStream(sid) => {
+                self.delete_stream(sid);
+                true
+            }
+            Command::Shutdown => false,
+        }
+    }
+
+    fn create_stream(&mut self, def: StreamDef) -> Result<()> {
+        let frame = def.to_control().to_frame();
+        let mgr = StreamManager::new(def, &self.routes, &self.registry, self.rank)?;
+        // Announce to participating children before any data can flow.
+        // A child that died (possibly unnoticed until this send) must
+        // not prevent the stream from existing for the survivors.
+        for &child in mgr.participants() {
+            if self.child_alive[child] && self.children[child].send(frame.clone()).is_err() {
+                self.child_alive[child] = false;
+            }
+        }
+        self.managers.insert(mgr.def().id, mgr);
+        Ok(())
+    }
+
+    fn delete_stream(&mut self, sid: StreamId) {
+        if let Some(mgr) = self.managers.remove(&sid) {
+            let frame = Control::DeleteStream { stream_id: sid }.to_frame();
+            for &child in mgr.participants() {
+                if self.child_alive[child] {
+                    let _ = self.children[child].send(frame.clone());
+                }
+            }
+        }
+    }
+
+    fn route_down(&mut self, packet: Packet) -> Result<()> {
+        let sid = packet.stream_id();
+        let Some(mgr) = self.managers.get_mut(&sid) else {
+            // Data for an unknown stream (e.g. racing a delete): drop.
+            return Ok(());
+        };
+        let outs = mgr.down(packet)?;
+        let endpoints = mgr.def().endpoints.clone();
+        for out in outs {
+            // "A data packet flowing downstream may be placed in
+            // multiple output packet buffers because the packet may be
+            // destined for multiple back-ends" (§2.3) — by reference.
+            for child in self.routes.children_for(&endpoints) {
+                if self.child_alive[child] {
+                    self.child_batchers[child].push(out.clone());
+                    if self.child_batchers[child].should_flush() {
+                        self.flush_child(child);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn flush_child(&mut self, child: usize) {
+        let packets = self.child_batchers[child].drain();
+        if packets.is_empty() || !self.child_alive[child] {
+            return;
+        }
+        let frame = encode_data_frame(&packets);
+        if self.children[child].send(frame).is_err() {
+            self.child_alive[child] = false;
+        }
+    }
+
+    fn flush_parent(&mut self) {
+        let packets = self.parent_batcher.drain();
+        if packets.is_empty() {
+            return;
+        }
+        if let Some(parent) = &self.parent {
+            let frame = encode_data_frame(&packets);
+            let _ = parent.send(frame);
+        }
+    }
+
+    fn flush_all(&mut self) {
+        for i in 0..self.children.len() {
+            if !self.child_batchers[i].is_empty() {
+                self.flush_child(i);
+            }
+        }
+        if !self.parent_batcher.is_empty() {
+            self.flush_parent();
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Per-stream state inside one MRNet process.
+//!
+//! §2.3: "Internal processes use a stream manager object to manage
+//! control flow and route packets. When a stream is established, an
+//! internal process creates a new stream manager and initializes it
+//! with the set of end-points to be associated with the stream and the
+//! filter(s) to be used on data packets sent on the stream."
+//!
+//! A [`StreamManager`] owns the stream's synchronization filter and
+//! its upstream/downstream transformation filter instances, and knows
+//! which of the process's children participate in the stream.
+
+use std::collections::HashMap;
+
+use mrnet_filters::{BoxedTransform, FilterContext, FilterRegistry, SyncFilter};
+#[cfg(test)]
+use mrnet_filters::SyncMode;
+use mrnet_packet::{Packet, Rank};
+
+use crate::error::{MrnetError, Result};
+use crate::route::RoutingTable;
+use crate::streams::StreamDef;
+
+/// Stream state at one process.
+pub struct StreamManager {
+    def: StreamDef,
+    ctx: FilterContext,
+    sync: SyncFilter,
+    up: BoxedTransform,
+    down: BoxedTransform,
+    /// Local child indices participating in this stream, in child
+    /// order; the position within this vector is the sync-filter slot.
+    participants: Vec<usize>,
+    slot_of_child: HashMap<usize, usize>,
+}
+
+impl StreamManager {
+    /// Creates the manager for `def` at a process whose children are
+    /// described by `routes`.
+    pub fn new(
+        def: StreamDef,
+        routes: &RoutingTable,
+        registry: &FilterRegistry,
+        local_rank: Rank,
+    ) -> Result<StreamManager> {
+        let participants = routes.children_for(&def.endpoints);
+        let slot_of_child: HashMap<usize, usize> = participants
+            .iter()
+            .enumerate()
+            .map(|(slot, &child)| (child, slot))
+            .collect();
+        let up = registry.instantiate(registry.id_of(&def.up_filter)?)?;
+        let down = registry.instantiate(registry.id_of(&def.down_filter)?)?;
+        let sync = SyncFilter::new(def.sync, participants.len());
+        let ctx = FilterContext::new(def.id, local_rank, participants.len());
+        Ok(StreamManager {
+            def,
+            ctx,
+            sync,
+            up,
+            down,
+            participants,
+            slot_of_child,
+        })
+    }
+
+    /// The stream definition.
+    pub fn def(&self) -> &StreamDef {
+        &self.def
+    }
+
+    /// Local child indices participating in this stream.
+    pub fn participants(&self) -> &[usize] {
+        &self.participants
+    }
+
+    /// Handles an upstream packet arriving from local child `child` at
+    /// time `now`; returns the aggregated packets ready to continue
+    /// upstream.
+    pub fn up(&mut self, child: usize, packet: Packet, now: f64) -> Result<Vec<Packet>> {
+        let slot = *self.slot_of_child.get(&child).ok_or_else(|| {
+            MrnetError::Protocol(format!(
+                "upstream packet for stream {} from non-participant child {child}",
+                self.def.id
+            ))
+        })?;
+        let waves = self.sync.push(slot, packet, now);
+        self.run_waves(waves)
+    }
+
+    /// Re-evaluates synchronization deadlines at `now` (for TimeOut
+    /// streams); returns any packets released by a timeout.
+    pub fn poll(&mut self, now: f64) -> Result<Vec<Packet>> {
+        let waves = self.sync.collect(now);
+        self.run_waves(waves)
+    }
+
+    fn run_waves(&mut self, waves: Vec<Vec<Packet>>) -> Result<Vec<Packet>> {
+        let mut out = Vec::new();
+        for wave in waves {
+            let produced = self.up.transform(wave, &self.ctx)?;
+            // Aggregated packets continue on the same stream.
+            out.extend(
+                produced
+                    .into_iter()
+                    .map(|p| p.with_stream(self.def.id)),
+            );
+        }
+        Ok(out)
+    }
+
+    /// Applies the downstream transformation to a packet flowing
+    /// toward the back-ends. "Synchronization filters are not
+    /// supported for downstream data flows" (§2.3), so each packet is
+    /// transformed as a singleton wave.
+    pub fn down(&mut self, packet: Packet) -> Result<Vec<Packet>> {
+        let produced = self.down.transform(vec![packet], &self.ctx)?;
+        Ok(produced
+            .into_iter()
+            .map(|p| p.with_stream(self.def.id))
+            .collect())
+    }
+
+    /// The next absolute time at which [`StreamManager::poll`] should
+    /// run, if any.
+    pub fn deadline(&self) -> Option<f64> {
+        self.sync.deadline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrnet_packet::PacketBuilder;
+
+    fn routes() -> RoutingTable {
+        let mut r = RoutingTable::new();
+        r.add_child([10, 11]);
+        r.add_child([12]);
+        r.add_child([13, 14]);
+        r
+    }
+
+    fn def(endpoints: Vec<Rank>, up: &str, sync: SyncMode) -> StreamDef {
+        StreamDef {
+            id: 5,
+            endpoints,
+            up_filter: up.into(),
+            down_filter: "null".into(),
+            sync,
+        }
+    }
+
+    fn fpkt(v: f32) -> Packet {
+        PacketBuilder::new(5, 1).push(v).build()
+    }
+
+    #[test]
+    fn aggregates_complete_waves() {
+        let reg = FilterRegistry::with_builtins();
+        let mut m = StreamManager::new(
+            def(vec![10, 12, 13], "f_max", SyncMode::WaitForAll),
+            &routes(),
+            &reg,
+            3,
+        )
+        .unwrap();
+        assert_eq!(m.participants(), &[0, 1, 2]);
+        assert!(m.up(0, fpkt(1.0), 0.0).unwrap().is_empty());
+        assert!(m.up(1, fpkt(5.0), 0.1).unwrap().is_empty());
+        let out = m.up(2, fpkt(3.0), 0.2).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get(0).unwrap().as_f32(), Some(5.0));
+        assert_eq!(out[0].stream_id(), 5);
+    }
+
+    #[test]
+    fn only_participating_children_count() {
+        let reg = FilterRegistry::with_builtins();
+        // Endpoints only under children 0 and 2.
+        let mut m = StreamManager::new(
+            def(vec![11, 14], "f_sum", SyncMode::WaitForAll),
+            &routes(),
+            &reg,
+            3,
+        )
+        .unwrap();
+        assert_eq!(m.participants(), &[0, 2]);
+        assert!(m.up(0, fpkt(1.0), 0.0).unwrap().is_empty());
+        // Wave completes with just the two participants.
+        let out = m.up(2, fpkt(2.0), 0.1).unwrap();
+        assert_eq!(out[0].get(0).unwrap().as_f32(), Some(3.0));
+    }
+
+    #[test]
+    fn packet_from_non_participant_is_protocol_error() {
+        let reg = FilterRegistry::with_builtins();
+        let mut m = StreamManager::new(
+            def(vec![12], "f_max", SyncMode::WaitForAll),
+            &routes(),
+            &reg,
+            3,
+        )
+        .unwrap();
+        assert!(m.up(0, fpkt(1.0), 0.0).is_err());
+    }
+
+    #[test]
+    fn timeout_streams_release_partial_waves_via_poll() {
+        let reg = FilterRegistry::with_builtins();
+        let mut m = StreamManager::new(
+            def(vec![10, 12, 13], "f_sum", SyncMode::TimeOut(1.0)),
+            &routes(),
+            &reg,
+            3,
+        )
+        .unwrap();
+        assert!(m.up(0, fpkt(2.0), 0.0).unwrap().is_empty());
+        assert_eq!(m.deadline(), Some(1.0));
+        assert!(m.poll(0.5).unwrap().is_empty());
+        let out = m.poll(1.0).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get(0).unwrap().as_f32(), Some(2.0));
+        assert_eq!(m.deadline(), None);
+    }
+
+    #[test]
+    fn down_applies_downstream_filter() {
+        let reg = FilterRegistry::with_builtins();
+        let mut m = StreamManager::new(
+            def(vec![10], "null", SyncMode::DoNotWait),
+            &routes(),
+            &reg,
+            3,
+        )
+        .unwrap();
+        let out = m.down(fpkt(9.0)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get(0).unwrap().as_f32(), Some(9.0));
+    }
+
+    #[test]
+    fn unknown_filter_fails_construction() {
+        let reg = FilterRegistry::with_builtins();
+        let err = StreamManager::new(
+            def(vec![10], "no_such_filter", SyncMode::WaitForAll),
+            &routes(),
+            &reg,
+            0,
+        )
+        .err()
+        .expect("unknown filter");
+        assert!(matches!(err, MrnetError::Filter(_)));
+    }
+
+    #[test]
+    fn filter_state_is_private_per_manager() {
+        let reg = FilterRegistry::with_builtins();
+        let d = def(vec![12], "f_sum", SyncMode::DoNotWait);
+        let mut a = StreamManager::new(d.clone(), &routes(), &reg, 0).unwrap();
+        let mut b = StreamManager::new(d, &routes(), &reg, 0).unwrap();
+        let oa = a.up(1, fpkt(1.0), 0.0).unwrap();
+        let ob = b.up(1, fpkt(1.0), 0.0).unwrap();
+        assert_eq!(oa, ob);
+    }
+}

@@ -1,0 +1,374 @@
+//! The tool front-end API: [`Network`], [`Communicator`], [`Stream`].
+//!
+//! Mirrors the front-end side of the paper's Figure 2:
+//!
+//! ```text
+//! net    = new MR_Network(config_file);
+//! comm   = net->get_broadcast_communicator();
+//! stream = new MR_Stream(comm, FMAX_FIL);
+//! stream->send("%d", FLOAT_MAX_INIT);
+//! stream->recv("%f", result);
+//! ```
+//!
+//! Streams are created and managed by the front-end; communication is
+//! only between the front-end and its back-ends (§2.1).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::Sender;
+use parking_lot::Mutex;
+
+use mrnet_filters::{FilterId, FilterRegistry, SyncMode, FILTER_NULL};
+use mrnet_packet::{Packet, Rank, StreamId, Value};
+
+use crate::delivery::Delivery;
+use crate::error::{MrnetError, Result};
+use crate::internal::process::{Command, Inbound};
+use crate::proto::FIRST_USER_STREAM;
+use crate::streams::StreamDef;
+
+pub(crate) struct NetInner {
+    pub(crate) cmd_tx: Sender<Inbound>,
+    pub(crate) delivery: Arc<Delivery>,
+    pub(crate) endpoints: Vec<Rank>,
+    pub(crate) registry: FilterRegistry,
+    next_stream: AtomicU32,
+    streams: Mutex<HashMap<StreamId, StreamDef>>,
+    sent: Mutex<HashMap<StreamId, u64>>,
+    joins: Mutex<Vec<JoinHandle<()>>>,
+    down: AtomicBool,
+}
+
+/// The front-end's handle on an instantiated MRNet network.
+///
+/// Created by [`crate::NetworkBuilder`]. Cloning shares the underlying
+/// network. Dropping the last handle shuts the network down.
+#[derive(Clone)]
+pub struct Network {
+    inner: Arc<NetInner>,
+}
+
+/// A group of end-points, the scope for stream communication (§2.1:
+/// "MRNet uses communicators to represent groups of network
+/// end-points").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Communicator {
+    endpoints: Vec<Rank>,
+}
+
+impl Communicator {
+    /// The end-point ranks in this communicator, sorted.
+    pub fn endpoints(&self) -> &[Rank] {
+        &self.endpoints
+    }
+
+    /// Number of end-points.
+    pub fn len(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Communicators are never empty.
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+}
+
+/// A logical data channel between the front-end and the end-points of
+/// a communicator.
+#[derive(Clone)]
+pub struct Stream {
+    def: StreamDef,
+    net: Arc<NetInner>,
+}
+
+/// Front-end traffic counters for one stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamStats {
+    /// Packets multicast downstream by the front-end.
+    pub sent: u64,
+    /// Aggregated packets delivered to the front-end (whether or not
+    /// they have been consumed by `recv` yet).
+    pub received: u64,
+}
+
+impl Network {
+    pub(crate) fn from_parts(
+        cmd_tx: Sender<Inbound>,
+        delivery: Arc<Delivery>,
+        endpoints: Vec<Rank>,
+        registry: FilterRegistry,
+        joins: Vec<JoinHandle<()>>,
+    ) -> Network {
+        Network {
+            inner: Arc::new(NetInner {
+                cmd_tx,
+                delivery,
+                endpoints,
+                registry,
+                next_stream: AtomicU32::new(FIRST_USER_STREAM),
+                streams: Mutex::new(HashMap::new()),
+                sent: Mutex::new(HashMap::new()),
+                joins: Mutex::new(joins),
+                down: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// All available end-points (back-end ranks), discovered from the
+    /// instantiation subtree reports.
+    pub fn endpoints(&self) -> &[Rank] {
+        &self.inner.endpoints
+    }
+
+    /// Number of back-ends in the network.
+    pub fn num_backends(&self) -> usize {
+        self.inner.endpoints.len()
+    }
+
+    /// The auto-generated broadcast communicator containing every
+    /// available end-point.
+    pub fn broadcast_communicator(&self) -> Communicator {
+        Communicator {
+            endpoints: self.inner.endpoints.clone(),
+        }
+    }
+
+    /// A communicator over a subset of end-points.
+    pub fn communicator(&self, ranks: impl IntoIterator<Item = Rank>) -> Result<Communicator> {
+        let mut endpoints: Vec<Rank> = ranks.into_iter().collect();
+        endpoints.sort_unstable();
+        endpoints.dedup();
+        if endpoints.is_empty() {
+            return Err(MrnetError::EmptyCommunicator);
+        }
+        for &r in &endpoints {
+            if !self.inner.endpoints.contains(&r) {
+                return Err(MrnetError::UnknownEndpoint(r));
+            }
+        }
+        Ok(Communicator { endpoints })
+    }
+
+    /// The filter registry, for registering custom filters
+    /// (`load_filterFunc`, §2.4). Registrations are visible to every
+    /// process in the network.
+    pub fn registry(&self) -> &FilterRegistry {
+        &self.inner.registry
+    }
+
+    /// Creates a stream over `comm` with an upstream transformation
+    /// filter and synchronization mode (`new MR_Stream(comm, filter)`).
+    pub fn new_stream(
+        &self,
+        comm: &Communicator,
+        up_filter: FilterId,
+        sync: SyncMode,
+    ) -> Result<Stream> {
+        self.new_stream_full(comm, up_filter, FILTER_NULL, sync)
+    }
+
+    /// Creates a stream specifying both upstream and downstream
+    /// transformation filters.
+    pub fn new_stream_full(
+        &self,
+        comm: &Communicator,
+        up_filter: FilterId,
+        down_filter: FilterId,
+        sync: SyncMode,
+    ) -> Result<Stream> {
+        self.ensure_up()?;
+        if comm.is_empty() {
+            return Err(MrnetError::EmptyCommunicator);
+        }
+        let id = self.inner.next_stream.fetch_add(1, Ordering::Relaxed);
+        let def = StreamDef {
+            id,
+            endpoints: comm.endpoints.clone(),
+            up_filter: self.inner.registry.name_of(up_filter)?,
+            down_filter: self.inner.registry.name_of(down_filter)?,
+            sync,
+        };
+        self.inner.streams.lock().insert(id, def.clone());
+        self.send_cmd(Command::NewStream(def.clone()))?;
+        Ok(Stream {
+            def,
+            net: self.inner.clone(),
+        })
+    }
+
+    /// Looks up an existing stream by id.
+    pub fn stream(&self, id: StreamId) -> Result<Stream> {
+        let def = self
+            .inner
+            .streams
+            .lock()
+            .get(&id)
+            .cloned()
+            .ok_or(MrnetError::UnknownStream(id))?;
+        Ok(Stream {
+            def,
+            net: self.inner.clone(),
+        })
+    }
+
+    /// Blocking stream-anonymous receive: the next upstream packet on
+    /// any stream, plus its stream handle.
+    pub fn recv_any(&self) -> Result<(Packet, Stream)> {
+        let packet = self.inner.delivery.recv_any(None)?;
+        let stream = self.stream(packet.stream_id())?;
+        Ok((packet, stream))
+    }
+
+    /// [`Network::recv_any`] with a timeout.
+    pub fn recv_any_timeout(&self, timeout: Duration) -> Result<(Packet, Stream)> {
+        let packet = self.inner.delivery.recv_any(Some(timeout))?;
+        let stream = self.stream(packet.stream_id())?;
+        Ok((packet, stream))
+    }
+
+    fn ensure_up(&self) -> Result<()> {
+        if self.inner.down.load(Ordering::Relaxed) {
+            Err(MrnetError::Shutdown)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn send_cmd(&self, cmd: Command) -> Result<()> {
+        self.inner
+            .cmd_tx
+            .send(Inbound::Cmd(cmd))
+            .map_err(|_| MrnetError::Shutdown)
+    }
+
+    /// Shuts the network down: tears down the process tree and wakes
+    /// all blocked receivers. Idempotent.
+    pub fn shutdown(&self) {
+        if self.inner.down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = self.inner.cmd_tx.send(Inbound::Cmd(Command::Shutdown));
+        let joins: Vec<JoinHandle<()>> = std::mem::take(&mut *self.inner.joins.lock());
+        for j in joins {
+            let _ = j.join();
+        }
+        // The root loop closes delivery on exit; make sure even if the
+        // loop already died.
+        self.inner.delivery.close();
+    }
+
+    /// True after shutdown.
+    pub fn is_down(&self) -> bool {
+        self.inner.down.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for NetInner {
+    fn drop(&mut self) {
+        // Last handle gone without an explicit shutdown: stop the tree.
+        let _ = self.cmd_tx.send(Inbound::Cmd(Command::Shutdown));
+        for j in std::mem::take(&mut *self.joins.lock()) {
+            let _ = j.join();
+        }
+        self.delivery.close();
+    }
+}
+
+impl Stream {
+    /// The stream id.
+    pub fn id(&self) -> StreamId {
+        self.def.id
+    }
+
+    /// The stream's end-point ranks.
+    pub fn endpoints(&self) -> &[Rank] {
+        &self.def.endpoints
+    }
+
+    /// The stream's definition (filters, sync mode).
+    pub fn def(&self) -> &StreamDef {
+        &self.def
+    }
+
+    /// Multicasts values downstream to all the stream's end-points
+    /// (Figure 2's `stream->send("%d", ...)`).
+    pub fn send(&self, tag: i32, fmt: &str, values: Vec<Value>) -> Result<()> {
+        let packet = Packet::with_fmt_str(self.def.id, tag, fmt, values)?;
+        self.send_packet(packet)
+    }
+
+    /// Multicasts a pre-built packet (retargeted onto this stream).
+    pub fn send_packet(&self, packet: Packet) -> Result<()> {
+        if self.net.down.load(Ordering::Relaxed) {
+            return Err(MrnetError::Shutdown);
+        }
+        let packet = packet.with_stream(self.def.id);
+        self.net
+            .cmd_tx
+            .send(Inbound::Cmd(Command::SendDown(packet)))
+            .map_err(|_| MrnetError::Shutdown)?;
+        *self.net.sent.lock().entry(self.def.id).or_insert(0) += 1;
+        Ok(())
+    }
+
+    /// Convenience: build and send from Rust values.
+    pub fn send_values(&self, tag: i32, values: impl IntoIterator<Item = Value>) -> Result<()> {
+        let mut builder = mrnet_packet::PacketBuilder::new(self.def.id, tag);
+        for v in values {
+            builder = builder.push(v);
+        }
+        self.send_packet(builder.build())
+    }
+
+    /// Blocking receive of the next aggregated upstream packet on this
+    /// stream (Figure 2's `stream->recv("%f", result)`).
+    pub fn recv(&self) -> Result<Packet> {
+        self.net.delivery.recv_on(self.def.id, None)
+    }
+
+    /// [`Stream::recv`] with a timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Packet> {
+        self.net.delivery.recv_on(self.def.id, Some(timeout))
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<Option<Packet>> {
+        if self.net.delivery.pending_on(self.def.id) > 0 {
+            Ok(Some(self.net.delivery.recv_on(self.def.id, None)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Number of aggregated packets queued for this stream.
+    pub fn pending(&self) -> usize {
+        self.net.delivery.pending_on(self.def.id)
+    }
+
+    /// Front-end traffic counters for this stream.
+    pub fn stats(&self) -> StreamStats {
+        StreamStats {
+            sent: self
+                .net
+                .sent
+                .lock()
+                .get(&self.def.id)
+                .copied()
+                .unwrap_or(0),
+            received: self.net.delivery.received_on(self.def.id),
+        }
+    }
+
+    /// Tears the stream down across the network.
+    pub fn close(self) -> Result<()> {
+        self.net.streams.lock().remove(&self.def.id);
+        self.net
+            .cmd_tx
+            .send(Inbound::Cmd(Command::DeleteStream(self.def.id)))
+            .map_err(|_| MrnetError::Shutdown)
+    }
+}

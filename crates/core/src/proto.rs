@@ -1,0 +1,427 @@
+//! The MRNet wire protocol: frames and control messages.
+//!
+//! Every frame exchanged between MRNet processes is either a **data
+//! frame** — a batched packet buffer (§2.3) — or a **control frame** —
+//! a single packet on the reserved control stream whose tag selects
+//! the operation. Control messages drive stream creation/deletion,
+//! instantiation subtree reports, mode-2 back-end attachment, and
+//! shutdown.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use mrnet_filters::SyncMode;
+use mrnet_packet::{
+    decode_batch, decode_packet, encode_batch, encode_packet, Packet, PacketBuilder, Rank,
+    StreamId, Value,
+};
+
+use crate::error::{MrnetError, Result};
+
+/// The reserved stream id carrying control messages.
+pub const CONTROL_STREAM: StreamId = 0;
+
+/// First stream id handed to user streams.
+pub const FIRST_USER_STREAM: StreamId = 1;
+
+/// Control-message tags.
+pub mod tags {
+    /// Create a stream (downstream).
+    pub const NEW_STREAM: i32 = -1;
+    /// Delete a stream (downstream).
+    pub const DELETE_STREAM: i32 = -2;
+    /// Subtree end-point report (upstream, during instantiation).
+    pub const SUBTREE_REPORT: i32 = -3;
+    /// Back-end attach handshake (mode-2 instantiation).
+    pub const ATTACH: i32 = -4;
+    /// Orderly shutdown (downstream).
+    pub const SHUTDOWN: i32 = -5;
+    /// Subtree launch directive (parent → child, process
+    /// instantiation): "a message from parent to child containing the
+    /// portion of the configuration relevant to that child" (§2.5).
+    pub const LAUNCH: i32 = -6;
+    /// Back-end rendezvous advertisement (upstream): which attach
+    /// endpoints serve which back-end ranks ("the leaf processes' host
+    /// names and connection port numbers", §2.5).
+    pub const ATTACH_INFO: i32 = -7;
+}
+
+/// Frame kind discriminants.
+const FRAME_DATA: u8 = 0;
+const FRAME_CONTROL: u8 = 1;
+
+/// A decoded frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A batch of data packets.
+    Data(Vec<Packet>),
+    /// A control packet.
+    Control(Packet),
+}
+
+/// Encodes a batch of data packets as a frame.
+pub fn encode_data_frame(packets: &[Packet]) -> Bytes {
+    let batch = encode_batch(packets);
+    let mut buf = BytesMut::with_capacity(1 + batch.len());
+    buf.put_u8(FRAME_DATA);
+    buf.put_slice(&batch);
+    buf.freeze()
+}
+
+/// Encodes a control packet as a frame.
+pub fn encode_control_frame(packet: &Packet) -> Bytes {
+    let body = encode_packet(packet);
+    let mut buf = BytesMut::with_capacity(1 + body.len());
+    buf.put_u8(FRAME_CONTROL);
+    buf.put_slice(&body);
+    buf.freeze()
+}
+
+/// Decodes a frame.
+pub fn decode_frame(bytes: Bytes) -> Result<Frame> {
+    if bytes.is_empty() {
+        return Err(MrnetError::Protocol("empty frame".into()));
+    }
+    let kind = bytes[0];
+    let body = bytes.slice(1..);
+    match kind {
+        FRAME_DATA => Ok(Frame::Data(decode_batch(body)?)),
+        FRAME_CONTROL => Ok(Frame::Control(decode_packet(body)?)),
+        other => Err(MrnetError::Protocol(format!("unknown frame kind {other}"))),
+    }
+}
+
+/// A parsed control message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Control {
+    /// Create a stream over the given end-points with the given
+    /// filters.
+    NewStream {
+        /// The new stream's id.
+        stream_id: StreamId,
+        /// Back-end ranks that are end-points of the stream.
+        endpoints: Vec<Rank>,
+        /// Name of the upstream transformation filter.
+        up_filter: String,
+        /// Name of the downstream transformation filter.
+        down_filter: String,
+        /// Synchronization mode for upstream flow.
+        sync: SyncMode,
+    },
+    /// Tear down a stream.
+    DeleteStream {
+        /// The stream to delete.
+        stream_id: StreamId,
+    },
+    /// "When a sub-tree has been established, the root of that sub-tree
+    /// sends a report to its parent containing the end-points
+    /// accessible via that sub-tree" (§2.5).
+    SubtreeReport {
+        /// Back-end ranks reachable through the sender.
+        endpoints: Vec<Rank>,
+    },
+    /// A mode-2 back-end announcing itself to its leaf parent.
+    Attach {
+        /// The back-end's rank.
+        rank: Rank,
+    },
+    /// Orderly shutdown of the subtree.
+    Shutdown,
+    /// The configuration slice a parent hands a freshly created child
+    /// during process instantiation: the child's subtree in BFS order.
+    /// `ranks[0]` is the child itself; `parents[i]` is the index
+    /// within `ranks` of node *i*'s parent (`parents[0]` is unused and
+    /// set to `u32::MAX`).
+    Launch {
+        /// Global ranks of the subtree's nodes, BFS order.
+        ranks: Vec<Rank>,
+        /// Parent index (into `ranks`) per node.
+        parents: Vec<u32>,
+    },
+    /// Rendezvous advertisement flowing upstream during process
+    /// instantiation: back-end `ranks[i]` should attach at
+    /// `endpoints[i]`.
+    AttachInfo {
+        /// Back-end ranks served.
+        ranks: Vec<Rank>,
+        /// `host:port` endpoint per rank.
+        endpoints: Vec<String>,
+    },
+}
+
+impl Control {
+    /// Encodes this control message as a control packet.
+    pub fn to_packet(&self) -> Packet {
+        match self {
+            Control::NewStream {
+                stream_id,
+                endpoints,
+                up_filter,
+                down_filter,
+                sync,
+            } => {
+                let (sync_tag, sync_timeout) = sync.encode();
+                PacketBuilder::new(CONTROL_STREAM, tags::NEW_STREAM)
+                    .push(*stream_id)
+                    .push(endpoints.clone())
+                    .push(up_filter.as_str())
+                    .push(down_filter.as_str())
+                    .push(Value::Char(sync_tag))
+                    .push(sync_timeout)
+                    .build()
+            }
+            Control::DeleteStream { stream_id } => {
+                PacketBuilder::new(CONTROL_STREAM, tags::DELETE_STREAM)
+                    .push(*stream_id)
+                    .build()
+            }
+            Control::SubtreeReport { endpoints } => {
+                PacketBuilder::new(CONTROL_STREAM, tags::SUBTREE_REPORT)
+                    .push(endpoints.clone())
+                    .build()
+            }
+            Control::Attach { rank } => PacketBuilder::new(CONTROL_STREAM, tags::ATTACH)
+                .push(*rank)
+                .build(),
+            Control::Shutdown => Packet::control(CONTROL_STREAM, tags::SHUTDOWN),
+            Control::Launch { ranks, parents } => {
+                PacketBuilder::new(CONTROL_STREAM, tags::LAUNCH)
+                    .push(ranks.clone())
+                    .push(parents.clone())
+                    .build()
+            }
+            Control::AttachInfo { ranks, endpoints } => {
+                PacketBuilder::new(CONTROL_STREAM, tags::ATTACH_INFO)
+                    .push(ranks.clone())
+                    .push(endpoints.clone())
+                    .build()
+            }
+        }
+    }
+
+    /// Parses a control packet.
+    pub fn from_packet(packet: &Packet) -> Result<Control> {
+        let bad = |what: &str| MrnetError::Protocol(format!("malformed {what} control message"));
+        match packet.tag() {
+            tags::NEW_STREAM => {
+                let stream_id = packet
+                    .get(0)
+                    .and_then(Value::as_u32)
+                    .ok_or_else(|| bad("NewStream"))?;
+                let endpoints = packet
+                    .get(1)
+                    .and_then(Value::as_u32_slice)
+                    .ok_or_else(|| bad("NewStream"))?
+                    .to_vec();
+                let up_filter = packet
+                    .get(2)
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| bad("NewStream"))?
+                    .to_owned();
+                let down_filter = packet
+                    .get(3)
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| bad("NewStream"))?
+                    .to_owned();
+                let sync_tag = match packet.get(4) {
+                    Some(Value::Char(c)) => *c,
+                    _ => return Err(bad("NewStream")),
+                };
+                let sync_timeout = packet
+                    .get(5)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| bad("NewStream"))?;
+                let sync = SyncMode::decode(sync_tag, sync_timeout)
+                    .ok_or_else(|| bad("NewStream sync mode in"))?;
+                Ok(Control::NewStream {
+                    stream_id,
+                    endpoints,
+                    up_filter,
+                    down_filter,
+                    sync,
+                })
+            }
+            tags::DELETE_STREAM => Ok(Control::DeleteStream {
+                stream_id: packet
+                    .get(0)
+                    .and_then(Value::as_u32)
+                    .ok_or_else(|| bad("DeleteStream"))?,
+            }),
+            tags::SUBTREE_REPORT => Ok(Control::SubtreeReport {
+                endpoints: packet
+                    .get(0)
+                    .and_then(Value::as_u32_slice)
+                    .ok_or_else(|| bad("SubtreeReport"))?
+                    .to_vec(),
+            }),
+            tags::ATTACH => Ok(Control::Attach {
+                rank: packet
+                    .get(0)
+                    .and_then(Value::as_u32)
+                    .ok_or_else(|| bad("Attach"))?,
+            }),
+            tags::SHUTDOWN => Ok(Control::Shutdown),
+            tags::LAUNCH => {
+                let ranks = packet
+                    .get(0)
+                    .and_then(Value::as_u32_slice)
+                    .ok_or_else(|| bad("Launch"))?
+                    .to_vec();
+                let parents = packet
+                    .get(1)
+                    .and_then(Value::as_u32_slice)
+                    .ok_or_else(|| bad("Launch"))?
+                    .to_vec();
+                if ranks.len() != parents.len() || ranks.is_empty() {
+                    return Err(bad("Launch"));
+                }
+                Ok(Control::Launch { ranks, parents })
+            }
+            tags::ATTACH_INFO => {
+                let ranks = packet
+                    .get(0)
+                    .and_then(Value::as_u32_slice)
+                    .ok_or_else(|| bad("AttachInfo"))?
+                    .to_vec();
+                let endpoints = packet
+                    .get(1)
+                    .and_then(Value::as_str_array)
+                    .ok_or_else(|| bad("AttachInfo"))?
+                    .to_vec();
+                if ranks.len() != endpoints.len() {
+                    return Err(bad("AttachInfo"));
+                }
+                Ok(Control::AttachInfo { ranks, endpoints })
+            }
+            other => Err(MrnetError::Protocol(format!(
+                "unknown control tag {other}"
+            ))),
+        }
+    }
+
+    /// Encodes directly to a frame.
+    pub fn to_frame(&self) -> Bytes {
+        encode_control_frame(&self.to_packet())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(c: Control) {
+        let frame = c.to_frame();
+        match decode_frame(frame).unwrap() {
+            Frame::Control(p) => assert_eq!(Control::from_packet(&p).unwrap(), c),
+            other => panic!("expected control frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_round_trips() {
+        round_trip(Control::NewStream {
+            stream_id: 12,
+            endpoints: vec![3, 4, 5],
+            up_filter: "f_max".into(),
+            down_filter: "null".into(),
+            sync: SyncMode::WaitForAll,
+        });
+        round_trip(Control::NewStream {
+            stream_id: 1,
+            endpoints: vec![],
+            up_filter: "null".into(),
+            down_filter: "null".into(),
+            sync: SyncMode::TimeOut(0.5),
+        });
+        round_trip(Control::DeleteStream { stream_id: 9 });
+        round_trip(Control::SubtreeReport {
+            endpoints: vec![10, 11],
+        });
+        round_trip(Control::Attach { rank: 77 });
+        round_trip(Control::Shutdown);
+        round_trip(Control::Launch {
+            ranks: vec![3, 4, 5],
+            parents: vec![u32::MAX, 0, 0],
+        });
+        round_trip(Control::AttachInfo {
+            ranks: vec![9, 10],
+            endpoints: vec!["127.0.0.1:4000".into(), "127.0.0.1:4001".into()],
+        });
+    }
+
+    #[test]
+    fn malformed_launch_rejected() {
+        // Mismatched array lengths.
+        let p = PacketBuilder::new(CONTROL_STREAM, tags::LAUNCH)
+            .push(vec![1u32, 2])
+            .push(vec![0u32])
+            .build();
+        assert!(Control::from_packet(&p).is_err());
+        // Empty subtree.
+        let p = PacketBuilder::new(CONTROL_STREAM, tags::LAUNCH)
+            .push(Vec::<u32>::new())
+            .push(Vec::<u32>::new())
+            .build();
+        assert!(Control::from_packet(&p).is_err());
+    }
+
+    #[test]
+    fn malformed_attach_info_rejected() {
+        let p = PacketBuilder::new(CONTROL_STREAM, tags::ATTACH_INFO)
+            .push(vec![1u32])
+            .push(Vec::<String>::new())
+            .build();
+        assert!(Control::from_packet(&p).is_err());
+    }
+
+    #[test]
+    fn data_frame_round_trips() {
+        let packets = vec![
+            PacketBuilder::new(5, 1).push(1i32).build(),
+            PacketBuilder::new(5, 1).push(2i32).build(),
+        ];
+        let frame = encode_data_frame(&packets);
+        match decode_frame(frame).unwrap() {
+            Frame::Data(got) => assert_eq!(got, packets),
+            other => panic!("expected data frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_and_unknown_frames_rejected() {
+        assert!(decode_frame(Bytes::new()).is_err());
+        assert!(decode_frame(Bytes::from_static(&[9, 0, 0])).is_err());
+    }
+
+    #[test]
+    fn unknown_control_tag_rejected() {
+        let p = Packet::control(CONTROL_STREAM, -99);
+        assert!(Control::from_packet(&p).is_err());
+    }
+
+    #[test]
+    fn malformed_new_stream_rejected() {
+        let p = PacketBuilder::new(CONTROL_STREAM, tags::NEW_STREAM)
+            .push(1u32)
+            .build();
+        assert!(Control::from_packet(&p).is_err());
+    }
+
+    #[test]
+    fn timeout_sync_mode_survives_f32_narrowing() {
+        let c = Control::NewStream {
+            stream_id: 2,
+            endpoints: vec![1],
+            up_filter: "null".into(),
+            down_filter: "null".into(),
+            sync: SyncMode::TimeOut(0.25),
+        };
+        let p = c.to_packet();
+        match Control::from_packet(&p).unwrap() {
+            Control::NewStream {
+                sync: SyncMode::TimeOut(t),
+                ..
+            } => assert!((t - 0.25).abs() < 1e-6),
+            other => panic!("{other:?}"),
+        }
+    }
+}

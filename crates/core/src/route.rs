@@ -1,0 +1,126 @@
+//! Packet routing: which child leads to which end-points.
+//!
+//! During instantiation every process learns, per direct child, the
+//! set of back-end ranks reachable through that child (the §2.5
+//! subtree reports). [`RoutingTable`] answers the two questions the
+//! data path asks: *which children does this stream involve?* and
+//! *does child c lead to any end-point of this stream?*
+
+use std::collections::HashSet;
+
+use mrnet_packet::Rank;
+
+/// Per-child reachability, indexed by local child position.
+#[derive(Debug, Clone, Default)]
+pub struct RoutingTable {
+    reachable: Vec<HashSet<Rank>>,
+}
+
+impl RoutingTable {
+    /// An empty table (a back-end has no children).
+    pub fn new() -> RoutingTable {
+        RoutingTable::default()
+    }
+
+    /// Adds a child with the given reachable end-point set; returns its
+    /// local child index.
+    pub fn add_child(&mut self, reachable: impl IntoIterator<Item = Rank>) -> usize {
+        self.reachable.push(reachable.into_iter().collect());
+        self.reachable.len() - 1
+    }
+
+    /// Number of direct children.
+    pub fn num_children(&self) -> usize {
+        self.reachable.len()
+    }
+
+    /// True when there are no children.
+    pub fn is_empty(&self) -> bool {
+        self.reachable.is_empty()
+    }
+
+    /// All end-points reachable through any child, sorted.
+    pub fn all_endpoints(&self) -> Vec<Rank> {
+        let mut v: Vec<Rank> = self
+            .reachable
+            .iter()
+            .flat_map(|s| s.iter().copied())
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Whether child `child` leads to any rank in `endpoints`.
+    pub fn child_serves(&self, child: usize, endpoints: &[Rank]) -> bool {
+        endpoints
+            .iter()
+            .any(|r| self.reachable[child].contains(r))
+    }
+
+    /// Local indices of the children that lead to at least one of
+    /// `endpoints`, in child order.
+    pub fn children_for(&self, endpoints: &[Rank]) -> Vec<usize> {
+        (0..self.reachable.len())
+            .filter(|&c| self.child_serves(c, endpoints))
+            .collect()
+    }
+
+    /// The end-points of `endpoints` reachable via `child`.
+    pub fn targets_via(&self, child: usize, endpoints: &[Rank]) -> Vec<Rank> {
+        endpoints
+            .iter()
+            .copied()
+            .filter(|r| self.reachable[child].contains(r))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> RoutingTable {
+        let mut t = RoutingTable::new();
+        t.add_child([1, 2]);
+        t.add_child([3]);
+        t.add_child([4, 5, 6]);
+        t
+    }
+
+    #[test]
+    fn all_endpoints_sorted_deduped() {
+        assert_eq!(table().all_endpoints(), vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn children_for_selects_overlapping() {
+        let t = table();
+        assert_eq!(t.children_for(&[2, 4]), vec![0, 2]);
+        assert_eq!(t.children_for(&[3]), vec![1]);
+        assert_eq!(t.children_for(&[99]), Vec::<usize>::new());
+        assert_eq!(t.children_for(&[1, 3, 5]), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn targets_via_projects() {
+        let t = table();
+        assert_eq!(t.targets_via(2, &[5, 1, 6]), vec![5, 6]);
+        assert!(t.targets_via(1, &[5]).is_empty());
+    }
+
+    #[test]
+    fn child_serves() {
+        let t = table();
+        assert!(t.child_serves(0, &[2]));
+        assert!(!t.child_serves(0, &[3]));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = RoutingTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.num_children(), 0);
+        assert!(t.all_endpoints().is_empty());
+    }
+}

@@ -1,0 +1,96 @@
+//! Stream definitions shared across the tool instance.
+
+use mrnet_filters::SyncMode;
+use mrnet_packet::{Rank, StreamId};
+
+use crate::proto::Control;
+
+/// Immutable description of a stream, as carried by the `NewStream`
+/// control message: which end-points it reaches and which filters are
+/// bound to it (§2.1: "A filter may be bound to a stream when the
+/// stream is created").
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamDef {
+    /// The stream id (unique per network instance).
+    pub id: StreamId,
+    /// Back-end ranks that are end-points of this stream.
+    pub endpoints: Vec<Rank>,
+    /// Name of the upstream transformation filter.
+    pub up_filter: String,
+    /// Name of the downstream transformation filter.
+    pub down_filter: String,
+    /// Synchronization mode for upstream flow.
+    pub sync: SyncMode,
+}
+
+impl StreamDef {
+    /// The `NewStream` control message announcing this stream.
+    pub fn to_control(&self) -> Control {
+        Control::NewStream {
+            stream_id: self.id,
+            endpoints: self.endpoints.clone(),
+            up_filter: self.up_filter.clone(),
+            down_filter: self.down_filter.clone(),
+            sync: self.sync,
+        }
+    }
+
+    /// Reconstructs a definition from a parsed `NewStream` control.
+    pub fn from_control(control: &Control) -> Option<StreamDef> {
+        match control {
+            Control::NewStream {
+                stream_id,
+                endpoints,
+                up_filter,
+                down_filter,
+                sync,
+            } => Some(StreamDef {
+                id: *stream_id,
+                endpoints: endpoints.clone(),
+                up_filter: up_filter.clone(),
+                down_filter: down_filter.clone(),
+                sync: *sync,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Whether `rank` is an end-point of this stream.
+    pub fn has_endpoint(&self, rank: Rank) -> bool {
+        self.endpoints.contains(&rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn def() -> StreamDef {
+        StreamDef {
+            id: 4,
+            endpoints: vec![2, 3, 5],
+            up_filter: "f_max".into(),
+            down_filter: "null".into(),
+            sync: SyncMode::WaitForAll,
+        }
+    }
+
+    #[test]
+    fn control_round_trip() {
+        let d = def();
+        let c = d.to_control();
+        assert_eq!(StreamDef::from_control(&c), Some(d));
+    }
+
+    #[test]
+    fn from_non_new_stream_is_none() {
+        assert_eq!(StreamDef::from_control(&Control::Shutdown), None);
+    }
+
+    #[test]
+    fn endpoint_membership() {
+        let d = def();
+        assert!(d.has_endpoint(3));
+        assert!(!d.has_endpoint(4));
+    }
+}

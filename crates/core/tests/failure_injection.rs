@@ -1,0 +1,176 @@
+//! Failure injection: the network must degrade gracefully — not hang
+//! or corrupt state — when back-ends die, when peers send garbage, and
+//! when handles are dropped without ceremony. (Full fault *recovery*
+//! is future work in the paper too; these tests pin down today's
+//! containment behavior.)
+
+use std::time::Duration;
+
+use mrnet::{launch_local, MrnetError, NetworkBuilder, SyncMode, Value};
+use mrnet_topology::{generator, HostPool};
+
+fn pool() -> HostPool {
+    HostPool::synthetic(256)
+}
+
+const TIMEOUT: Duration = Duration::from_secs(15);
+
+#[test]
+fn dead_backend_stalls_wait_for_all_but_not_other_streams() {
+    let topo = generator::flat(4, &mut pool()).unwrap();
+    let dep = launch_local(topo).unwrap();
+    let net = dep.network.clone();
+    let mut backends = dep.backends;
+    let victim_rank = backends.last().unwrap().rank();
+    // Kill one back-end before it answers anything.
+    drop(backends.pop());
+
+    let comm = net.broadcast_communicator();
+    let sum = net.registry().id_of("d_sum").unwrap();
+    let all_stream = net.new_stream(&comm, sum, SyncMode::WaitForAll).unwrap();
+    all_stream.send(0, "%d", vec![Value::Int32(0)]).unwrap();
+    for be in &backends {
+        let (_, sid) = be.recv().unwrap();
+        be.send(sid, 0, "%d", vec![Value::Int32(1)]).unwrap();
+    }
+    // WaitForAll over a dead member can never complete...
+    assert_eq!(
+        all_stream.recv_timeout(Duration::from_millis(400)),
+        Err(MrnetError::Timeout)
+    );
+
+    // ...but a stream over the survivors works fine on the same tree.
+    let survivors = net
+        .communicator(net.endpoints().iter().copied().filter(|&r| r != victim_rank))
+        .unwrap();
+    let ok_stream = net.new_stream(&survivors, sum, SyncMode::WaitForAll).unwrap();
+    ok_stream.send(1, "%d", vec![Value::Int32(0)]).unwrap();
+    for be in &backends {
+        let (_, sid) = be.recv().unwrap();
+        be.send(sid, 1, "%d", vec![Value::Int32(2)]).unwrap();
+    }
+    let result = ok_stream.recv_timeout(TIMEOUT).unwrap();
+    assert_eq!(result.get(0).unwrap().as_i32(), Some(6));
+    net.shutdown();
+}
+
+#[test]
+fn timeout_streams_survive_dead_backends() {
+    // The paper's TimeOut synchronization mode exists exactly for
+    // stragglers; a dead back-end is the ultimate straggler.
+    let topo = generator::balanced(2, 2, &mut pool()).unwrap();
+    let dep = launch_local(topo).unwrap();
+    let net = dep.network.clone();
+    let mut backends = dep.backends;
+    drop(backends.pop()); // kill one of four
+
+    let comm = net.broadcast_communicator();
+    let sum = net.registry().id_of("d_sum").unwrap();
+    let stream = net
+        .new_stream(&comm, sum, SyncMode::TimeOut(0.3))
+        .unwrap();
+    stream.send(0, "%d", vec![Value::Int32(0)]).unwrap();
+    for be in &backends {
+        let (_, sid) = be.recv().unwrap();
+        be.send(sid, 0, "%d", vec![Value::Int32(5)]).unwrap();
+    }
+    // Partial aggregate from the three survivors arrives after the
+    // timeout despite the dead member.
+    let mut total = 0;
+    let deadline = std::time::Instant::now() + TIMEOUT;
+    while total < 15 && std::time::Instant::now() < deadline {
+        if let Ok(pkt) = stream.recv_timeout(Duration::from_millis(500)) {
+            total += pkt.get(0).unwrap().as_i32().unwrap();
+        }
+    }
+    assert_eq!(total, 15);
+    net.shutdown();
+}
+
+#[test]
+fn dropping_network_without_shutdown_releases_everything() {
+    // Drop is the only cleanup: backends must still observe shutdown.
+    let topo = generator::balanced(2, 2, &mut pool()).unwrap();
+    let dep = launch_local(topo).unwrap();
+    let backends = dep.backends;
+    let waiters: Vec<_> = backends
+        .into_iter()
+        .map(|be| std::thread::spawn(move || be.recv()))
+        .collect();
+    drop(dep.network);
+    for w in waiters {
+        assert_eq!(w.join().unwrap().unwrap_err(), MrnetError::Shutdown);
+    }
+}
+
+#[test]
+fn garbage_frames_do_not_poison_the_backend() {
+    // A malformed frame surfaces as an error on that receive, but the
+    // connection and later traffic keep working.
+    use mrnet_transport::Listener;
+    let fabric = mrnet_transport::LocalFabric::new();
+    let listener = fabric.listen("leaf");
+    let be = std::thread::spawn({
+        let fabric = fabric.clone();
+        move || mrnet::Backend::attach(&fabric, "leaf", 7).unwrap()
+    });
+    let server = listener.accept().unwrap();
+    let be = be.join().unwrap();
+    // Drain the handshake (Attach + SubtreeReport).
+    server.recv().unwrap();
+    server.recv().unwrap();
+    // Garbage bytes.
+    server.send(bytes::Bytes::from_static(&[0xde, 0xad, 0xbe, 0xef])).unwrap();
+    let err = be.recv_timeout(Duration::from_secs(1)).unwrap_err();
+    assert!(matches!(err, MrnetError::Packet(_) | MrnetError::Protocol(_)));
+    // A valid frame afterwards is still delivered.
+    let pkt = mrnet::PacketBuilder::new(3, 1).push(42i32).build();
+    // The stream must be known first: announce it.
+    let def = mrnet::StreamDef {
+        id: 3,
+        endpoints: vec![7],
+        up_filter: "null".into(),
+        down_filter: "null".into(),
+        sync: SyncMode::DoNotWait,
+    };
+    server.send(def.to_control().to_frame()).unwrap();
+    server
+        .send(mrnet::proto::encode_data_frame(&[pkt]))
+        .unwrap();
+    let (got, sid) = be.recv_timeout(TIMEOUT).unwrap().unwrap();
+    assert_eq!(sid, 3);
+    assert_eq!(got.get(0).unwrap().as_i32(), Some(42));
+}
+
+#[test]
+fn instantiation_failure_surfaces_not_hangs() {
+    // A mode-2 deployment whose back-ends never attach times out
+    // cleanly in wait().
+    let topo = generator::flat(2, &mut pool()).unwrap();
+    let pending = NetworkBuilder::new(topo).launch_internal().unwrap();
+    let err = pending.wait(Duration::from_millis(300)).err().expect("timeout");
+    assert!(matches!(err, MrnetError::Instantiation(_)));
+}
+
+#[test]
+fn sends_after_shutdown_fail_fast() {
+    let topo = generator::flat(2, &mut pool()).unwrap();
+    let dep = launch_local(topo).unwrap();
+    let net = dep.network.clone();
+    let comm = net.broadcast_communicator();
+    let null = net.registry().id_of("null").unwrap();
+    let stream = net.new_stream(&comm, null, SyncMode::DoNotWait).unwrap();
+    net.shutdown();
+    assert!(matches!(
+        stream.send(0, "%d", vec![Value::Int32(1)]),
+        Err(MrnetError::Shutdown)
+    ));
+    assert!(matches!(
+        net.new_stream(&comm, null, SyncMode::DoNotWait),
+        Err(MrnetError::Shutdown)
+    ));
+    for be in &dep.backends {
+        let r = be.send(stream.id(), 0, "%d", vec![Value::Int32(1)]);
+        assert!(r.is_err());
+    }
+}

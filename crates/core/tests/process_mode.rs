@@ -1,0 +1,132 @@
+//! Multi-process instantiation tests: real `mrnet_commnode` OS
+//! processes connected over TCP, created recursively per §2.5, with
+//! back-ends attaching at dynamically advertised rendezvous points.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use mrnet::{launch_processes, Backend, SyncMode, Value};
+use mrnet_topology::{generator, HostPool, Topology};
+
+fn commnode_exe() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_mrnet_commnode"))
+}
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+fn run_tree(topology: Topology) {
+    let n = topology.num_backends();
+    let pending = launch_processes(topology, &commnode_exe()).unwrap();
+    let points = pending.collect_attach_points(TIMEOUT).unwrap();
+    assert_eq!(points.len(), n);
+
+    // "Job-manager-created" back-ends attach over TCP.
+    let backend_threads: Vec<_> = points
+        .into_iter()
+        .map(|ap| {
+            std::thread::spawn(move || {
+                let be = Backend::attach_tcp(&ap.endpoint, ap.rank).unwrap();
+                let (pkt, sid) = be.recv().unwrap();
+                let base = pkt.get(0).and_then(Value::as_i32).unwrap();
+                be.send(
+                    sid,
+                    0,
+                    "%d",
+                    vec![Value::Int32(base + i32::try_from(ap.rank).unwrap())],
+                )
+                .unwrap();
+                // Stay alive until shutdown so the tree drains cleanly.
+                let _ = be.recv();
+            })
+        })
+        .collect();
+
+    let net = pending.wait(TIMEOUT).unwrap();
+    assert_eq!(net.num_backends(), n);
+
+    let comm = net.broadcast_communicator();
+    let sum = net.registry().id_of("d_sum").unwrap();
+    let stream = net.new_stream(&comm, sum, SyncMode::WaitForAll).unwrap();
+    stream.send(0, "%d", vec![Value::Int32(100)]).unwrap();
+    let result = stream.recv_timeout(TIMEOUT).unwrap();
+    let expected: i32 = net
+        .endpoints()
+        .iter()
+        .map(|&r| 100 + i32::try_from(r).unwrap())
+        .sum();
+    assert_eq!(result.get(0).unwrap().as_i32(), Some(expected));
+
+    net.shutdown();
+    for t in backend_threads {
+        t.join().unwrap();
+    }
+}
+
+#[test]
+fn two_level_tree_of_real_processes() {
+    // FE (this process) -> 2 commnode processes -> 4 back-ends.
+    run_tree(generator::balanced(2, 2, &mut HostPool::synthetic(16)).unwrap());
+}
+
+#[test]
+fn three_level_tree_recursive_spawning() {
+    // FE -> 2 commnodes -> 4 commnodes -> 8 back-ends: commnodes must
+    // recursively launch their own children.
+    run_tree(generator::balanced(2, 3, &mut HostPool::synthetic(32)).unwrap());
+}
+
+#[test]
+fn flat_topology_attaches_directly_to_front_end() {
+    // No internal processes at all: attach points are the front-end's
+    // own listener.
+    run_tree(generator::flat(3, &mut HostPool::synthetic(8)).unwrap());
+}
+
+#[test]
+fn mixed_node_unbalanced_topology() {
+    // Figure 4b's shape: the root has both commnode children and
+    // directly attached back-ends. Advertisements for deeper back-ends
+    // can only flow once the root's own back-ends have attached, so
+    // this deployment must consume attach events incrementally.
+    let topology = generator::fig4_unbalanced(&mut HostPool::synthetic(64)).unwrap();
+    let n = topology.num_backends();
+    let pending = launch_processes(topology, &commnode_exe()).unwrap();
+    let events = pending.attach_events().expect("process mode");
+
+    let backend_threads: Vec<_> = (0..n)
+        .map(|_| {
+            let (rank, endpoint) = events.recv_timeout(TIMEOUT).expect("advertisement");
+            std::thread::spawn(move || {
+                let be = Backend::attach_tcp(&endpoint, rank).unwrap();
+                let (pkt, sid) = be.recv().unwrap();
+                let base = pkt.get(0).and_then(Value::as_i32).unwrap();
+                be.send(sid, 0, "%d", vec![Value::Int32(base + rank as i32)])
+                    .unwrap();
+                let _ = be.recv();
+            })
+        })
+        .collect();
+
+    let net = pending.wait(TIMEOUT).unwrap();
+    assert_eq!(net.num_backends(), n);
+    let comm = net.broadcast_communicator();
+    let sum = net.registry().id_of("d_sum").unwrap();
+    let stream = net.new_stream(&comm, sum, SyncMode::WaitForAll).unwrap();
+    stream.send(0, "%d", vec![Value::Int32(7)]).unwrap();
+    let result = stream.recv_timeout(TIMEOUT).unwrap();
+    let expected: i32 = net.endpoints().iter().map(|&r| 7 + r as i32).sum();
+    assert_eq!(result.get(0).unwrap().as_i32(), Some(expected));
+    net.shutdown();
+    for t in backend_threads {
+        t.join().unwrap();
+    }
+}
+
+#[test]
+fn missing_commnode_binary_fails_cleanly() {
+    let topo = generator::balanced(2, 2, &mut HostPool::synthetic(16)).unwrap();
+    let err = launch_processes(topo, std::path::Path::new("/nonexistent/commnode"))
+        .err()
+        .expect("spawn must fail");
+    assert!(matches!(err, mrnet::MrnetError::Instantiation(_)));
+}

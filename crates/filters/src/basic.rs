@@ -1,0 +1,359 @@
+//! Built-in scalar transformation filters.
+//!
+//! §2.4: "MRNet provides several transformation filters that should be
+//! of general use: basic scalar operations: min, max, sum and average
+//! on integers or floats."
+//!
+//! [`ScalarFilter`] implements min/max/sum/average for every scalar
+//! numeric type. As in the original MRNet, `Avg` computes the mean of
+//! each wave, so composed through a tree it yields the mean of
+//! sub-tree means — exact on trees whose leaves are evenly distributed
+//! (the paper's fully-populated configurations) and approximate
+//! otherwise. [`MeanPairFilter`] is the exact alternative: it carries
+//! `(sum, count)` pairs so the front-end can form the true mean on any
+//! topology.
+
+use mrnet_packet::{FormatString, Packet, PacketBuilder, TypeCode, Value};
+
+use crate::error::{FilterError, Result};
+use crate::transform::{check_wave_format, FilterContext, Transform};
+
+/// The scalar aggregation operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarOp {
+    /// Minimum of the inputs.
+    Min,
+    /// Maximum of the inputs.
+    Max,
+    /// Sum of the inputs.
+    Sum,
+    /// Mean of the inputs (see module docs for composition semantics).
+    Avg,
+}
+
+impl ScalarOp {
+    /// Canonical name fragment ("min", "max", "sum", "avg").
+    pub fn name(self) -> &'static str {
+        match self {
+            ScalarOp::Min => "min",
+            ScalarOp::Max => "max",
+            ScalarOp::Sum => "sum",
+            ScalarOp::Avg => "avg",
+        }
+    }
+}
+
+macro_rules! fold_numeric {
+    ($inputs:expr, $op:expr, $getter:ident, $ty:ty, $variant:ident) => {{
+        let mut acc: Option<$ty> = None;
+        let mut count: usize = 0;
+        for p in $inputs {
+            let v = p.get(0).and_then(Value::$getter).ok_or_else(|| {
+                FilterError::Custom("scalar filter input missing value".into())
+            })?;
+            count += 1;
+            acc = Some(match ($op, acc) {
+                (_, None) => v,
+                (ScalarOp::Min, Some(a)) => if v < a { v } else { a },
+                (ScalarOp::Max, Some(a)) => if v > a { v } else { a },
+                (ScalarOp::Sum, Some(a)) => a + v,
+                (ScalarOp::Avg, Some(a)) => a + v,
+            });
+        }
+        let mut result = acc.ok_or(FilterError::EmptyWave)?;
+        if matches!($op, ScalarOp::Avg) && count > 0 {
+            #[allow(clippy::assign_op_pattern)]
+            {
+                result = result / (count as $ty);
+            }
+        }
+        Value::$variant(result)
+    }};
+}
+
+/// Min/max/sum/average over single-scalar packets of one numeric type.
+#[derive(Debug)]
+pub struct ScalarFilter {
+    op: ScalarOp,
+    code: TypeCode,
+    fmt: FormatString,
+    name: String,
+}
+
+impl ScalarFilter {
+    /// Creates a scalar filter over `code` (a numeric scalar type).
+    pub fn new(op: ScalarOp, code: TypeCode) -> Result<ScalarFilter> {
+        match code {
+            TypeCode::Int32
+            | TypeCode::UInt32
+            | TypeCode::Int64
+            | TypeCode::UInt64
+            | TypeCode::Float
+            | TypeCode::Double => {}
+            other => {
+                return Err(FilterError::Custom(format!(
+                    "scalar filter needs a numeric scalar type, got {}",
+                    other.spec()
+                )))
+            }
+        }
+        Ok(ScalarFilter {
+            op,
+            code,
+            fmt: FormatString::from_codes(vec![code]),
+            name: format!("{}_{}", code.spec().trim_start_matches('%'), op.name()),
+        })
+    }
+
+    fn fold(&self, inputs: &[Packet]) -> Result<Value> {
+        Ok(match self.code {
+            TypeCode::Int32 => fold_numeric!(inputs, self.op, as_i32, i32, Int32),
+            TypeCode::UInt32 => fold_numeric!(inputs, self.op, as_u32, u32, UInt32),
+            TypeCode::Int64 => fold_numeric!(inputs, self.op, as_i64, i64, Int64),
+            TypeCode::UInt64 => fold_numeric!(inputs, self.op, as_u64, u64, UInt64),
+            TypeCode::Float => fold_numeric!(inputs, self.op, as_f32, f32, Float),
+            TypeCode::Double => fold_numeric!(inputs, self.op, as_f64, f64, Double),
+            _ => unreachable!("constructor rejects non-numeric codes"),
+        })
+    }
+}
+
+impl Transform for ScalarFilter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn input_format(&self) -> Option<&FormatString> {
+        Some(&self.fmt)
+    }
+
+    fn transform(&mut self, inputs: Vec<Packet>, _ctx: &FilterContext) -> Result<Vec<Packet>> {
+        if inputs.is_empty() {
+            return Err(FilterError::EmptyWave);
+        }
+        check_wave_format(&self.fmt, &inputs)?;
+        let value = self.fold(&inputs)?;
+        let first = &inputs[0];
+        Ok(vec![PacketBuilder::new(first.stream_id(), first.tag())
+            .src(first.src())
+            .push(value)
+            .build()])
+    }
+}
+
+/// Exact distributed mean: packets carry `(sum: %lf, count: %uld)`;
+/// each filter invocation adds sums and counts. Back-ends inject
+/// `(value, 1)`; the front-end divides.
+#[derive(Debug, Default)]
+pub struct MeanPairFilter {
+    fmt: FormatString,
+}
+
+impl MeanPairFilter {
+    /// Creates the filter.
+    pub fn new() -> MeanPairFilter {
+        MeanPairFilter {
+            fmt: FormatString::parse("%lf %uld").expect("static format"),
+        }
+    }
+
+    /// Builds a back-end contribution packet for `value`.
+    pub fn contribution(stream_id: u32, tag: i32, value: f64) -> Packet {
+        PacketBuilder::new(stream_id, tag)
+            .push(value)
+            .push(1u64)
+            .build()
+    }
+
+    /// Extracts the final mean from an aggregated packet.
+    pub fn finish(packet: &Packet) -> Result<f64> {
+        let sum = packet
+            .get(0)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| FilterError::Custom("mean-pair packet missing sum".into()))?;
+        let count = packet
+            .get(1)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| FilterError::Custom("mean-pair packet missing count".into()))?;
+        if count == 0 {
+            return Err(FilterError::Custom("mean of zero samples".into()));
+        }
+        Ok(sum / count as f64)
+    }
+}
+
+impl Transform for MeanPairFilter {
+    fn name(&self) -> &str {
+        "mean_pair"
+    }
+
+    fn input_format(&self) -> Option<&FormatString> {
+        Some(&self.fmt)
+    }
+
+    fn transform(&mut self, inputs: Vec<Packet>, _ctx: &FilterContext) -> Result<Vec<Packet>> {
+        if inputs.is_empty() {
+            return Err(FilterError::EmptyWave);
+        }
+        check_wave_format(&self.fmt, &inputs)?;
+        let mut sum = 0.0f64;
+        let mut count = 0u64;
+        for p in &inputs {
+            sum += p.get(0).and_then(Value::as_f64).unwrap_or(0.0);
+            count += p.get(1).and_then(Value::as_u64).unwrap_or(0);
+        }
+        let first = &inputs[0];
+        Ok(vec![PacketBuilder::new(first.stream_id(), first.tag())
+            .src(first.src())
+            .push(sum)
+            .push(count)
+            .build()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> FilterContext {
+        FilterContext::new(1, 0, 4)
+    }
+
+    fn fpkt(v: f32) -> Packet {
+        PacketBuilder::new(1, 7).push(v).build()
+    }
+
+    fn ipkt(v: i32) -> Packet {
+        PacketBuilder::new(1, 7).push(v).build()
+    }
+
+    #[test]
+    fn float_max_like_figure_2() {
+        // Figure 2 uses a "floating point maximum" filter.
+        let mut f = ScalarFilter::new(ScalarOp::Max, TypeCode::Float).unwrap();
+        let out = f
+            .transform(vec![fpkt(1.5), fpkt(9.25), fpkt(-3.0)], &ctx())
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get(0).unwrap().as_f32(), Some(9.25));
+        assert_eq!(out[0].stream_id(), 1);
+        assert_eq!(out[0].tag(), 7);
+        assert_eq!(f.name(), "f_max");
+    }
+
+    #[test]
+    fn int_min_sum_avg() {
+        let mk = |op| ScalarFilter::new(op, TypeCode::Int32).unwrap();
+        let wave = || vec![ipkt(4), ipkt(-2), ipkt(10)];
+        assert_eq!(
+            mk(ScalarOp::Min).transform(wave(), &ctx()).unwrap()[0]
+                .get(0)
+                .unwrap()
+                .as_i32(),
+            Some(-2)
+        );
+        assert_eq!(
+            mk(ScalarOp::Sum).transform(wave(), &ctx()).unwrap()[0]
+                .get(0)
+                .unwrap()
+                .as_i32(),
+            Some(12)
+        );
+        assert_eq!(
+            mk(ScalarOp::Avg).transform(wave(), &ctx()).unwrap()[0]
+                .get(0)
+                .unwrap()
+                .as_i32(),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn double_and_unsigned_types() {
+        let mut f = ScalarFilter::new(ScalarOp::Sum, TypeCode::Double).unwrap();
+        let wave = vec![
+            PacketBuilder::new(0, 0).push(1.5f64).build(),
+            PacketBuilder::new(0, 0).push(2.5f64).build(),
+        ];
+        assert_eq!(
+            f.transform(wave, &ctx()).unwrap()[0].get(0).unwrap().as_f64(),
+            Some(4.0)
+        );
+        let mut f = ScalarFilter::new(ScalarOp::Max, TypeCode::UInt64).unwrap();
+        let wave = vec![
+            PacketBuilder::new(0, 0).push(5u64).build(),
+            PacketBuilder::new(0, 0).push(u64::MAX).build(),
+        ];
+        assert_eq!(
+            f.transform(wave, &ctx()).unwrap()[0].get(0).unwrap().as_u64(),
+            Some(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn rejects_non_numeric_type() {
+        assert!(ScalarFilter::new(ScalarOp::Sum, TypeCode::Str).is_err());
+        assert!(ScalarFilter::new(ScalarOp::Sum, TypeCode::FloatArray).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_format_wave() {
+        let mut f = ScalarFilter::new(ScalarOp::Sum, TypeCode::Int32).unwrap();
+        let err = f
+            .transform(vec![fpkt(1.0)], &ctx())
+            .expect_err("format mismatch");
+        assert!(matches!(err, FilterError::FormatMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_empty_wave() {
+        let mut f = ScalarFilter::new(ScalarOp::Sum, TypeCode::Int32).unwrap();
+        assert!(matches!(
+            f.transform(vec![], &ctx()),
+            Err(FilterError::EmptyWave)
+        ));
+    }
+
+    #[test]
+    fn composition_through_tree_levels_min() {
+        // min is exactly composable: min(min(a,b), min(c,d)) = min(all).
+        let mut level1a = ScalarFilter::new(ScalarOp::Min, TypeCode::Int32).unwrap();
+        let mut level1b = ScalarFilter::new(ScalarOp::Min, TypeCode::Int32).unwrap();
+        let mut root = ScalarFilter::new(ScalarOp::Min, TypeCode::Int32).unwrap();
+        let a = level1a
+            .transform(vec![ipkt(5), ipkt(3)], &ctx())
+            .unwrap();
+        let b = level1b
+            .transform(vec![ipkt(-1), ipkt(8)], &ctx())
+            .unwrap();
+        let out = root
+            .transform(vec![a[0].clone(), b[0].clone()], &ctx())
+            .unwrap();
+        assert_eq!(out[0].get(0).unwrap().as_i32(), Some(-1));
+    }
+
+    #[test]
+    fn mean_pair_is_exact_on_unbalanced_trees() {
+        // Subtree A has 3 samples, subtree B has 1; plain avg-of-avgs
+        // would weight them equally. MeanPair does not.
+        let mut fa = MeanPairFilter::new();
+        let mut fb = MeanPairFilter::new();
+        let mut root = MeanPairFilter::new();
+        let c = |v: f64| MeanPairFilter::contribution(1, 0, v);
+        let a = fa
+            .transform(vec![c(1.0), c(2.0), c(3.0)], &ctx())
+            .unwrap();
+        let b = fb.transform(vec![c(10.0)], &ctx()).unwrap();
+        let out = root
+            .transform(vec![a[0].clone(), b[0].clone()], &ctx())
+            .unwrap();
+        let mean = MeanPairFilter::finish(&out[0]).unwrap();
+        assert!((mean - 4.0).abs() < 1e-12); // (1+2+3+10)/4
+    }
+
+    #[test]
+    fn mean_pair_finish_rejects_zero_count() {
+        let p = PacketBuilder::new(0, 0).push(0.0f64).push(0u64).build();
+        assert!(MeanPairFilter::finish(&p).is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! The concatenation filter.
+//!
+//! §2.4: "Concatenation: operation that inputs n scalars and outputs a
+//! vector of length n of the same base type." Paradyn uses it to build
+//! "larger resource report messages that are more efficiently
+//! delivered by the underlying communication subsystem than many small
+//! resource report messages" (§3.1) — so this implementation also
+//! accepts array inputs and appends them, letting concatenations
+//! compose through multiple tree levels.
+
+use mrnet_packet::{FormatString, Packet, PacketBuilder, TypeCode, Value};
+
+use crate::error::{FilterError, Result};
+use crate::transform::{FilterContext, Transform};
+
+macro_rules! concat_arm {
+    ($inputs:expr, $scalar:ident, $array:ident, $ty:ty) => {{
+        let mut out: Vec<$ty> = Vec::new();
+        for p in $inputs {
+            for v in p.values() {
+                match v {
+                    Value::$scalar(x) => out.push(x.clone()),
+                    Value::$array(xs) => out.extend(xs.iter().cloned()),
+                    other => {
+                        return Err(FilterError::FormatMismatch {
+                            expected: TypeCode::$scalar.spec().to_string(),
+                            actual: other.type_code().spec().to_string(),
+                        })
+                    }
+                }
+            }
+        }
+        Value::$array(out)
+    }};
+}
+
+/// Concatenates scalar or array inputs of one base type into a single
+/// array packet.
+#[derive(Debug)]
+pub struct ConcatFilter {
+    base: TypeCode,
+    name: String,
+}
+
+impl ConcatFilter {
+    /// Creates a concatenation filter over base type `base` (a scalar
+    /// type; inputs may be scalars or arrays of it).
+    pub fn new(base: TypeCode) -> Result<ConcatFilter> {
+        if base.is_array() {
+            return Err(FilterError::Custom(format!(
+                "concat base type must be scalar, got {}",
+                base.spec()
+            )));
+        }
+        Ok(ConcatFilter {
+            base,
+            name: format!("concat_{}", base.spec().trim_start_matches('%')),
+        })
+    }
+
+    fn concat(&self, inputs: &[Packet]) -> Result<Value> {
+        Ok(match self.base {
+            TypeCode::Char => concat_arm!(inputs, Char, CharArray, u8),
+            TypeCode::Int32 => concat_arm!(inputs, Int32, Int32Array, i32),
+            TypeCode::UInt32 => concat_arm!(inputs, UInt32, UInt32Array, u32),
+            TypeCode::Int64 => concat_arm!(inputs, Int64, Int64Array, i64),
+            TypeCode::UInt64 => concat_arm!(inputs, UInt64, UInt64Array, u64),
+            TypeCode::Float => concat_arm!(inputs, Float, FloatArray, f32),
+            TypeCode::Double => concat_arm!(inputs, Double, DoubleArray, f64),
+            TypeCode::Str => concat_arm!(inputs, Str, StrArray, String),
+            _ => unreachable!("constructor rejects array base types"),
+        })
+    }
+}
+
+impl Transform for ConcatFilter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn input_format(&self) -> Option<&FormatString> {
+        // Inputs may be scalar or array packets of the base type, so
+        // the filter validates per-value rather than by one format.
+        None
+    }
+
+    fn transform(&mut self, inputs: Vec<Packet>, _ctx: &FilterContext) -> Result<Vec<Packet>> {
+        if inputs.is_empty() {
+            return Err(FilterError::EmptyWave);
+        }
+        let value = self.concat(&inputs)?;
+        let first = &inputs[0];
+        Ok(vec![PacketBuilder::new(first.stream_id(), first.tag())
+            .src(first.src())
+            .push(value)
+            .build()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> FilterContext {
+        FilterContext::new(1, 0, 4)
+    }
+
+    #[test]
+    fn n_scalars_become_vector_of_length_n() {
+        let mut f = ConcatFilter::new(TypeCode::Float).unwrap();
+        let wave: Vec<Packet> = [1.0f32, 2.0, 3.0]
+            .iter()
+            .map(|&v| PacketBuilder::new(1, 0).push(v).build())
+            .collect();
+        let out = f.transform(wave, &ctx()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            out[0].get(0).unwrap().as_f32_slice(),
+            Some(&[1.0f32, 2.0, 3.0][..])
+        );
+        assert_eq!(out[0].fmt().to_string(), "%af");
+    }
+
+    #[test]
+    fn arrays_append_for_multi_level_composition() {
+        let mut leaf_a = ConcatFilter::new(TypeCode::Str).unwrap();
+        let mut leaf_b = ConcatFilter::new(TypeCode::Str).unwrap();
+        let mut root = ConcatFilter::new(TypeCode::Str).unwrap();
+        let s = |v: &str| PacketBuilder::new(1, 0).push(v).build();
+        let a = leaf_a.transform(vec![s("h0"), s("h1")], &ctx()).unwrap();
+        let b = leaf_b.transform(vec![s("h2")], &ctx()).unwrap();
+        let out = root
+            .transform(vec![a[0].clone(), b[0].clone()], &ctx())
+            .unwrap();
+        let strs = out[0].get(0).unwrap().as_str_array().unwrap();
+        assert_eq!(strs, &["h0", "h1", "h2"]);
+    }
+
+    #[test]
+    fn multi_value_packets_flatten() {
+        let mut f = ConcatFilter::new(TypeCode::Int32).unwrap();
+        let p = PacketBuilder::new(1, 0).push(1i32).push(2i32).build();
+        let q = PacketBuilder::new(1, 0).push(vec![3i32, 4]).build();
+        let out = f.transform(vec![p, q], &ctx()).unwrap();
+        assert_eq!(
+            out[0].get(0).unwrap().as_i32_slice(),
+            Some(&[1, 2, 3, 4][..])
+        );
+    }
+
+    #[test]
+    fn mixed_base_types_rejected() {
+        let mut f = ConcatFilter::new(TypeCode::Int32).unwrap();
+        let bad = PacketBuilder::new(1, 0).push(1.0f32).build();
+        assert!(matches!(
+            f.transform(vec![bad], &ctx()),
+            Err(FilterError::FormatMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn array_base_type_rejected_at_construction() {
+        assert!(ConcatFilter::new(TypeCode::Int32Array).is_err());
+    }
+
+    #[test]
+    fn empty_wave_rejected() {
+        let mut f = ConcatFilter::new(TypeCode::Int32).unwrap();
+        assert!(matches!(
+            f.transform(vec![], &ctx()),
+            Err(FilterError::EmptyWave)
+        ));
+    }
+
+    #[test]
+    fn tag_and_stream_preserved() {
+        let mut f = ConcatFilter::new(TypeCode::Char).unwrap();
+        let p = PacketBuilder::new(42, 99).push(Value::Char(7)).build();
+        let out = f.transform(vec![p], &ctx()).unwrap();
+        assert_eq!(out[0].stream_id(), 42);
+        assert_eq!(out[0].tag(), 99);
+        assert_eq!(out[0].get(0).unwrap().as_bytes(), Some(&[7u8][..]));
+    }
+}

@@ -1,0 +1,95 @@
+//! Error types for filter construction and execution.
+
+use std::fmt;
+
+use mrnet_packet::PacketError;
+
+/// Errors produced by filters and the filter registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FilterError {
+    /// A packet's format does not match the format the filter requires
+    /// (§2.4: "the data format string of the stream's packets and the
+    /// filter must be the same").
+    FormatMismatch {
+        /// The format the filter expects.
+        expected: String,
+        /// The format actually received.
+        actual: String,
+    },
+    /// The filter received an empty input wave.
+    EmptyWave,
+    /// No filter is registered under the given id.
+    UnknownFilter(u32),
+    /// No filter is registered under the given name.
+    UnknownName(String),
+    /// A filter name is already taken by a different registration.
+    DuplicateName(String),
+    /// A packet-level error occurred inside a filter.
+    Packet(PacketError),
+    /// A filter-specific failure.
+    Custom(String),
+}
+
+impl fmt::Display for FilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FilterError::FormatMismatch { expected, actual } => write!(
+                f,
+                "filter expects packets of format `{expected}` but received `{actual}`"
+            ),
+            FilterError::EmptyWave => write!(f, "filter received an empty input wave"),
+            FilterError::UnknownFilter(id) => write!(f, "no filter registered with id {id}"),
+            FilterError::UnknownName(name) => {
+                write!(f, "no filter registered with name `{name}`")
+            }
+            FilterError::DuplicateName(name) => {
+                write!(f, "filter name `{name}` is already registered")
+            }
+            FilterError::Packet(e) => write!(f, "packet error in filter: {e}"),
+            FilterError::Custom(msg) => write!(f, "filter failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FilterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FilterError::Packet(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PacketError> for FilterError {
+    fn from(e: PacketError) -> Self {
+        FilterError::Packet(e)
+    }
+}
+
+/// Convenient result alias for filter operations.
+pub type Result<T> = std::result::Result<T, FilterError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = FilterError::FormatMismatch {
+            expected: "%f".into(),
+            actual: "%d".into(),
+        };
+        assert!(e.to_string().contains("%f"));
+        assert!(FilterError::UnknownFilter(9).to_string().contains('9'));
+        assert!(FilterError::UnknownName("hist".into())
+            .to_string()
+            .contains("hist"));
+    }
+
+    #[test]
+    fn packet_error_wraps() {
+        let e: FilterError = PacketError::InvalidUtf8.into();
+        assert!(matches!(e, FilterError::Packet(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

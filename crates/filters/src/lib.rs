@@ -1,0 +1,26 @@
+//! # mrnet-filters
+//!
+//! MRNet's data aggregation machinery (paper §2.4): synchronization
+//! filters that align asynchronously arriving packets into waves,
+//! transformation filters that aggregate wave contents, the built-in
+//! filter set (min/max/sum/average, concatenation), and the named
+//! filter registry that replaces `load_filterFunc`'s `dlopen`
+//! mechanism.
+
+#![forbid(unsafe_code)]
+
+mod basic;
+mod concat;
+mod error;
+mod registry;
+mod sync;
+mod transform;
+
+pub use basic::{MeanPairFilter, ScalarFilter, ScalarOp};
+pub use concat::ConcatFilter;
+pub use error::{FilterError, Result};
+pub use registry::{FilterId, FilterRegistry, FILTER_NULL};
+pub use sync::{SyncFilter, SyncMode};
+pub use transform::{
+    check_wave_format, BoxedTransform, FilterContext, FnFilter, NullFilter, Transform,
+};

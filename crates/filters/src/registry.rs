@@ -1,0 +1,310 @@
+//! The filter registry: MRNet's `load_filterFunc` without `dlopen`.
+//!
+//! §2.4: "Filter functions implemented by the tool developer must be
+//! named and made known to MRNet. Both tasks are accomplished using
+//! the `load_filterFunc` function … \[which\] takes the name of a
+//! filter function … and the name of the shared object file that
+//! contains the filter function, and returns an id that identifies the
+//! new filter."
+//!
+//! Rust offers no stable in-process dynamic loading of Rust code, so
+//! the registry replaces the shared-object mechanism (see DESIGN.md
+//! §3): tools register a *factory* under a name at runtime and get
+//! back a [`FilterId`]. Stream-creation control messages carry the id;
+//! every process instantiates its own private filter instance from its
+//! registry, giving per-stream, per-process state exactly as the
+//! paper's static-storage filters have. The only requirement — same as
+//! the original's "shared object reachable on every host" — is that
+//! all processes register the same names in the same order.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use mrnet_packet::TypeCode;
+
+use crate::basic::{MeanPairFilter, ScalarFilter, ScalarOp};
+use crate::concat::ConcatFilter;
+use crate::error::{FilterError, Result};
+use crate::transform::{BoxedTransform, NullFilter};
+
+/// Identifies a registered transformation filter across the tool
+/// instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FilterId(pub u32);
+
+/// The null (pass-through) filter, always id 0.
+pub const FILTER_NULL: FilterId = FilterId(0);
+
+type Factory = Arc<dyn Fn() -> BoxedTransform + Send + Sync>;
+
+struct Inner {
+    factories: Vec<(String, Factory)>,
+    by_name: HashMap<String, u32>,
+}
+
+/// A thread-safe registry of filter factories. Clones share state.
+#[derive(Clone)]
+pub struct FilterRegistry {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl Default for FilterRegistry {
+    fn default() -> Self {
+        FilterRegistry::with_builtins()
+    }
+}
+
+impl FilterRegistry {
+    /// An empty registry (no filters, not even null). Most callers
+    /// want [`FilterRegistry::with_builtins`].
+    pub fn empty() -> FilterRegistry {
+        FilterRegistry {
+            inner: Arc::new(RwLock::new(Inner {
+                factories: Vec::new(),
+                by_name: HashMap::new(),
+            })),
+        }
+    }
+
+    /// A registry pre-loaded with the paper's built-in filters: the
+    /// null filter (id 0), min/max/sum/avg over every numeric scalar
+    /// type, concatenation over every scalar base type, and the exact
+    /// mean-pair filter.
+    pub fn with_builtins() -> FilterRegistry {
+        let reg = FilterRegistry::empty();
+        reg.register("null", || Box::new(NullFilter))
+            .expect("fresh registry");
+        let numeric = [
+            TypeCode::Int32,
+            TypeCode::UInt32,
+            TypeCode::Int64,
+            TypeCode::UInt64,
+            TypeCode::Float,
+            TypeCode::Double,
+        ];
+        for code in numeric {
+            for op in [ScalarOp::Min, ScalarOp::Max, ScalarOp::Sum, ScalarOp::Avg] {
+                let name = format!("{}_{}", code.spec().trim_start_matches('%'), op.name());
+                reg.register(&name, move || {
+                    Box::new(ScalarFilter::new(op, code).expect("numeric code"))
+                })
+                .expect("unique builtin name");
+            }
+        }
+        let scalar_bases = [
+            TypeCode::Char,
+            TypeCode::Int32,
+            TypeCode::UInt32,
+            TypeCode::Int64,
+            TypeCode::UInt64,
+            TypeCode::Float,
+            TypeCode::Double,
+            TypeCode::Str,
+        ];
+        for base in scalar_bases {
+            let name = format!("concat_{}", base.spec().trim_start_matches('%'));
+            reg.register(&name, move || {
+                Box::new(ConcatFilter::new(base).expect("scalar base"))
+            })
+            .expect("unique builtin name");
+        }
+        reg.register("mean_pair", || Box::new(MeanPairFilter::new()))
+            .expect("unique builtin name");
+        reg
+    }
+
+    /// Registers a filter factory under `name`, returning its id — the
+    /// `load_filterFunc` analogue. Fails if the name is taken.
+    pub fn register(
+        &self,
+        name: &str,
+        factory: impl Fn() -> BoxedTransform + Send + Sync + 'static,
+    ) -> Result<FilterId> {
+        let mut inner = self.inner.write();
+        if inner.by_name.contains_key(name) {
+            return Err(FilterError::DuplicateName(name.to_owned()));
+        }
+        let id = inner.factories.len() as u32;
+        inner.factories.push((name.to_owned(), Arc::new(factory)));
+        inner.by_name.insert(name.to_owned(), id);
+        Ok(FilterId(id))
+    }
+
+    /// Looks up a filter id by name.
+    pub fn id_of(&self, name: &str) -> Result<FilterId> {
+        self.inner
+            .read()
+            .by_name
+            .get(name)
+            .map(|&id| FilterId(id))
+            .ok_or_else(|| FilterError::UnknownName(name.to_owned()))
+    }
+
+    /// The registered name of a filter id.
+    pub fn name_of(&self, id: FilterId) -> Result<String> {
+        self.inner
+            .read()
+            .factories
+            .get(id.0 as usize)
+            .map(|(name, _)| name.clone())
+            .ok_or(FilterError::UnknownFilter(id.0))
+    }
+
+    /// Creates a fresh filter instance (private state) for a stream.
+    pub fn instantiate(&self, id: FilterId) -> Result<BoxedTransform> {
+        let factory = self
+            .inner
+            .read()
+            .factories
+            .get(id.0 as usize)
+            .map(|(_, f)| f.clone())
+            .ok_or(FilterError::UnknownFilter(id.0))?;
+        Ok(factory())
+    }
+
+    /// Number of registered filters.
+    pub fn len(&self) -> usize {
+        self.inner.read().factories.len()
+    }
+
+    /// True when no filters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Convenience: the id of a built-in scalar filter.
+    pub fn scalar(&self, op: ScalarOp, code: TypeCode) -> Result<FilterId> {
+        self.id_of(&format!(
+            "{}_{}",
+            code.spec().trim_start_matches('%'),
+            op.name()
+        ))
+    }
+
+    /// Convenience: the id of a built-in concatenation filter.
+    pub fn concat(&self, base: TypeCode) -> Result<FilterId> {
+        self.id_of(&format!("concat_{}", base.spec().trim_start_matches('%')))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::FilterContext;
+    use mrnet_packet::PacketBuilder;
+
+    #[test]
+    fn null_is_id_zero() {
+        let reg = FilterRegistry::with_builtins();
+        assert_eq!(reg.id_of("null").unwrap(), FILTER_NULL);
+        assert_eq!(reg.name_of(FILTER_NULL).unwrap(), "null");
+    }
+
+    #[test]
+    fn builtins_present() {
+        let reg = FilterRegistry::with_builtins();
+        // 1 null + 6 types × 4 ops + 8 concat + 1 mean_pair = 34.
+        assert_eq!(reg.len(), 34);
+        assert!(reg.id_of("f_max").is_ok());
+        assert!(reg.id_of("lf_sum").is_ok());
+        assert!(reg.id_of("concat_s").is_ok());
+        assert!(reg.id_of("mean_pair").is_ok());
+    }
+
+    #[test]
+    fn scalar_and_concat_helpers() {
+        let reg = FilterRegistry::with_builtins();
+        let id = reg.scalar(ScalarOp::Max, TypeCode::Float).unwrap();
+        assert_eq!(reg.name_of(id).unwrap(), "f_max");
+        let id = reg.concat(TypeCode::Str).unwrap();
+        assert_eq!(reg.name_of(id).unwrap(), "concat_s");
+    }
+
+    #[test]
+    fn instantiate_gives_private_state() {
+        let reg = FilterRegistry::with_builtins();
+        let id = reg.scalar(ScalarOp::Sum, TypeCode::Int32).unwrap();
+        let mut a = reg.instantiate(id).unwrap();
+        let mut b = reg.instantiate(id).unwrap();
+        let ctx = FilterContext::new(0, 0, 2);
+        let wave = vec![PacketBuilder::new(0, 0).push(5i32).build()];
+        let out_a = a.transform(wave.clone(), &ctx).unwrap();
+        let out_b = b.transform(wave, &ctx).unwrap();
+        assert_eq!(out_a, out_b);
+    }
+
+    #[test]
+    fn custom_registration_like_load_filter_func() {
+        let reg = FilterRegistry::with_builtins();
+        let id = reg
+            .register("packet_count", || {
+                Box::new(crate::transform::FnFilter::new(
+                    "packet_count",
+                    None,
+                    0u32,
+                    |n, inputs, _| {
+                        *n += inputs.len() as u32;
+                        let count = *n;
+                        Ok(vec![PacketBuilder::new(0, 0).push(count).build()])
+                    },
+                ))
+            })
+            .unwrap();
+        assert!(id.0 >= 34);
+        assert_eq!(reg.id_of("packet_count").unwrap(), id);
+        let mut f = reg.instantiate(id).unwrap();
+        let ctx = FilterContext::new(0, 0, 1);
+        let wave = vec![PacketBuilder::new(0, 0).push(1i32).build()];
+        let out = f.transform(wave, &ctx).unwrap();
+        assert_eq!(out[0].get(0).unwrap().as_u32(), Some(1));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let reg = FilterRegistry::with_builtins();
+        let err = reg
+            .register("null", || Box::new(NullFilter))
+            .expect_err("duplicate");
+        assert_eq!(err, FilterError::DuplicateName("null".into()));
+    }
+
+    #[test]
+    fn unknown_lookups_fail() {
+        let reg = FilterRegistry::with_builtins();
+        assert!(matches!(
+            reg.id_of("nonexistent"),
+            Err(FilterError::UnknownName(_))
+        ));
+        assert!(matches!(
+            reg.name_of(FilterId(9999)),
+            Err(FilterError::UnknownFilter(9999))
+        ));
+        assert!(reg.instantiate(FilterId(9999)).is_err());
+    }
+
+    #[test]
+    fn clones_share_registrations() {
+        let reg = FilterRegistry::with_builtins();
+        let clone = reg.clone();
+        let id = reg.register("shared", || Box::new(NullFilter)).unwrap();
+        assert_eq!(clone.id_of("shared").unwrap(), id);
+    }
+
+    #[test]
+    fn empty_registry() {
+        let reg = FilterRegistry::empty();
+        assert!(reg.is_empty());
+        assert!(reg.id_of("null").is_err());
+    }
+
+    #[test]
+    fn ids_are_registration_order() {
+        let reg = FilterRegistry::empty();
+        let a = reg.register("a", || Box::new(NullFilter)).unwrap();
+        let b = reg.register("b", || Box::new(NullFilter)).unwrap();
+        assert_eq!(a, FilterId(0));
+        assert_eq!(b, FilterId(1));
+    }
+}

@@ -1,0 +1,273 @@
+//! Synchronization filters.
+//!
+//! §2.4: "Synchronization filters provide a mechanism to deal with the
+//! asynchronous arrival of packets from children nodes; the
+//! synchronization filter collects packets and typically aligns them
+//! into waves, passing an entire wave onward at the same time." They
+//! are type-independent and support three modes:
+//!
+//! * **Wait For All** — wait for a packet from every child node;
+//! * **Time Out** — wait a specified time or until a packet has
+//!   arrived from every child, whichever occurs first;
+//! * **Do Not Wait** — output packets immediately.
+
+use std::collections::VecDeque;
+
+use mrnet_packet::Packet;
+
+/// Which synchronization criterion a stream uses. Serializable into
+/// the stream-creation control message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SyncMode {
+    /// Wait for a packet from every child node.
+    WaitForAll,
+    /// Wait `timeout` seconds from the first packet of a wave, or
+    /// until every child has contributed, whichever occurs first.
+    TimeOut(f64),
+    /// Output packets immediately.
+    DoNotWait,
+}
+
+impl SyncMode {
+    /// Encodes as (tag, timeout) for the wire.
+    pub fn encode(&self) -> (u8, f64) {
+        match self {
+            SyncMode::WaitForAll => (0, 0.0),
+            SyncMode::TimeOut(t) => (1, *t),
+            SyncMode::DoNotWait => (2, 0.0),
+        }
+    }
+
+    /// Decodes from the wire pair; `None` for unknown tags.
+    pub fn decode(tag: u8, timeout: f64) -> Option<SyncMode> {
+        match tag {
+            0 => Some(SyncMode::WaitForAll),
+            1 => Some(SyncMode::TimeOut(timeout)),
+            2 => Some(SyncMode::DoNotWait),
+            _ => None,
+        }
+    }
+}
+
+/// A synchronization filter instance for one stream on one process.
+///
+/// Time is supplied by the caller as seconds on an arbitrary
+/// monotonic axis (wall clock in the threaded runtime, virtual time in
+/// the simulator).
+#[derive(Debug)]
+pub struct SyncFilter {
+    mode: SyncMode,
+    num_children: usize,
+    /// Per-child FIFO of packets not yet released in a wave.
+    queues: Vec<VecDeque<Packet>>,
+    /// When the oldest pending wave started (first packet arrival),
+    /// for TimeOut mode.
+    wave_started_at: Option<f64>,
+}
+
+impl SyncFilter {
+    /// Creates a filter for a node with `num_children` inbound
+    /// connections.
+    pub fn new(mode: SyncMode, num_children: usize) -> SyncFilter {
+        SyncFilter {
+            mode,
+            num_children,
+            queues: (0..num_children).map(|_| VecDeque::new()).collect(),
+            wave_started_at: None,
+        }
+    }
+
+    /// The filter's mode.
+    pub fn mode(&self) -> SyncMode {
+        self.mode
+    }
+
+    /// Accepts a packet from child `from` at time `now`, then returns
+    /// any wave(s) that became ready.
+    pub fn push(&mut self, from: usize, packet: Packet, now: f64) -> Vec<Vec<Packet>> {
+        assert!(from < self.num_children, "child index out of range");
+        if matches!(self.mode, SyncMode::DoNotWait) {
+            return vec![vec![packet]];
+        }
+        self.queues[from].push_back(packet);
+        if self.wave_started_at.is_none() {
+            self.wave_started_at = Some(now);
+        }
+        self.collect(now)
+    }
+
+    /// Re-evaluates readiness at time `now` without new input (the
+    /// event loop calls this when a TimeOut deadline fires).
+    pub fn collect(&mut self, now: f64) -> Vec<Vec<Packet>> {
+        let mut waves = Vec::new();
+        loop {
+            let complete = !self.queues.is_empty()
+                && self.queues.iter().all(|q| !q.is_empty());
+            let timed_out = match (self.mode, self.wave_started_at) {
+                (SyncMode::TimeOut(t), Some(started)) => now - started >= t,
+                _ => false,
+            };
+            if complete {
+                let wave: Vec<Packet> = self
+                    .queues
+                    .iter_mut()
+                    .map(|q| q.pop_front().expect("checked non-empty"))
+                    .collect();
+                waves.push(wave);
+                // Start timing the next wave from now if anything is
+                // still pending.
+                self.wave_started_at = self.has_pending().then_some(now);
+            } else if timed_out {
+                // Partial wave: everything queued goes out.
+                let wave: Vec<Packet> = self
+                    .queues
+                    .iter_mut()
+                    .flat_map(|q| q.drain(..).collect::<Vec<_>>())
+                    .collect();
+                self.wave_started_at = None;
+                if wave.is_empty() {
+                    break;
+                }
+                waves.push(wave);
+            } else {
+                break;
+            }
+        }
+        waves
+    }
+
+    /// If in TimeOut mode with a pending wave, the absolute time at
+    /// which [`SyncFilter::collect`] should next be called.
+    pub fn deadline(&self) -> Option<f64> {
+        match (self.mode, self.wave_started_at) {
+            (SyncMode::TimeOut(t), Some(started)) => Some(started + t),
+            _ => None,
+        }
+    }
+
+    /// True when any packet is queued.
+    pub fn has_pending(&self) -> bool {
+        self.queues.iter().any(|q| !q.is_empty())
+    }
+
+    /// Total queued packets.
+    pub fn pending(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrnet_packet::PacketBuilder;
+
+    fn pkt(v: i32) -> Packet {
+        PacketBuilder::new(1, 0).push(v).build()
+    }
+
+    #[test]
+    fn wait_for_all_releases_complete_waves() {
+        let mut f = SyncFilter::new(SyncMode::WaitForAll, 3);
+        assert!(f.push(0, pkt(0), 0.0).is_empty());
+        assert!(f.push(1, pkt(1), 0.1).is_empty());
+        let waves = f.push(2, pkt(2), 0.2);
+        assert_eq!(waves.len(), 1);
+        assert_eq!(waves[0].len(), 3);
+        assert!(!f.has_pending());
+    }
+
+    #[test]
+    fn wait_for_all_queues_fast_children() {
+        let mut f = SyncFilter::new(SyncMode::WaitForAll, 2);
+        // Child 0 races ahead with three packets.
+        assert!(f.push(0, pkt(10), 0.0).is_empty());
+        assert!(f.push(0, pkt(11), 0.0).is_empty());
+        assert!(f.push(0, pkt(12), 0.0).is_empty());
+        // Child 1 catches up: each arrival completes one wave.
+        let w1 = f.push(1, pkt(20), 1.0);
+        assert_eq!(w1.len(), 1);
+        assert_eq!(w1[0][0].get(0).unwrap().as_i32(), Some(10));
+        let w2 = f.push(1, pkt(21), 1.1);
+        assert_eq!(w2[0][0].get(0).unwrap().as_i32(), Some(11));
+        assert_eq!(f.pending(), 1);
+    }
+
+    #[test]
+    fn do_not_wait_is_immediate() {
+        let mut f = SyncFilter::new(SyncMode::DoNotWait, 4);
+        let waves = f.push(2, pkt(5), 0.0);
+        assert_eq!(waves.len(), 1);
+        assert_eq!(waves[0].len(), 1);
+        assert!(!f.has_pending());
+        assert!(f.deadline().is_none());
+    }
+
+    #[test]
+    fn timeout_releases_partial_wave() {
+        let mut f = SyncFilter::new(SyncMode::TimeOut(1.0), 3);
+        assert!(f.push(0, pkt(1), 0.0).is_empty());
+        assert!(f.push(1, pkt(2), 0.5).is_empty());
+        assert_eq!(f.deadline(), Some(1.0));
+        // Deadline fires with child 2 silent: partial wave of 2.
+        let waves = f.collect(1.0);
+        assert_eq!(waves.len(), 1);
+        assert_eq!(waves[0].len(), 2);
+        assert!(f.deadline().is_none());
+    }
+
+    #[test]
+    fn timeout_completes_early_when_all_arrive() {
+        let mut f = SyncFilter::new(SyncMode::TimeOut(10.0), 2);
+        assert!(f.push(0, pkt(1), 0.0).is_empty());
+        let waves = f.push(1, pkt(2), 0.1);
+        assert_eq!(waves.len(), 1);
+        assert_eq!(waves[0].len(), 2);
+    }
+
+    #[test]
+    fn timeout_deadline_resets_per_wave() {
+        let mut f = SyncFilter::new(SyncMode::TimeOut(1.0), 2);
+        f.push(0, pkt(1), 0.0);
+        f.push(1, pkt(2), 0.2); // completes wave 1
+        assert!(f.deadline().is_none());
+        f.push(0, pkt(3), 5.0);
+        assert_eq!(f.deadline(), Some(6.0));
+    }
+
+    #[test]
+    fn collect_without_input_before_deadline_is_empty() {
+        let mut f = SyncFilter::new(SyncMode::TimeOut(2.0), 2);
+        f.push(0, pkt(1), 0.0);
+        assert!(f.collect(1.0).is_empty());
+        assert_eq!(f.pending(), 1);
+    }
+
+    #[test]
+    fn zero_children_wait_for_all_never_fires() {
+        // A back-end-side stream has no children; collect must not
+        // fabricate waves.
+        let mut f = SyncFilter::new(SyncMode::WaitForAll, 0);
+        assert!(f.collect(100.0).is_empty());
+        assert!(!f.has_pending());
+    }
+
+    #[test]
+    fn mode_wire_round_trip() {
+        for mode in [
+            SyncMode::WaitForAll,
+            SyncMode::TimeOut(2.5),
+            SyncMode::DoNotWait,
+        ] {
+            let (tag, t) = mode.encode();
+            assert_eq!(SyncMode::decode(tag, t), Some(mode));
+        }
+        assert_eq!(SyncMode::decode(9, 0.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn push_checks_child_index() {
+        let mut f = SyncFilter::new(SyncMode::WaitForAll, 2);
+        f.push(2, pkt(0), 0.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for filter invariants: tree-shape independence
+//! of associative aggregations, concatenation order and content
+//! preservation, and synchronization filter conservation.
+
+use mrnet_filters::{
+    ConcatFilter, FilterContext, ScalarFilter, ScalarOp, SyncFilter, SyncMode, Transform,
+};
+use mrnet_packet::{Packet, PacketBuilder, TypeCode};
+use proptest::prelude::*;
+
+fn ctx() -> FilterContext {
+    FilterContext::new(1, 0, 8)
+}
+
+fn ipkt(v: i64) -> Packet {
+    PacketBuilder::new(1, 0).push(v).build()
+}
+
+/// Applies `op` over `values` through an arbitrary two-level grouping,
+/// mimicking a tree of filters.
+fn tree_fold(op: ScalarOp, groups: &[Vec<i64>]) -> i64 {
+    let mut root = ScalarFilter::new(op, TypeCode::Int64).unwrap();
+    let mids: Vec<Packet> = groups
+        .iter()
+        .map(|group| {
+            let mut mid = ScalarFilter::new(op, TypeCode::Int64).unwrap();
+            let wave: Vec<Packet> = group.iter().map(|&v| ipkt(v)).collect();
+            mid.transform(wave, &ctx()).unwrap().remove(0)
+        })
+        .collect();
+    root.transform(mids, &ctx()).unwrap()[0]
+        .get(0)
+        .unwrap()
+        .as_i64()
+        .unwrap()
+}
+
+fn flat_fold(op: ScalarOp, values: &[i64]) -> i64 {
+    let mut f = ScalarFilter::new(op, TypeCode::Int64).unwrap();
+    let wave: Vec<Packet> = values.iter().map(|&v| ipkt(v)).collect();
+    f.transform(wave, &ctx()).unwrap()[0]
+        .get(0)
+        .unwrap()
+        .as_i64()
+        .unwrap()
+}
+
+proptest! {
+    #[test]
+    fn min_max_sum_are_tree_shape_independent(
+        groups in proptest::collection::vec(
+            proptest::collection::vec(-1000i64..1000, 1..6), 1..6)
+    ) {
+        let flat: Vec<i64> = groups.iter().flatten().copied().collect();
+        for op in [ScalarOp::Min, ScalarOp::Max] {
+            prop_assert_eq!(tree_fold(op, &groups), flat_fold(op, &flat));
+        }
+        // Sum is associative too (no overflow in this value range).
+        prop_assert_eq!(tree_fold(ScalarOp::Sum, &groups), flat_fold(ScalarOp::Sum, &flat));
+    }
+
+    #[test]
+    fn concat_preserves_order_and_content(
+        groups in proptest::collection::vec(
+            proptest::collection::vec("[a-z]{1,6}", 1..5), 1..5)
+    ) {
+        // Two-level concatenation equals flat concatenation.
+        let mut root = ConcatFilter::new(TypeCode::Str).unwrap();
+        let mids: Vec<Packet> = groups
+            .iter()
+            .map(|g| {
+                let mut mid = ConcatFilter::new(TypeCode::Str).unwrap();
+                let wave: Vec<Packet> = g
+                    .iter()
+                    .map(|s| PacketBuilder::new(1, 0).push(s.as_str()).build())
+                    .collect();
+                mid.transform(wave, &ctx()).unwrap().remove(0)
+            })
+            .collect();
+        let out = root.transform(mids, &ctx()).unwrap();
+        let got = out[0].get(0).unwrap().as_str_array().unwrap().to_vec();
+        let expected: Vec<String> = groups.into_iter().flatten().collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn wait_for_all_conserves_packets(
+        // Per-child packet counts; the filter must emit exactly
+        // min(counts) complete waves and retain the rest.
+        counts in proptest::collection::vec(0usize..8, 1..6)
+    ) {
+        let n = counts.len();
+        let mut f = SyncFilter::new(SyncMode::WaitForAll, n);
+        let mut waves = 0usize;
+        let mut emitted = 0usize;
+        for (child, &count) in counts.iter().enumerate() {
+            for k in 0..count {
+                for wave in f.push(child, ipkt(k as i64), 0.0) {
+                    waves += 1;
+                    emitted += wave.len();
+                    prop_assert_eq!(wave.len(), n, "complete waves only");
+                }
+            }
+        }
+        let min = counts.iter().copied().min().unwrap_or(0);
+        prop_assert_eq!(waves, min);
+        prop_assert_eq!(emitted + f.pending(), counts.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn timeout_mode_never_loses_packets(
+        arrivals in proptest::collection::vec((0usize..4, 0.0f64..10.0), 0..40)
+    ) {
+        let mut f = SyncFilter::new(SyncMode::TimeOut(0.5), 4);
+        let mut sorted = arrivals;
+        sorted.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let total = sorted.len();
+        let mut emitted = 0usize;
+        for (child, t) in sorted {
+            emitted += f.push(child, ipkt(0), t).iter().map(Vec::len).sum::<usize>();
+        }
+        // Flush everything with a final far-future poll.
+        emitted += f.collect(1e9).iter().map(Vec::len).sum::<usize>();
+        emitted += f.collect(2e9).iter().map(Vec::len).sum::<usize>();
+        prop_assert_eq!(emitted + f.pending(), total);
+    }
+
+    #[test]
+    fn do_not_wait_is_identity_on_counts(
+        pushes in proptest::collection::vec(0usize..6, 0..30)
+    ) {
+        let mut f = SyncFilter::new(SyncMode::DoNotWait, 6);
+        for (i, &child) in pushes.iter().enumerate() {
+            let waves = f.push(child, ipkt(i as i64), i as f64);
+            prop_assert_eq!(waves.len(), 1);
+            prop_assert_eq!(waves[0].len(), 1);
+        }
+        prop_assert_eq!(f.pending(), 0);
+    }
+
+    #[test]
+    fn avg_of_equal_sized_groups_matches_flat(
+        group_vals in proptest::collection::vec(-1e6f64..1e6, 2..5),
+        group_count in 2usize..5
+    ) {
+        // Equal-sized subtrees: average-of-averages is exact.
+        let groups: Vec<Vec<f64>> = (0..group_count).map(|_| group_vals.clone()).collect();
+        let mut root = ScalarFilter::new(ScalarOp::Avg, TypeCode::Double).unwrap();
+        let mids: Vec<Packet> = groups
+            .iter()
+            .map(|g| {
+                let mut mid = ScalarFilter::new(ScalarOp::Avg, TypeCode::Double).unwrap();
+                let wave: Vec<Packet> =
+                    g.iter().map(|&v| PacketBuilder::new(1, 0).push(v).build()).collect();
+                mid.transform(wave, &ctx()).unwrap().remove(0)
+            })
+            .collect();
+        let got = root.transform(mids, &ctx()).unwrap()[0]
+            .get(0).unwrap().as_f64().unwrap();
+        let flat: Vec<f64> = groups.iter().flatten().copied().collect();
+        let expected = flat.iter().sum::<f64>() / flat.len() as f64;
+        prop_assert!((got - expected).abs() <= 1e-6 * expected.abs().max(1.0));
+    }
+}

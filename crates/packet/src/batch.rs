@@ -1,0 +1,245 @@
+//! Packet buffers: batching and unbatching.
+//!
+//! §2.3: "Data packets are batched into packet buffers, which logically
+//! represent a series of communications destined for the same process,
+//! to allow for fewer larger messages to be sent over busy connections,
+//! reducing overall communication costs. … Incoming packet buffers must
+//! first be unbatched into individual packets."
+//!
+//! [`Batcher`] accumulates packets headed for one neighbor and reports
+//! when the batch should be flushed according to a [`BatchPolicy`];
+//! [`encode_batch`]/[`decode_batch`] are the wire form.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::codec::{decode_packet_from, encode_packet_into, DecodeLimits};
+use crate::error::{PacketError, Result};
+use crate::packet::Packet;
+
+/// When to flush an accumulating packet buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Flush once the batch holds this many packets.
+    pub max_packets: usize,
+    /// Flush once the batch's encoded size reaches this many bytes.
+    pub max_bytes: usize,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_packets: 64,
+            max_bytes: 32 * 1024,
+        }
+    }
+}
+
+impl BatchPolicy {
+    /// A policy that batches nothing: every packet flushes immediately.
+    /// Used by the batching ablation experiment.
+    pub fn unbatched() -> BatchPolicy {
+        BatchPolicy {
+            max_packets: 1,
+            max_bytes: 0,
+        }
+    }
+}
+
+/// Accumulates packets destined for the same neighboring process.
+///
+/// Packets are held by reference (cheap clones of [`Packet`] handles),
+/// so batching adds no payload copies.
+#[derive(Debug, Default)]
+pub struct Batcher {
+    policy: BatchPolicy,
+    pending: Vec<Packet>,
+    pending_bytes: usize,
+}
+
+impl Batcher {
+    /// Creates a batcher with the given flush policy.
+    pub fn new(policy: BatchPolicy) -> Batcher {
+        Batcher {
+            policy,
+            pending: Vec::new(),
+            pending_bytes: 0,
+        }
+    }
+
+    /// Adds a packet to the pending batch.
+    pub fn push(&mut self, packet: Packet) {
+        self.pending_bytes += packet.encoded_size_hint();
+        self.pending.push(packet);
+    }
+
+    /// True if the policy says the pending batch should be sent now.
+    pub fn should_flush(&self) -> bool {
+        self.pending.len() >= self.policy.max_packets
+            || self.pending_bytes >= self.policy.max_bytes
+    }
+
+    /// Number of packets currently pending.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when no packets are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Removes and returns all pending packets.
+    pub fn drain(&mut self) -> Vec<Packet> {
+        self.pending_bytes = 0;
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Drains and encodes the pending packets as one wire batch, or
+    /// `None` if nothing is pending.
+    pub fn flush_encoded(&mut self) -> Option<Bytes> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let packets = self.drain();
+        Some(encode_batch(&packets))
+    }
+}
+
+/// Encodes a sequence of packets as one packet buffer:
+/// `u32 count` followed by the packets back to back.
+pub fn encode_batch(packets: &[Packet]) -> Bytes {
+    let size: usize = 4 + packets.iter().map(Packet::encoded_size_hint).sum::<usize>();
+    let mut buf = BytesMut::with_capacity(size);
+    buf.put_u32_le(packets.len() as u32);
+    for p in packets {
+        encode_packet_into(p, &mut buf);
+    }
+    buf.freeze()
+}
+
+/// Decodes a packet buffer produced by [`encode_batch`].
+pub fn decode_batch(bytes: Bytes) -> Result<Vec<Packet>> {
+    decode_batch_with(bytes, &DecodeLimits::default())
+}
+
+/// Decodes a packet buffer with explicit decode limits.
+pub fn decode_batch_with(bytes: Bytes, limits: &DecodeLimits) -> Result<Vec<Packet>> {
+    let mut buf = bytes;
+    if buf.remaining() < 4 {
+        return Err(PacketError::MalformedBatch("missing count"));
+    }
+    let count = buf.get_u32_le() as usize;
+    if count > limits.max_elems as usize {
+        return Err(PacketError::MalformedBatch("count exceeds limit"));
+    }
+    let mut packets = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        packets.push(decode_packet_from(&mut buf, limits)?);
+    }
+    if buf.has_remaining() {
+        return Err(PacketError::MalformedBatch("trailing bytes after batch"));
+    }
+    Ok(packets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketBuilder;
+
+    fn pkt(n: i32) -> Packet {
+        PacketBuilder::new(n as u32, n).push(n).build()
+    }
+
+    #[test]
+    fn batch_round_trip() {
+        let packets: Vec<_> = (0..10).map(pkt).collect();
+        let decoded = decode_batch(encode_batch(&packets)).unwrap();
+        assert_eq!(decoded, packets);
+    }
+
+    #[test]
+    fn empty_batch_round_trip() {
+        let decoded = decode_batch(encode_batch(&[])).unwrap();
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = BytesMut::from(&encode_batch(&[pkt(1)])[..]);
+        bytes.put_u8(0);
+        let err = decode_batch(bytes.freeze()).unwrap_err();
+        assert!(matches!(err, PacketError::MalformedBatch(_)));
+    }
+
+    #[test]
+    fn short_batch_rejected() {
+        let err = decode_batch(Bytes::from_static(&[1, 0])).unwrap_err();
+        assert!(matches!(err, PacketError::MalformedBatch(_)));
+    }
+
+    #[test]
+    fn lying_count_rejected() {
+        // Claims 3 packets but contains 1.
+        let one = encode_batch(&[pkt(1)]);
+        let mut raw = BytesMut::from(&one[..]);
+        raw[0] = 3;
+        let err = decode_batch(raw.freeze()).unwrap_err();
+        assert!(matches!(err, PacketError::Truncated { .. }));
+    }
+
+    #[test]
+    fn batcher_flushes_on_packet_count() {
+        let mut b = Batcher::new(BatchPolicy {
+            max_packets: 3,
+            max_bytes: usize::MAX,
+        });
+        b.push(pkt(1));
+        b.push(pkt(2));
+        assert!(!b.should_flush());
+        b.push(pkt(3));
+        assert!(b.should_flush());
+        assert_eq!(b.drain().len(), 3);
+        assert!(b.is_empty());
+        assert!(!b.should_flush());
+    }
+
+    #[test]
+    fn batcher_flushes_on_byte_size() {
+        let mut b = Batcher::new(BatchPolicy {
+            max_packets: usize::MAX,
+            max_bytes: 64,
+        });
+        b.push(PacketBuilder::new(0, 0).push(vec![0u8; 128]).build());
+        assert!(b.should_flush());
+    }
+
+    #[test]
+    fn unbatched_policy_flushes_every_packet() {
+        let mut b = Batcher::new(BatchPolicy::unbatched());
+        b.push(pkt(1));
+        assert!(b.should_flush());
+    }
+
+    #[test]
+    fn flush_encoded_round_trips() {
+        let mut b = Batcher::new(BatchPolicy::default());
+        assert!(b.flush_encoded().is_none());
+        b.push(pkt(7));
+        b.push(pkt(8));
+        let bytes = b.flush_encoded().unwrap();
+        let packets = decode_batch(bytes).unwrap();
+        assert_eq!(packets, vec![pkt(7), pkt(8)]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn batching_shares_payloads() {
+        // Batcher holds handles, not copies.
+        let p = pkt(1);
+        let mut b = Batcher::new(BatchPolicy::default());
+        b.push(p.clone());
+        let drained = b.drain();
+        assert!(drained[0].ptr_eq(&p));
+    }
+}

@@ -1,0 +1,380 @@
+//! Packed binary encoding and decoding of packets.
+//!
+//! MRNet "transfers data within the tool system using an efficient,
+//! packed binary representation" (§1). The wire form of a packet is
+//! self-describing: a fixed header (stream id, tag, source rank,
+//! arity) followed by one tagged value per conversion specifier. The
+//! format string is reconstructed from the value tags on decode, so it
+//! is never transmitted as text.
+//!
+//! All multi-byte quantities are little-endian. Length prefixes are
+//! validated against [`DecodeLimits`] so a corrupt stream cannot force
+//! enormous allocations.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::{PacketError, Result};
+use crate::format::FormatString;
+use crate::packet::Packet;
+use crate::value::{TypeCode, Value};
+
+/// Sanity limits applied while decoding.
+#[derive(Debug, Clone, Copy)]
+pub struct DecodeLimits {
+    /// Maximum accepted string / byte-array length, in bytes.
+    pub max_bytes: u64,
+    /// Maximum accepted array element count.
+    pub max_elems: u64,
+}
+
+impl Default for DecodeLimits {
+    fn default() -> Self {
+        DecodeLimits {
+            max_bytes: 64 << 20,
+            max_elems: 16 << 20,
+        }
+    }
+}
+
+fn need(buf: &impl Buf, n: usize, context: &'static str) -> Result<()> {
+    if buf.remaining() < n {
+        Err(PacketError::Truncated { context })
+    } else {
+        Ok(())
+    }
+}
+
+fn get_len(buf: &mut impl Buf, limit: u64, context: &'static str) -> Result<usize> {
+    need(buf, 4, context)?;
+    let len = buf.get_u32_le() as u64;
+    if len > limit {
+        return Err(PacketError::LengthOverflow { len, limit });
+    }
+    Ok(len as usize)
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut impl Buf, limits: &DecodeLimits) -> Result<String> {
+    let len = get_len(buf, limits.max_bytes, "string length")?;
+    need(buf, len, "string body")?;
+    let mut bytes = vec![0u8; len];
+    buf.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|_| PacketError::InvalidUtf8)
+}
+
+/// Encodes one value (tag byte + payload) into `buf`.
+fn encode_value(buf: &mut BytesMut, value: &Value) {
+    buf.put_u8(value.type_code().tag());
+    match value {
+        Value::Char(v) => buf.put_u8(*v),
+        Value::Int32(v) => buf.put_i32_le(*v),
+        Value::UInt32(v) => buf.put_u32_le(*v),
+        Value::Int64(v) => buf.put_i64_le(*v),
+        Value::UInt64(v) => buf.put_u64_le(*v),
+        Value::Float(v) => buf.put_f32_le(*v),
+        Value::Double(v) => buf.put_f64_le(*v),
+        Value::Str(v) => put_str(buf, v),
+        Value::CharArray(v) => {
+            buf.put_u32_le(v.len() as u32);
+            buf.put_slice(v);
+        }
+        Value::Int32Array(v) => {
+            buf.put_u32_le(v.len() as u32);
+            for e in v {
+                buf.put_i32_le(*e);
+            }
+        }
+        Value::UInt32Array(v) => {
+            buf.put_u32_le(v.len() as u32);
+            for e in v {
+                buf.put_u32_le(*e);
+            }
+        }
+        Value::Int64Array(v) => {
+            buf.put_u32_le(v.len() as u32);
+            for e in v {
+                buf.put_i64_le(*e);
+            }
+        }
+        Value::UInt64Array(v) => {
+            buf.put_u32_le(v.len() as u32);
+            for e in v {
+                buf.put_u64_le(*e);
+            }
+        }
+        Value::FloatArray(v) => {
+            buf.put_u32_le(v.len() as u32);
+            for e in v {
+                buf.put_f32_le(*e);
+            }
+        }
+        Value::DoubleArray(v) => {
+            buf.put_u32_le(v.len() as u32);
+            for e in v {
+                buf.put_f64_le(*e);
+            }
+        }
+        Value::StrArray(v) => {
+            buf.put_u32_le(v.len() as u32);
+            for s in v {
+                put_str(buf, s);
+            }
+        }
+    }
+}
+
+/// Decodes one tagged value from `buf`.
+fn decode_value(buf: &mut impl Buf, limits: &DecodeLimits) -> Result<Value> {
+    need(buf, 1, "value tag")?;
+    let code = TypeCode::from_tag(buf.get_u8())?;
+    Ok(match code {
+        TypeCode::Char => {
+            need(buf, 1, "char")?;
+            Value::Char(buf.get_u8())
+        }
+        TypeCode::Int32 => {
+            need(buf, 4, "i32")?;
+            Value::Int32(buf.get_i32_le())
+        }
+        TypeCode::UInt32 => {
+            need(buf, 4, "u32")?;
+            Value::UInt32(buf.get_u32_le())
+        }
+        TypeCode::Int64 => {
+            need(buf, 8, "i64")?;
+            Value::Int64(buf.get_i64_le())
+        }
+        TypeCode::UInt64 => {
+            need(buf, 8, "u64")?;
+            Value::UInt64(buf.get_u64_le())
+        }
+        TypeCode::Float => {
+            need(buf, 4, "f32")?;
+            Value::Float(buf.get_f32_le())
+        }
+        TypeCode::Double => {
+            need(buf, 8, "f64")?;
+            Value::Double(buf.get_f64_le())
+        }
+        TypeCode::Str => Value::Str(get_str(buf, limits)?),
+        TypeCode::CharArray => {
+            let len = get_len(buf, limits.max_bytes, "byte array length")?;
+            need(buf, len, "byte array body")?;
+            let mut v = vec![0u8; len];
+            buf.copy_to_slice(&mut v);
+            Value::CharArray(v)
+        }
+        TypeCode::Int32Array => {
+            let len = get_len(buf, limits.max_elems, "i32 array length")?;
+            need(buf, len * 4, "i32 array body")?;
+            Value::Int32Array((0..len).map(|_| buf.get_i32_le()).collect())
+        }
+        TypeCode::UInt32Array => {
+            let len = get_len(buf, limits.max_elems, "u32 array length")?;
+            need(buf, len * 4, "u32 array body")?;
+            Value::UInt32Array((0..len).map(|_| buf.get_u32_le()).collect())
+        }
+        TypeCode::Int64Array => {
+            let len = get_len(buf, limits.max_elems, "i64 array length")?;
+            need(buf, len * 8, "i64 array body")?;
+            Value::Int64Array((0..len).map(|_| buf.get_i64_le()).collect())
+        }
+        TypeCode::UInt64Array => {
+            let len = get_len(buf, limits.max_elems, "u64 array length")?;
+            need(buf, len * 8, "u64 array body")?;
+            Value::UInt64Array((0..len).map(|_| buf.get_u64_le()).collect())
+        }
+        TypeCode::FloatArray => {
+            let len = get_len(buf, limits.max_elems, "f32 array length")?;
+            need(buf, len * 4, "f32 array body")?;
+            Value::FloatArray((0..len).map(|_| buf.get_f32_le()).collect())
+        }
+        TypeCode::DoubleArray => {
+            let len = get_len(buf, limits.max_elems, "f64 array length")?;
+            need(buf, len * 8, "f64 array body")?;
+            Value::DoubleArray((0..len).map(|_| buf.get_f64_le()).collect())
+        }
+        TypeCode::StrArray => {
+            let len = get_len(buf, limits.max_elems, "string array length")?;
+            let mut v = Vec::with_capacity(len.min(1024));
+            for _ in 0..len {
+                v.push(get_str(buf, limits)?);
+            }
+            Value::StrArray(v)
+        }
+    })
+}
+
+/// Appends the wire form of `packet` to `buf`.
+pub fn encode_packet_into(packet: &Packet, buf: &mut BytesMut) {
+    buf.reserve(packet.encoded_size_hint());
+    buf.put_u32_le(packet.stream_id());
+    buf.put_i32_le(packet.tag());
+    buf.put_u32_le(packet.src());
+    buf.put_u16_le(packet.values().len() as u16);
+    for value in packet.values() {
+        encode_value(buf, value);
+    }
+}
+
+/// Encodes `packet` into a freshly allocated buffer.
+pub fn encode_packet(packet: &Packet) -> Bytes {
+    let mut buf = BytesMut::with_capacity(packet.encoded_size_hint());
+    encode_packet_into(packet, &mut buf);
+    buf.freeze()
+}
+
+/// Decodes one packet from the front of `buf`, consuming its bytes.
+pub fn decode_packet_from(buf: &mut impl Buf, limits: &DecodeLimits) -> Result<Packet> {
+    need(buf, 4 + 4 + 4 + 2, "packet header")?;
+    let stream_id = buf.get_u32_le();
+    let tag = buf.get_i32_le();
+    let src = buf.get_u32_le();
+    let arity = buf.get_u16_le() as usize;
+    let mut values = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        values.push(decode_value(buf, limits)?);
+    }
+    let codes: Vec<_> = values.iter().map(Value::type_code).collect();
+    let fmt = FormatString::from_codes(codes);
+    Ok(Packet::new(stream_id, tag, fmt, values)
+        .expect("format derived from decoded values always matches")
+        .with_src(src))
+}
+
+/// Decodes one packet from an owned byte buffer.
+pub fn decode_packet(bytes: Bytes) -> Result<Packet> {
+    let mut buf = bytes;
+    let packet = decode_packet_from(&mut buf, &DecodeLimits::default())?;
+    Ok(packet)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketBuilder;
+
+    fn full_packet() -> Packet {
+        PacketBuilder::new(12, -5)
+            .src(3)
+            .push(Value::Char(b'k'))
+            .push(-123i32)
+            .push(456u32)
+            .push(-(1i64 << 40))
+            .push(1u64 << 50)
+            .push(1.5f32)
+            .push(-2.25f64)
+            .push("héllo wörld")
+            .push(vec![1u8, 2, 3])
+            .push(vec![-1i32, 0, 1])
+            .push(vec![7u32])
+            .push(vec![i64::MIN, i64::MAX])
+            .push(vec![u64::MAX])
+            .push(vec![f32::MIN_POSITIVE, 0.0])
+            .push(vec![std::f64::consts::PI])
+            .push(vec!["a".to_string(), String::new(), "ccc".to_string()])
+            .build()
+    }
+
+    #[test]
+    fn round_trip_every_type() {
+        let p = full_packet();
+        let bytes = encode_packet(&p);
+        let q = decode_packet(bytes).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn round_trip_empty_packet() {
+        let p = Packet::control(9, 42);
+        let q = decode_packet(encode_packet(&p)).unwrap();
+        assert_eq!(p, q);
+        assert!(q.fmt().is_empty());
+    }
+
+    #[test]
+    fn truncation_at_every_boundary_is_an_error() {
+        let bytes = encode_packet(&full_packet());
+        for cut in 0..bytes.len() {
+            let slice = bytes.slice(..cut);
+            let err = decode_packet(slice);
+            assert!(err.is_err(), "decode of {cut}-byte prefix should fail");
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected() {
+        // Header + a %s value claiming 4 GiB of body.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(0); // stream
+        buf.put_i32_le(0); // tag
+        buf.put_u32_le(0); // src
+        buf.put_u16_le(1); // arity
+        buf.put_u8(TypeCode::Str.tag());
+        buf.put_u32_le(u32::MAX);
+        let err = decode_packet(buf.freeze()).unwrap_err();
+        assert!(matches!(err, PacketError::LengthOverflow { .. }));
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(0);
+        buf.put_i32_le(0);
+        buf.put_u32_le(0);
+        buf.put_u16_le(1);
+        buf.put_u8(0x7f);
+        let err = decode_packet(buf.freeze()).unwrap_err();
+        assert!(matches!(err, PacketError::UnknownTypeTag(0x7f)));
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(0);
+        buf.put_i32_le(0);
+        buf.put_u32_le(0);
+        buf.put_u16_le(1);
+        buf.put_u8(TypeCode::Str.tag());
+        buf.put_u32_le(2);
+        buf.put_slice(&[0xff, 0xfe]);
+        let err = decode_packet(buf.freeze()).unwrap_err();
+        assert_eq!(err, PacketError::InvalidUtf8);
+    }
+
+    #[test]
+    fn header_fields_survive() {
+        let p = PacketBuilder::new(77, 1234).src(9).push(0i32).build();
+        let q = decode_packet(encode_packet(&p)).unwrap();
+        assert_eq!(q.stream_id(), 77);
+        assert_eq!(q.tag(), 1234);
+        assert_eq!(q.src(), 9);
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        // A single i32 packet: 14-byte header + 1 tag byte + 4 bytes.
+        let p = PacketBuilder::new(0, 0).push(5i32).build();
+        assert_eq!(encode_packet(&p).len(), 14 + 1 + 4);
+    }
+
+    #[test]
+    fn multiple_packets_in_one_buffer_decode_sequentially() {
+        let a = PacketBuilder::new(1, 1).push(1i32).build();
+        let b = PacketBuilder::new(2, 2).push("two").build();
+        let mut buf = BytesMut::new();
+        encode_packet_into(&a, &mut buf);
+        encode_packet_into(&b, &mut buf);
+        let mut bytes = buf.freeze();
+        let limits = DecodeLimits::default();
+        let a2 = decode_packet_from(&mut bytes, &limits).unwrap();
+        let b2 = decode_packet_from(&mut bytes, &limits).unwrap();
+        assert_eq!(a, a2);
+        assert_eq!(b, b2);
+        assert!(bytes.is_empty());
+    }
+}

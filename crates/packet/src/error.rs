@@ -1,0 +1,148 @@
+//! Error types for packet construction, encoding, and decoding.
+
+use std::fmt;
+
+/// Errors produced while parsing format strings or encoding/decoding
+/// packets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketError {
+    /// A format string contained a conversion specifier that MRNet does
+    /// not understand (e.g. `%q`).
+    UnknownSpecifier(String),
+    /// A format string token did not begin with `%`.
+    MalformedFormat(String),
+    /// The number of values supplied does not match the number of
+    /// conversion specifiers in the format string.
+    ArityMismatch {
+        /// Number of specifiers in the format string.
+        expected: usize,
+        /// Number of values supplied.
+        actual: usize,
+    },
+    /// A value's type does not match the conversion specifier at its
+    /// position.
+    TypeMismatch {
+        /// Zero-based position of the offending value.
+        index: usize,
+        /// The specifier the format string demands.
+        expected: &'static str,
+        /// The type of the value actually supplied.
+        actual: &'static str,
+    },
+    /// The byte stream ended before a complete value could be decoded.
+    Truncated {
+        /// What was being decoded when the input ran out.
+        context: &'static str,
+    },
+    /// A decoded length prefix exceeded the configurable sanity limit,
+    /// indicating a corrupt or hostile stream.
+    LengthOverflow {
+        /// The length that was read.
+        len: u64,
+        /// The maximum the decoder accepts.
+        limit: u64,
+    },
+    /// A decoded string was not valid UTF-8.
+    InvalidUtf8,
+    /// A type tag byte in the wire stream was not a known type code.
+    UnknownTypeTag(u8),
+    /// A packet buffer (batch) header was malformed.
+    MalformedBatch(&'static str),
+}
+
+impl fmt::Display for PacketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacketError::UnknownSpecifier(s) => {
+                write!(f, "unknown conversion specifier `{s}` in format string")
+            }
+            PacketError::MalformedFormat(s) => {
+                write!(f, "malformed format token `{s}` (expected `%<spec>`)")
+            }
+            PacketError::ArityMismatch { expected, actual } => write!(
+                f,
+                "format string expects {expected} values but {actual} were supplied"
+            ),
+            PacketError::TypeMismatch {
+                index,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "value {index} has type {actual} but the format string expects {expected}"
+            ),
+            PacketError::Truncated { context } => {
+                write!(f, "input truncated while decoding {context}")
+            }
+            PacketError::LengthOverflow { len, limit } => {
+                write!(f, "length prefix {len} exceeds decoder limit {limit}")
+            }
+            PacketError::InvalidUtf8 => write!(f, "decoded string is not valid UTF-8"),
+            PacketError::UnknownTypeTag(t) => write!(f, "unknown type tag byte {t:#x}"),
+            PacketError::MalformedBatch(why) => write!(f, "malformed packet buffer: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+/// Convenient result alias for packet operations.
+pub type Result<T> = std::result::Result<T, PacketError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        let cases: Vec<(PacketError, &str)> = vec![
+            (
+                PacketError::UnknownSpecifier("%q".into()),
+                "unknown conversion specifier",
+            ),
+            (
+                PacketError::MalformedFormat("d".into()),
+                "malformed format token",
+            ),
+            (
+                PacketError::ArityMismatch {
+                    expected: 2,
+                    actual: 3,
+                },
+                "expects 2 values but 3",
+            ),
+            (
+                PacketError::TypeMismatch {
+                    index: 1,
+                    expected: "%d",
+                    actual: "%f",
+                },
+                "value 1",
+            ),
+            (
+                PacketError::Truncated { context: "i32" },
+                "truncated while decoding i32",
+            ),
+            (
+                PacketError::LengthOverflow {
+                    len: 1 << 40,
+                    limit: 1 << 30,
+                },
+                "exceeds decoder limit",
+            ),
+            (PacketError::InvalidUtf8, "not valid UTF-8"),
+            (PacketError::UnknownTypeTag(0xff), "0xff"),
+            (PacketError::MalformedBatch("bad count"), "bad count"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "`{msg}` should contain `{needle}`");
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&PacketError::InvalidUtf8);
+    }
+}

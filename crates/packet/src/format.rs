@@ -1,0 +1,231 @@
+//! Format strings describing the typed payload of a packet.
+//!
+//! A format string is a whitespace-separated sequence of conversion
+//! specifiers, e.g. `"%d %f %s"` for an integer, a float, and a string
+//! (§2.1). [`FormatString`] parses, validates, and canonicalizes such
+//! strings; filters use equality of format strings to enforce the type
+//! requirement on transformation filters (§2.4).
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::{PacketError, Result};
+use crate::value::{TypeCode, Value};
+
+/// A parsed, validated packet format string.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct FormatString {
+    codes: Vec<TypeCode>,
+}
+
+impl FormatString {
+    /// Parses a format string such as `"%d %f %as"`.
+    ///
+    /// An empty (or all-whitespace) string is a valid format describing
+    /// a payload-free packet, used for pure control messages.
+    pub fn parse(s: &str) -> Result<FormatString> {
+        let mut codes = Vec::new();
+        for token in s.split_whitespace() {
+            let spec = token
+                .strip_prefix('%')
+                .ok_or_else(|| PacketError::MalformedFormat(token.to_owned()))?;
+            codes.push(TypeCode::from_spec(spec)?);
+        }
+        Ok(FormatString { codes })
+    }
+
+    /// Builds a format string directly from type codes.
+    pub fn from_codes(codes: impl Into<Vec<TypeCode>>) -> FormatString {
+        FormatString {
+            codes: codes.into(),
+        }
+    }
+
+    /// The conversion specifiers, in order.
+    pub fn codes(&self) -> &[TypeCode] {
+        &self.codes
+    }
+
+    /// Number of conversion specifiers.
+    pub fn arity(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True if the format describes a payload-free packet.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Checks a value sequence against this format.
+    ///
+    /// Returns an error if the arity differs or any value's type does
+    /// not match the specifier at its position.
+    pub fn check(&self, values: &[Value]) -> Result<()> {
+        if values.len() != self.codes.len() {
+            return Err(PacketError::ArityMismatch {
+                expected: self.codes.len(),
+                actual: values.len(),
+            });
+        }
+        for (index, (value, &code)) in values.iter().zip(&self.codes).enumerate() {
+            if value.type_code() != code {
+                return Err(PacketError::TypeMismatch {
+                    index,
+                    expected: code.spec(),
+                    actual: value.type_code().spec(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The canonical textual rendering (single spaces, canonical
+    /// specifier spellings).
+    pub fn canonical(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for FormatString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, code) in self.codes.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            f.write_str(code.spec())?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for FormatString {
+    type Err = PacketError;
+
+    fn from_str(s: &str) -> Result<FormatString> {
+        FormatString::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_example() {
+        // "%d %f %s" contains an integer, float, and character string.
+        let fmt = FormatString::parse("%d %f %s").unwrap();
+        assert_eq!(
+            fmt.codes(),
+            &[TypeCode::Int32, TypeCode::Float, TypeCode::Str]
+        );
+        assert_eq!(fmt.arity(), 3);
+    }
+
+    #[test]
+    fn parses_array_specifiers() {
+        let fmt = FormatString::parse("%af %auld %as").unwrap();
+        assert_eq!(
+            fmt.codes(),
+            &[
+                TypeCode::FloatArray,
+                TypeCode::UInt64Array,
+                TypeCode::StrArray
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_format_is_valid() {
+        let fmt = FormatString::parse("").unwrap();
+        assert!(fmt.is_empty());
+        assert_eq!(fmt.arity(), 0);
+        let fmt = FormatString::parse("   \t ").unwrap();
+        assert!(fmt.is_empty());
+        fmt.check(&[]).unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_percent() {
+        let err = FormatString::parse("%d f").unwrap_err();
+        assert!(matches!(err, PacketError::MalformedFormat(t) if t == "f"));
+    }
+
+    #[test]
+    fn rejects_unknown_specifier() {
+        let err = FormatString::parse("%z").unwrap_err();
+        assert!(matches!(err, PacketError::UnknownSpecifier(s) if s == "%z"));
+    }
+
+    #[test]
+    fn whitespace_is_normalized_by_display() {
+        let fmt = FormatString::parse("  %d\t%f   %s ").unwrap();
+        assert_eq!(fmt.to_string(), "%d %f %s");
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let original = "%c %d %ud %ld %uld %f %lf %s %ac %ad %aud %ald %auld %af %alf %as";
+        let fmt = FormatString::parse(original).unwrap();
+        let rendered = fmt.to_string();
+        assert_eq!(rendered, original);
+        assert_eq!(FormatString::parse(&rendered).unwrap(), fmt);
+    }
+
+    #[test]
+    fn aliases_canonicalize() {
+        let fmt = FormatString::parse("%u %lu").unwrap();
+        assert_eq!(fmt.to_string(), "%ud %uld");
+    }
+
+    #[test]
+    fn check_accepts_matching_values() {
+        let fmt = FormatString::parse("%d %f %s").unwrap();
+        fmt.check(&[
+            Value::Int32(1),
+            Value::Float(2.0),
+            Value::Str("three".into()),
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn check_rejects_arity_mismatch() {
+        let fmt = FormatString::parse("%d %d").unwrap();
+        let err = fmt.check(&[Value::Int32(1)]).unwrap_err();
+        assert!(matches!(
+            err,
+            PacketError::ArityMismatch {
+                expected: 2,
+                actual: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn check_rejects_type_mismatch() {
+        let fmt = FormatString::parse("%d %f").unwrap();
+        let err = fmt
+            .check(&[Value::Int32(1), Value::Double(2.0)])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PacketError::TypeMismatch {
+                index: 1,
+                expected: "%f",
+                actual: "%lf"
+            }
+        ));
+    }
+
+    #[test]
+    fn from_str_trait() {
+        let fmt: FormatString = "%d %d".parse().unwrap();
+        assert_eq!(fmt.arity(), 2);
+    }
+
+    #[test]
+    fn from_codes_builder() {
+        let fmt = FormatString::from_codes(vec![TypeCode::Double]);
+        assert_eq!(fmt.to_string(), "%lf");
+    }
+}

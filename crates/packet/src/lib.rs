@@ -1,0 +1,42 @@
+//! # mrnet-packet
+//!
+//! The data representation substrate of the MRNet reproduction: typed
+//! values, printf-style format strings, the [`Packet`] type, the packed
+//! binary wire codec, and packet-buffer batching.
+//!
+//! This corresponds to the "Data Encoding / Data Decoding" and "Packet
+//! Batching/Unbatching" layers of an MRNet internal process (paper
+//! Figure 3) and to the packet/format-string model of §2.1 and §2.4.
+//!
+//! ```
+//! use mrnet_packet::{FormatString, Packet, Value, encode_packet, decode_packet};
+//!
+//! let fmt = FormatString::parse("%d %f %s").unwrap();
+//! let pkt = Packet::new(1, 100, fmt, vec![
+//!     Value::Int32(7),
+//!     Value::Float(3.5),
+//!     Value::Str("backend-0".into()),
+//! ]).unwrap();
+//! let wire = encode_packet(&pkt);
+//! assert_eq!(decode_packet(wire).unwrap(), pkt);
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod batch;
+mod codec;
+mod error;
+mod format;
+mod packet;
+mod unpack;
+mod value;
+
+pub use batch::{decode_batch, decode_batch_with, encode_batch, BatchPolicy, Batcher};
+pub use codec::{
+    decode_packet, decode_packet_from, encode_packet, encode_packet_into, DecodeLimits,
+};
+pub use error::{PacketError, Result};
+pub use format::FormatString;
+pub use packet::{Packet, PacketBuilder, Rank, StreamId, Tag};
+pub use unpack::{FromValue, Unpack, UnpackTuple};
+pub use value::{TypeCode, Value};

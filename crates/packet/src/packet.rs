@@ -1,0 +1,352 @@
+//! The MRNet data packet.
+//!
+//! Packets are the unit of communication on streams. Each carries the
+//! id of the stream it belongs to (used to demultiplex at internal
+//! processes, §2.3), an application-defined integer tag, the rank of
+//! the originating process, and a typed payload described by a
+//! [`FormatString`].
+//!
+//! Internal processes pass packets "by reference whenever possible …
+//! to avoid unnecessary copying" (§2.3): [`Packet`] is a cheap
+//! reference-counted handle, so routing a packet to multiple output
+//! buffers (downstream multicast) clones only the handle, never the
+//! payload.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::Result;
+use crate::format::FormatString;
+use crate::value::Value;
+
+/// Identifies the logical stream a packet travels on.
+pub type StreamId = u32;
+
+/// Identifies the process (front-end, internal, or back-end) that
+/// originated a packet. Rank 0 is conventionally the front-end.
+pub type Rank = u32;
+
+/// Application-defined message tag.
+pub type Tag = i32;
+
+/// The immutable interior of a packet, shared between handles.
+#[derive(Debug, PartialEq)]
+struct PacketInner {
+    stream_id: StreamId,
+    tag: Tag,
+    src: Rank,
+    fmt: FormatString,
+    values: Vec<Value>,
+}
+
+/// A typed MRNet data packet. Cloning is O(1) (reference counted).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    inner: Arc<PacketInner>,
+}
+
+impl Packet {
+    /// Creates a packet, validating `values` against `fmt`.
+    pub fn new(
+        stream_id: StreamId,
+        tag: Tag,
+        fmt: FormatString,
+        values: Vec<Value>,
+    ) -> Result<Packet> {
+        fmt.check(&values)?;
+        Ok(Packet {
+            inner: Arc::new(PacketInner {
+                stream_id,
+                tag,
+                src: 0,
+                fmt,
+                values,
+            }),
+        })
+    }
+
+    /// Creates a packet from a textual format string, validating the
+    /// values against it. Mirrors `stream->send("%d", value)` from the
+    /// paper's Figure 2.
+    pub fn with_fmt_str(
+        stream_id: StreamId,
+        tag: Tag,
+        fmt: &str,
+        values: Vec<Value>,
+    ) -> Result<Packet> {
+        Packet::new(stream_id, tag, FormatString::parse(fmt)?, values)
+    }
+
+    /// Creates a payload-free control packet.
+    pub fn control(stream_id: StreamId, tag: Tag) -> Packet {
+        Packet::new(stream_id, tag, FormatString::default(), Vec::new())
+            .expect("empty payload always matches empty format")
+    }
+
+    /// Returns a copy of this packet with the originating rank set.
+    ///
+    /// If this handle is the sole owner the interior is reused without
+    /// copying the payload.
+    pub fn with_src(self, src: Rank) -> Packet {
+        if self.inner.src == src {
+            return self;
+        }
+        match Arc::try_unwrap(self.inner) {
+            Ok(mut inner) => {
+                inner.src = src;
+                Packet {
+                    inner: Arc::new(inner),
+                }
+            }
+            Err(shared) => Packet {
+                inner: Arc::new(PacketInner {
+                    stream_id: shared.stream_id,
+                    tag: shared.tag,
+                    src,
+                    fmt: shared.fmt.clone(),
+                    values: shared.values.clone(),
+                }),
+            },
+        }
+    }
+
+    /// Returns a copy of this packet retargeted to a different stream.
+    pub fn with_stream(self, stream_id: StreamId) -> Packet {
+        if self.inner.stream_id == stream_id {
+            return self;
+        }
+        match Arc::try_unwrap(self.inner) {
+            Ok(mut inner) => {
+                inner.stream_id = stream_id;
+                Packet {
+                    inner: Arc::new(inner),
+                }
+            }
+            Err(shared) => Packet {
+                inner: Arc::new(PacketInner {
+                    stream_id,
+                    tag: shared.tag,
+                    src: shared.src,
+                    fmt: shared.fmt.clone(),
+                    values: shared.values.clone(),
+                }),
+            },
+        }
+    }
+
+    /// The id of the stream this packet belongs to.
+    pub fn stream_id(&self) -> StreamId {
+        self.inner.stream_id
+    }
+
+    /// The application-defined tag.
+    pub fn tag(&self) -> Tag {
+        self.inner.tag
+    }
+
+    /// The rank of the originating process.
+    pub fn src(&self) -> Rank {
+        self.inner.src
+    }
+
+    /// The payload's format string.
+    pub fn fmt(&self) -> &FormatString {
+        &self.inner.fmt
+    }
+
+    /// The payload values.
+    pub fn values(&self) -> &[Value] {
+        &self.inner.values
+    }
+
+    /// The value at position `i`, if present.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.inner.values.get(i)
+    }
+
+    /// Approximate encoded size in bytes, used for batching decisions.
+    pub fn encoded_size_hint(&self) -> usize {
+        // header: stream id + tag + src + fmt string + count
+        let header = 4 + 4 + 4 + 4 + self.inner.fmt.canonical().len() + 4;
+        header
+            + self
+                .inner
+                .values
+                .iter()
+                .map(Value::encoded_size_hint)
+                .sum::<usize>()
+    }
+
+    /// True when two handles share the same interior allocation (used
+    /// by tests to verify zero-copy routing).
+    pub fn ptr_eq(&self, other: &Packet) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Packet{{stream={}, tag={}, src={}, fmt=\"{}\", {} value(s)}}",
+            self.inner.stream_id,
+            self.inner.tag,
+            self.inner.src,
+            self.inner.fmt,
+            self.inner.values.len()
+        )
+    }
+}
+
+/// Builder for assembling packets value by value.
+///
+/// ```
+/// use mrnet_packet::{PacketBuilder, Value};
+/// let pkt = PacketBuilder::new(7, 100)
+///     .push(42i32)
+///     .push(2.5f32)
+///     .push("hello")
+///     .build();
+/// assert_eq!(pkt.fmt().to_string(), "%d %f %s");
+/// assert_eq!(pkt.get(0), Some(&Value::Int32(42)));
+/// ```
+#[derive(Debug)]
+pub struct PacketBuilder {
+    stream_id: StreamId,
+    tag: Tag,
+    src: Rank,
+    values: Vec<Value>,
+}
+
+impl PacketBuilder {
+    /// Starts a packet for the given stream and tag.
+    pub fn new(stream_id: StreamId, tag: Tag) -> PacketBuilder {
+        PacketBuilder {
+            stream_id,
+            tag,
+            src: 0,
+            values: Vec::new(),
+        }
+    }
+
+    /// Sets the originating rank.
+    pub fn src(mut self, src: Rank) -> PacketBuilder {
+        self.src = src;
+        self
+    }
+
+    /// Appends a value; the format string is derived from the values.
+    pub fn push(mut self, value: impl Into<Value>) -> PacketBuilder {
+        self.values.push(value.into());
+        self
+    }
+
+    /// Finalizes the packet. The format is derived, so this cannot fail.
+    pub fn build(self) -> Packet {
+        let codes: Vec<_> = self.values.iter().map(Value::type_code).collect();
+        let fmt = FormatString::from_codes(codes);
+        Packet::new(self.stream_id, self.tag, fmt, self.values)
+            .expect("derived format always matches values")
+            .with_src(self.src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::PacketError;
+
+    fn sample() -> Packet {
+        Packet::with_fmt_str(
+            3,
+            17,
+            "%d %f %s",
+            vec![Value::Int32(1), Value::Float(2.0), Value::Str("x".into())],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_format() {
+        let err =
+            Packet::with_fmt_str(0, 0, "%d", vec![Value::Float(1.0)]).unwrap_err();
+        assert!(matches!(err, PacketError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn accessors() {
+        let p = sample();
+        assert_eq!(p.stream_id(), 3);
+        assert_eq!(p.tag(), 17);
+        assert_eq!(p.src(), 0);
+        assert_eq!(p.fmt().to_string(), "%d %f %s");
+        assert_eq!(p.get(0), Some(&Value::Int32(1)));
+        assert_eq!(p.get(3), None);
+        assert_eq!(p.values().len(), 3);
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let p = sample();
+        let q = p.clone();
+        assert!(p.ptr_eq(&q));
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn with_src_rewrites_rank() {
+        let p = sample().with_src(9);
+        assert_eq!(p.src(), 9);
+        // Unchanged rank returns the same allocation.
+        let q = p.clone().with_src(9);
+        assert!(p.ptr_eq(&q));
+        // Changing a shared packet copies rather than mutating the
+        // other handle.
+        let r = p.clone().with_src(10);
+        assert_eq!(p.src(), 9);
+        assert_eq!(r.src(), 10);
+    }
+
+    #[test]
+    fn with_stream_retargets() {
+        let p = sample().with_stream(44);
+        assert_eq!(p.stream_id(), 44);
+        assert_eq!(p.tag(), 17);
+        let q = p.clone().with_stream(44);
+        assert!(p.ptr_eq(&q));
+    }
+
+    #[test]
+    fn control_packets_are_empty() {
+        let p = Packet::control(5, -1);
+        assert!(p.fmt().is_empty());
+        assert!(p.values().is_empty());
+        assert_eq!(p.tag(), -1);
+    }
+
+    #[test]
+    fn builder_derives_format() {
+        let p = PacketBuilder::new(1, 2)
+            .src(7)
+            .push(5i32)
+            .push(vec![1.0f64, 2.0])
+            .push("s")
+            .build();
+        assert_eq!(p.fmt().to_string(), "%d %alf %s");
+        assert_eq!(p.src(), 7);
+    }
+
+    #[test]
+    fn size_hint_tracks_payload() {
+        let small = PacketBuilder::new(0, 0).push(1i32).build();
+        let big = PacketBuilder::new(0, 0).push(vec![0i64; 100]).build();
+        assert!(big.encoded_size_hint() > small.encoded_size_hint() + 700);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let msg = sample().to_string();
+        assert!(msg.contains("stream=3"));
+        assert!(msg.contains("%d %f %s"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Typed extraction from packets — the receiving-side counterpart of
+//! the paper's `stream->recv("%f", result)` scanf-style interface.
+//!
+//! ```
+//! use mrnet_packet::{PacketBuilder, Unpack};
+//!
+//! let pkt = PacketBuilder::new(1, 0).push(7i32).push(2.5f64).push("be0").build();
+//! let (n, x, host): (i32, f64, String) = pkt.unpack().unwrap();
+//! assert_eq!((n, x, host.as_str()), (7, 2.5, "be0"));
+//! ```
+
+use crate::error::{PacketError, Result};
+use crate::packet::Packet;
+use crate::value::{TypeCode, Value};
+
+/// Types extractable from a single packet [`Value`].
+pub trait FromValue: Sized {
+    /// The conversion specifier this type corresponds to.
+    const CODE: TypeCode;
+
+    /// Extracts from a value of the matching variant.
+    fn from_value(value: &Value) -> Option<Self>;
+}
+
+macro_rules! impl_from_value {
+    ($($ty:ty => $code:ident, $getter:expr;)*) => {$(
+        impl FromValue for $ty {
+            const CODE: TypeCode = TypeCode::$code;
+            fn from_value(value: &Value) -> Option<Self> {
+                $getter(value)
+            }
+        }
+    )*};
+}
+
+impl_from_value! {
+    i32 => Int32, Value::as_i32;
+    u32 => UInt32, Value::as_u32;
+    i64 => Int64, Value::as_i64;
+    u64 => UInt64, Value::as_u64;
+    f32 => Float, Value::as_f32;
+    f64 => Double, Value::as_f64;
+    String => Str, |v: &Value| v.as_str().map(str::to_owned);
+    Vec<u8> => CharArray, |v: &Value| v.as_bytes().map(<[u8]>::to_vec);
+    Vec<i32> => Int32Array, |v: &Value| v.as_i32_slice().map(<[i32]>::to_vec);
+    Vec<u32> => UInt32Array, |v: &Value| v.as_u32_slice().map(<[u32]>::to_vec);
+    Vec<u64> => UInt64Array, |v: &Value| v.as_u64_slice().map(<[u64]>::to_vec);
+    Vec<f32> => FloatArray, |v: &Value| v.as_f32_slice().map(<[f32]>::to_vec);
+    Vec<f64> => DoubleArray, |v: &Value| v.as_f64_slice().map(<[f64]>::to_vec);
+    Vec<String> => StrArray, |v: &Value| v.as_str_array().map(<[String]>::to_vec);
+}
+
+impl FromValue for Vec<i64> {
+    const CODE: TypeCode = TypeCode::Int64Array;
+    fn from_value(value: &Value) -> Option<Self> {
+        match value {
+            Value::Int64Array(v) => Some(v.clone()),
+            _ => None,
+        }
+    }
+}
+
+fn extract<T: FromValue>(packet: &Packet, index: usize) -> Result<T> {
+    let value = packet.get(index).ok_or(PacketError::ArityMismatch {
+        expected: index + 1,
+        actual: packet.values().len(),
+    })?;
+    T::from_value(value).ok_or(PacketError::TypeMismatch {
+        index,
+        expected: T::CODE.spec(),
+        actual: value.type_code().spec(),
+    })
+}
+
+/// Tuple-typed extraction of a whole packet payload.
+pub trait Unpack {
+    /// Extracts the payload as a tuple (or scalar), checking arity and
+    /// every position's type.
+    fn unpack<T: UnpackTuple>(&self) -> Result<T>;
+
+    /// Extracts the value at `index` as `T`.
+    fn arg<T: FromValue>(&self, index: usize) -> Result<T>;
+}
+
+impl Unpack for Packet {
+    fn unpack<T: UnpackTuple>(&self) -> Result<T> {
+        T::unpack_from(self)
+    }
+
+    fn arg<T: FromValue>(&self, index: usize) -> Result<T> {
+        extract(self, index)
+    }
+}
+
+/// Implemented for scalars and tuples up to arity 6.
+pub trait UnpackTuple: Sized {
+    /// Number of values consumed.
+    const ARITY: usize;
+
+    /// Extracts from the packet, validating total arity.
+    fn unpack_from(packet: &Packet) -> Result<Self>;
+}
+
+macro_rules! impl_unpack_tuple {
+    ($arity:expr; $($t:ident : $idx:tt),+) => {
+        impl<$($t: FromValue),+> UnpackTuple for ($($t,)+) {
+            const ARITY: usize = $arity;
+            fn unpack_from(packet: &Packet) -> Result<Self> {
+                if packet.values().len() != $arity {
+                    return Err(PacketError::ArityMismatch {
+                        expected: $arity,
+                        actual: packet.values().len(),
+                    });
+                }
+                Ok(($(extract::<$t>(packet, $idx)?,)+))
+            }
+        }
+    };
+}
+
+impl_unpack_tuple!(1; A:0);
+impl_unpack_tuple!(2; A:0, B:1);
+impl_unpack_tuple!(3; A:0, B:1, C:2);
+impl_unpack_tuple!(4; A:0, B:1, C:2, D:3);
+impl_unpack_tuple!(5; A:0, B:1, C:2, D:3, E:4);
+impl_unpack_tuple!(6; A:0, B:1, C:2, D:3, E:4, F:5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketBuilder;
+
+    #[test]
+    fn unpack_mixed_tuple() {
+        let p = PacketBuilder::new(1, 0)
+            .push(-3i32)
+            .push(9u64)
+            .push(1.25f32)
+            .push("x")
+            .push(vec![1u32, 2])
+            .build();
+        let (a, b, c, d, e): (i32, u64, f32, String, Vec<u32>) = p.unpack().unwrap();
+        assert_eq!((a, b, c, d.as_str(), e), (-3, 9, 1.25, "x", vec![1, 2]));
+    }
+
+    #[test]
+    fn unpack_single() {
+        let p = PacketBuilder::new(1, 0).push(2.5f64).build();
+        let (v,): (f64,) = p.unpack().unwrap();
+        assert_eq!(v, 2.5);
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let p = PacketBuilder::new(1, 0).push(1i32).push(2i32).build();
+        let r: Result<(i32,)> = p.unpack();
+        assert!(matches!(r, Err(PacketError::ArityMismatch { expected: 1, actual: 2 })));
+        let r: Result<(i32, i32, i32)> = p.unpack();
+        assert!(matches!(r, Err(PacketError::ArityMismatch { expected: 3, actual: 2 })));
+    }
+
+    #[test]
+    fn type_mismatch_reports_position_and_specs() {
+        let p = PacketBuilder::new(1, 0).push(1i32).push(2i32).build();
+        let r: Result<(i32, f64)> = p.unpack();
+        match r {
+            Err(PacketError::TypeMismatch {
+                index: 1,
+                expected: "%lf",
+                actual: "%d",
+            }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arg_extracts_by_index() {
+        let p = PacketBuilder::new(1, 0)
+            .push("skip")
+            .push(vec![1.5f64, 2.5])
+            .build();
+        let v: Vec<f64> = p.arg(1).unwrap();
+        assert_eq!(v, vec![1.5, 2.5]);
+        assert!(p.arg::<i32>(0).is_err());
+        assert!(p.arg::<i32>(9).is_err());
+    }
+
+    #[test]
+    #[allow(clippy::type_complexity)]
+    fn all_array_types_extract() {
+        let p = PacketBuilder::new(1, 0)
+            .push(vec![1u8, 2])
+            .push(vec![-1i32])
+            .push(vec![-1i64])
+            .push(vec![1u64])
+            .push(vec![0.5f32])
+            .push(vec!["s".to_string()])
+            .build();
+        let (a, b, c, d, e, f): (Vec<u8>, Vec<i32>, Vec<i64>, Vec<u64>, Vec<f32>, Vec<String>) =
+            p.unpack().unwrap();
+        assert_eq!(a, vec![1, 2]);
+        assert_eq!(b, vec![-1]);
+        assert_eq!(c, vec![-1]);
+        assert_eq!(d, vec![1]);
+        assert_eq!(e, vec![0.5]);
+        assert_eq!(f, vec!["s"]);
+    }
+}

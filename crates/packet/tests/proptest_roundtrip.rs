@@ -1,0 +1,126 @@
+//! Property-based tests: arbitrary packets survive the packed binary
+//! codec and batching unchanged, and arbitrary byte soup never panics
+//! the decoder.
+
+use bytes::Bytes;
+use mrnet_packet::{
+    decode_batch, decode_packet, encode_batch, encode_packet, FormatString, Packet, Value,
+};
+use proptest::prelude::*;
+
+fn arb_scalar() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<u8>().prop_map(Value::Char),
+        any::<i32>().prop_map(Value::Int32),
+        any::<u32>().prop_map(Value::UInt32),
+        any::<i64>().prop_map(Value::Int64),
+        any::<u64>().prop_map(Value::UInt64),
+        any::<f32>().prop_map(Value::Float),
+        any::<f64>().prop_map(Value::Double),
+        ".{0,40}".prop_map(Value::Str),
+    ]
+}
+
+fn arb_array() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..50).prop_map(Value::CharArray),
+        proptest::collection::vec(any::<i32>(), 0..50).prop_map(Value::Int32Array),
+        proptest::collection::vec(any::<u32>(), 0..50).prop_map(Value::UInt32Array),
+        proptest::collection::vec(any::<i64>(), 0..50).prop_map(Value::Int64Array),
+        proptest::collection::vec(any::<u64>(), 0..50).prop_map(Value::UInt64Array),
+        proptest::collection::vec(any::<f32>(), 0..50).prop_map(Value::FloatArray),
+        proptest::collection::vec(any::<f64>(), 0..50).prop_map(Value::DoubleArray),
+        proptest::collection::vec(".{0,10}".prop_map(String::from), 0..10)
+            .prop_map(Value::StrArray),
+    ]
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![arb_scalar(), arb_array()]
+}
+
+prop_compose! {
+    fn arb_packet()(
+        stream_id in any::<u32>(),
+        tag in any::<i32>(),
+        src in any::<u32>(),
+        values in proptest::collection::vec(arb_value(), 0..8),
+    ) -> Packet {
+        let codes: Vec<_> = values.iter().map(Value::type_code).collect();
+        let fmt = FormatString::from_codes(codes);
+        Packet::new(stream_id, tag, fmt, values).unwrap().with_src(src)
+    }
+}
+
+// NaN-aware equality: the codec must preserve bit patterns for normal
+// floats; NaN payload bits may legally differ only in representation we
+// don't use, so compare via to_bits.
+fn values_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+        (Value::Double(x), Value::Double(y)) => x.to_bits() == y.to_bits(),
+        (Value::FloatArray(x), Value::FloatArray(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits())
+        }
+        (Value::DoubleArray(x), Value::DoubleArray(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits())
+        }
+        _ => a == b,
+    }
+}
+
+fn packets_eq(a: &Packet, b: &Packet) -> bool {
+    a.stream_id() == b.stream_id()
+        && a.tag() == b.tag()
+        && a.src() == b.src()
+        && a.fmt() == b.fmt()
+        && a.values().len() == b.values().len()
+        && a.values()
+            .iter()
+            .zip(b.values())
+            .all(|(x, y)| values_eq(x, y))
+}
+
+proptest! {
+    #[test]
+    fn packet_codec_round_trip(packet in arb_packet()) {
+        let decoded = decode_packet(encode_packet(&packet)).unwrap();
+        prop_assert!(packets_eq(&packet, &decoded));
+    }
+
+    #[test]
+    fn batch_codec_round_trip(packets in proptest::collection::vec(arb_packet(), 0..10)) {
+        let decoded = decode_batch(encode_batch(&packets)).unwrap();
+        prop_assert_eq!(decoded.len(), packets.len());
+        for (a, b) in packets.iter().zip(&decoded) {
+            prop_assert!(packets_eq(a, b));
+        }
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Any result is fine; panics/aborts are not.
+        let _ = decode_packet(Bytes::from(bytes.clone()));
+        let _ = decode_batch(Bytes::from(bytes));
+    }
+
+    #[test]
+    fn format_string_canonical_round_trip(codes in proptest::collection::vec(0u8..16, 0..12)) {
+        let codes: Vec<_> = codes
+            .into_iter()
+            .map(|t| mrnet_packet::TypeCode::from_tag(t).unwrap())
+            .collect();
+        let fmt = FormatString::from_codes(codes.clone());
+        let reparsed = FormatString::parse(&fmt.to_string()).unwrap();
+        prop_assert_eq!(reparsed.codes(), &codes[..]);
+    }
+
+    #[test]
+    fn encoded_size_hint_is_close(packet in arb_packet()) {
+        // The hint must be an upper bound within the header slack (the
+        // hint charges the textual fmt, the wire uses per-value tags).
+        let actual = encode_packet(&packet).len();
+        let hint = packet.encoded_size_hint();
+        prop_assert!(actual <= hint + 16, "actual {} hint {}", actual, hint);
+    }
+}

@@ -1,0 +1,484 @@
+//! Performance data aggregation: time-aligned (Figure 6) and ordinal
+//! (Figure 5a) schemes, plus the custom MRNet filter that distributes
+//! the time-aligned scheme through the tree.
+//!
+//! §3.2: "Paradyn's Performance Data Aggregation filter collects data
+//! samples on all of its inputs, aligns the data samples, and then
+//! reduces them. … the filter maintains the notion of an output sample
+//! interval. … If [a sample's] arrival caused the current output
+//! sample interval to be full (i.e., to have sample data from all
+//! input connections over all input connections), the filter reduces
+//! the aligned samples and advances its output sample interval."
+
+use std::collections::{HashMap, VecDeque};
+
+use mrnet_filters::{FilterContext, FilterError, Transform};
+use mrnet_packet::{FormatString, Packet, Rank};
+
+use crate::samples::Sample;
+
+/// How aligned per-input contributions reduce into one output value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlignOp {
+    /// Sum across inputs (global CPU time, message volume).
+    Sum,
+    /// Average across inputs (global utilization).
+    Avg,
+    /// Minimum across inputs.
+    Min,
+    /// Maximum across inputs.
+    Max,
+}
+
+impl AlignOp {
+    fn reduce(self, contributions: &[f64]) -> f64 {
+        match self {
+            AlignOp::Sum => contributions.iter().sum(),
+            AlignOp::Avg => {
+                contributions.iter().sum::<f64>() / contributions.len() as f64
+            }
+            AlignOp::Min => contributions.iter().copied().fold(f64::INFINITY, f64::min),
+            AlignOp::Max => contributions
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+/// The Figure 6 time-aligned aggregator over a fixed set of inputs.
+#[derive(Debug)]
+pub struct TimeAlignedAggregator {
+    queues: Vec<VecDeque<Sample>>,
+    interval_len: f64,
+    op: AlignOp,
+    /// The current output sample interval `[start, start+len)`, set
+    /// once every input has produced data.
+    current_start: Option<f64>,
+}
+
+impl TimeAlignedAggregator {
+    /// An aggregator over `num_inputs` input connections producing
+    /// output samples of length `interval_len`.
+    pub fn new(num_inputs: usize, interval_len: f64, op: AlignOp) -> TimeAlignedAggregator {
+        assert!(num_inputs > 0, "aggregator needs at least one input");
+        assert!(interval_len > 0.0, "output interval must have positive length");
+        TimeAlignedAggregator {
+            queues: (0..num_inputs).map(|_| VecDeque::new()).collect(),
+            interval_len,
+            op,
+            current_start: None,
+        }
+    }
+
+    /// Number of input connections.
+    pub fn num_inputs(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Queued samples across all inputs (for diagnostics).
+    pub fn pending(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Accepts a sample from `input`; returns any output samples whose
+    /// intervals became full (Figure 6 b–e).
+    pub fn push(&mut self, input: usize, sample: Sample) -> Vec<Sample> {
+        self.queues[input].push_back(sample);
+        self.establish_interval();
+        let mut out = Vec::new();
+        while let Some(reduced) = self.try_reduce() {
+            out.push(reduced);
+        }
+        out
+    }
+
+    /// Sets the first output interval once every input has data: it
+    /// begins at the latest first-sample start, so every input can
+    /// cover it (earlier partial data is clipped proportionally).
+    fn establish_interval(&mut self) {
+        if self.current_start.is_some() {
+            return;
+        }
+        if self.queues.iter().any(VecDeque::is_empty) {
+            return;
+        }
+        let start = self
+            .queues
+            .iter()
+            .map(|q| q.front().expect("checked non-empty").start)
+            .fold(f64::NEG_INFINITY, f64::max);
+        self.current_start = Some(start);
+    }
+
+    /// True when `input`'s queued samples cover the current interval.
+    fn covers(&self, input: usize, end: f64) -> bool {
+        self.queues[input]
+            .back()
+            .is_some_and(|last| last.end >= end)
+    }
+
+    /// If the current interval is full, reduce it and advance.
+    fn try_reduce(&mut self) -> Option<Sample> {
+        let start = self.current_start?;
+        let end = start + self.interval_len;
+        if !(0..self.queues.len()).all(|i| self.covers(i, end)) {
+            return None;
+        }
+        let mut contributions = Vec::with_capacity(self.queues.len());
+        for queue in &mut self.queues {
+            let mut acc = 0.0;
+            while let Some(front) = queue.front().copied() {
+                if front.end <= end {
+                    // Entirely inside (or before) the interval: consume,
+                    // counting only the overlapping share.
+                    let share = if front.len() > 0.0 {
+                        front.value * (front.overlap(start, end) / front.len())
+                    } else {
+                        0.0
+                    };
+                    acc += share;
+                    queue.pop_front();
+                } else {
+                    // Straddles the interval end: split proportionally
+                    // (Figure 6c), keep the remainder for the next
+                    // interval.
+                    if front.start < end {
+                        let (left, right) = front.split_at(end);
+                        acc += left.value * (left.overlap(start, end) / left.len());
+                        *queue.front_mut().expect("non-empty") = right;
+                    }
+                    break;
+                }
+            }
+            contributions.push(acc);
+        }
+        self.current_start = Some(end);
+        Some(Sample::new(self.op.reduce(&contributions), start, end))
+    }
+}
+
+/// The ordinal baseline (Figure 5a): aggregate the first sample from
+/// each input, then the second, and so on, ignoring timestamps.
+#[derive(Debug)]
+pub struct OrdinalAggregator {
+    queues: Vec<VecDeque<Sample>>,
+    op: AlignOp,
+}
+
+impl OrdinalAggregator {
+    /// An ordinal aggregator over `num_inputs` inputs.
+    pub fn new(num_inputs: usize, op: AlignOp) -> OrdinalAggregator {
+        assert!(num_inputs > 0);
+        OrdinalAggregator {
+            queues: (0..num_inputs).map(|_| VecDeque::new()).collect(),
+            op,
+        }
+    }
+
+    /// Accepts a sample from `input`; returns output samples for every
+    /// complete rank of inputs.
+    pub fn push(&mut self, input: usize, sample: Sample) -> Vec<Sample> {
+        self.queues[input].push_back(sample);
+        let mut out = Vec::new();
+        while self.queues.iter().all(|q| !q.is_empty()) {
+            let wave: Vec<Sample> = self
+                .queues
+                .iter_mut()
+                .map(|q| q.pop_front().expect("checked non-empty"))
+                .collect();
+            let values: Vec<f64> = wave.iter().map(|s| s.value).collect();
+            let start = wave.iter().map(|s| s.start).fold(f64::INFINITY, f64::min);
+            let end = wave.iter().map(|s| s.end).fold(f64::NEG_INFINITY, f64::max);
+            out.push(Sample::new(self.op.reduce(&values), start, end));
+        }
+        out
+    }
+}
+
+/// The custom MRNet transformation filter wrapping
+/// [`TimeAlignedAggregator`] — Paradyn's "Performance Data Aggregation
+/// filter within each MRNet internal process" (§3.2).
+///
+/// Use with [`mrnet::SyncMode::DoNotWait`]: the filter performs its own
+/// time-based alignment, so no wave synchronization is wanted. Inputs
+/// are distinguished by packet source rank; outputs carry the local
+/// process's rank so the next level up can distinguish *its* inputs.
+pub struct TimeAlignedFilter {
+    fmt: FormatString,
+    interval_len: f64,
+    op: AlignOp,
+    state: Option<TimeAlignedAggregator>,
+    input_of_src: HashMap<Rank, usize>,
+}
+
+impl TimeAlignedFilter {
+    /// The registry name used by convention.
+    pub const NAME: &'static str = "paradyn_time_aligned";
+
+    /// Creates the filter; the aggregator is sized on first use from
+    /// the filter context's child count.
+    pub fn new(interval_len: f64, op: AlignOp) -> TimeAlignedFilter {
+        TimeAlignedFilter {
+            fmt: FormatString::parse(Sample::FORMAT).expect("static format"),
+            interval_len,
+            op,
+            state: None,
+            input_of_src: HashMap::new(),
+        }
+    }
+}
+
+impl Transform for TimeAlignedFilter {
+    fn name(&self) -> &str {
+        Self::NAME
+    }
+
+    fn input_format(&self) -> Option<&FormatString> {
+        Some(&self.fmt)
+    }
+
+    fn transform(
+        &mut self,
+        inputs: Vec<Packet>,
+        ctx: &FilterContext,
+    ) -> mrnet_filters::Result<Vec<Packet>> {
+        let n = ctx.num_children.max(1);
+        let agg = self
+            .state
+            .get_or_insert_with(|| TimeAlignedAggregator::new(n, self.interval_len, self.op));
+        let mut out = Vec::new();
+        for packet in inputs {
+            let sample = Sample::from_packet(&packet)
+                .map_err(|e| FilterError::Custom(e.to_string()))?;
+            let next_idx = self.input_of_src.len();
+            let idx = *self.input_of_src.entry(packet.src()).or_insert(next_idx);
+            if idx >= agg.num_inputs() {
+                return Err(FilterError::Custom(format!(
+                    "more distinct sources than input connections ({} >= {})",
+                    idx,
+                    agg.num_inputs()
+                )));
+            }
+            for produced in agg.push(idx, sample) {
+                out.push(
+                    produced
+                        .to_packet(packet.stream_id(), packet.tag())
+                        .with_src(ctx.local_rank),
+                );
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples::SampleGenerator;
+
+    #[test]
+    fn aligned_sum_of_equal_rate_inputs() {
+        let mut agg = TimeAlignedAggregator::new(2, 0.2, AlignOp::Sum);
+        let mut g0 = SampleGenerator::new(5.0, 0.0, 0.0, 1.0, 1);
+        let mut g1 = SampleGenerator::new(5.0, 0.0, 0.0, 2.0, 2);
+        let mut outputs = Vec::new();
+        for _ in 0..10 {
+            outputs.extend(agg.push(0, g0.next_sample()));
+            outputs.extend(agg.push(1, g1.next_sample()));
+        }
+        assert!(outputs.len() >= 9);
+        for o in &outputs {
+            assert!((o.value - 3.0).abs() < 1e-9, "each interval sums to 3");
+            assert!((o.len() - 0.2).abs() < 1e-12);
+        }
+        // Output intervals are contiguous.
+        for w in outputs.windows(2) {
+            assert!((w[0].end - w[1].start).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn misaligned_inputs_are_split_proportionally() {
+        // Input 1 is phase-shifted by half a period; total value over
+        // any window must still be conserved.
+        let mut agg = TimeAlignedAggregator::new(2, 0.2, AlignOp::Sum);
+        let mut g0 = SampleGenerator::new(5.0, 0.0, 0.0, 1.0, 1);
+        let mut g1 = SampleGenerator::new(5.0, 0.1, 0.0, 1.0, 2);
+        let mut outputs = Vec::new();
+        for _ in 0..50 {
+            outputs.extend(agg.push(0, g0.next_sample()));
+            outputs.extend(agg.push(1, g1.next_sample()));
+        }
+        assert!(outputs.len() > 40);
+        // Steady state: every full interval carries 1.0 from each
+        // input, in spite of the phase shift.
+        for o in &outputs[1..] {
+            assert!((o.value - 2.0).abs() < 1e-9, "interval {o:?}");
+        }
+        // First interval starts at the later input's first start.
+        assert!((outputs[0].start - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn value_conservation_under_jitter() {
+        // With jittery intervals, total emitted value over a long run
+        // approaches total injected value within one interval's worth.
+        let mut agg = TimeAlignedAggregator::new(3, 0.2, AlignOp::Sum);
+        let mut gens: Vec<_> = (0..3)
+            .map(|i| SampleGenerator::new(5.0, 0.02 * i as f64, 0.3, 1.0, i as u64))
+            .collect();
+        let mut injected = [0.0f64; 3];
+        let mut emitted = 0.0f64;
+        let mut last_end = 0.0f64;
+        for _ in 0..500 {
+            for (i, g) in gens.iter_mut().enumerate() {
+                let s = g.next_sample();
+                injected[i] += s.value;
+                for o in agg.push(i, s) {
+                    emitted += o.value;
+                    last_end = o.end;
+                }
+            }
+        }
+        // Compare against value injected within the emitted window:
+        // 5 samples/s at level 1.0 ⇒ 5 value-units/s per input.
+        let expected = 3.0 * 5.0 * last_end;
+        assert!(
+            (emitted - expected).abs() / expected < 0.05,
+            "emitted {emitted} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn avg_min_max_ops() {
+        let mk = |op| {
+            let mut agg = TimeAlignedAggregator::new(2, 1.0, op);
+            let mut out = Vec::new();
+            out.extend(agg.push(0, Sample::new(2.0, 0.0, 1.0)));
+            out.extend(agg.push(1, Sample::new(6.0, 0.0, 1.0)));
+            out
+        };
+        assert!((mk(AlignOp::Avg)[0].value - 4.0).abs() < 1e-12);
+        assert!((mk(AlignOp::Min)[0].value - 2.0).abs() < 1e-12);
+        assert!((mk(AlignOp::Max)[0].value - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_output_until_all_inputs_cover() {
+        let mut agg = TimeAlignedAggregator::new(2, 0.5, AlignOp::Sum);
+        assert!(agg.push(0, Sample::new(1.0, 0.0, 0.5)).is_empty());
+        assert!(agg.push(0, Sample::new(1.0, 0.5, 1.0)).is_empty());
+        assert_eq!(agg.pending(), 2);
+        let out = agg.push(1, Sample::new(4.0, 0.0, 0.5));
+        assert_eq!(out.len(), 1);
+        assert!((out[0].value - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_arrival_can_complete_multiple_intervals() {
+        let mut agg = TimeAlignedAggregator::new(2, 0.25, AlignOp::Sum);
+        // Input 0 covers a full second in four samples.
+        for k in 0..4 {
+            let t = 0.25 * f64::from(k);
+            assert!(agg.push(0, Sample::new(1.0, t, t + 0.25)).is_empty());
+        }
+        // Input 1 delivers one big sample covering the same second:
+        // four intervals complete at once, each getting a quarter.
+        let out = agg.push(1, Sample::new(8.0, 0.0, 1.0));
+        assert_eq!(out.len(), 4);
+        for o in &out {
+            assert!((o.value - 3.0).abs() < 1e-12); // 1.0 + 8.0/4
+        }
+    }
+
+    #[test]
+    fn ordinal_vs_time_aligned_on_skewed_streams() {
+        // Figure 5's point: with phase-shifted inputs ordinal
+        // aggregation mixes samples from different execution intervals.
+        let s0 = [Sample::new(1.0, 0.0, 1.0), Sample::new(5.0, 1.0, 2.0)];
+        // Input 1 is late by a full interval.
+        let s1 = [Sample::new(2.0, 1.0, 2.0), Sample::new(6.0, 2.0, 3.0)];
+        let mut ord = OrdinalAggregator::new(2, AlignOp::Sum);
+        let mut out = Vec::new();
+        for i in 0..2 {
+            out.extend(ord.push(0, s0[i]));
+            out.extend(ord.push(1, s1[i]));
+        }
+        // Ordinal pairs (1.0 with 2.0) although they cover different
+        // intervals — its first output spans [0,2).
+        assert!((out[0].value - 3.0).abs() < 1e-12);
+        assert!((out[0].start - 0.0).abs() < 1e-12);
+        assert!((out[0].end - 2.0).abs() < 1e-12);
+
+        // Time-aligned instead pairs the overlapping intervals.
+        let mut ta = TimeAlignedAggregator::new(2, 1.0, AlignOp::Sum);
+        let mut out = Vec::new();
+        for i in 0..2 {
+            out.extend(ta.push(0, s0[i]));
+            out.extend(ta.push(1, s1[i]));
+        }
+        assert!(!out.is_empty());
+        // First aligned interval is [1,2): 5.0 + 2.0.
+        assert!((out[0].value - 7.0).abs() < 1e-12);
+        assert!((out[0].start - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filter_composes_through_two_levels() {
+        use mrnet_packet::PacketBuilder;
+        // Distinct local ranks: the two leaf processes' outputs must
+        // be distinguishable as inputs at the root.
+        let ctx_leaf_a = FilterContext::new(9, 100, 2);
+        let ctx_leaf_b = FilterContext::new(9, 101, 2);
+        let ctx_root = FilterContext::new(9, 0, 2);
+        let mut leaf_a = TimeAlignedFilter::new(0.2, AlignOp::Sum);
+        let mut leaf_b = TimeAlignedFilter::new(0.2, AlignOp::Sum);
+        let mut root = TimeAlignedFilter::new(0.2, AlignOp::Sum);
+        let mut gens: Vec<_> = (0..4)
+            .map(|i| SampleGenerator::new(5.0, 0.0, 0.0, 1.0, i as u64))
+            .collect();
+        let mut final_out = Vec::new();
+        for _ in 0..10 {
+            for (i, g) in gens.iter_mut().enumerate() {
+                let s = g.next_sample();
+                let pkt = s.to_packet(9, 1).with_src(200 + i as u32);
+                let (leaf, ctx_l) = if i < 2 {
+                    (&mut leaf_a, &ctx_leaf_a)
+                } else {
+                    (&mut leaf_b, &ctx_leaf_b)
+                };
+                let mid = leaf.transform(vec![pkt], ctx_l).unwrap();
+                if !mid.is_empty() {
+                    final_out.extend(root.transform(mid, &ctx_root).unwrap());
+                }
+            }
+        }
+        assert!(final_out.len() >= 8);
+        for p in &final_out {
+            let s = Sample::from_packet(p).unwrap();
+            assert!((s.value - 4.0).abs() < 1e-9, "4 inputs at level 1.0: {s:?}");
+            assert_eq!(p.src(), 0, "outputs carry the local rank");
+        }
+        let _ = PacketBuilder::new(0, 0); // keep import used
+    }
+
+    #[test]
+    fn filter_rejects_wrong_format() {
+        use mrnet_packet::PacketBuilder;
+        let mut f = TimeAlignedFilter::new(0.2, AlignOp::Sum);
+        let ctx = FilterContext::new(1, 0, 2);
+        let bad = PacketBuilder::new(1, 0).push(1i32).build();
+        assert!(f.transform(vec![bad], &ctx).is_err());
+    }
+
+    #[test]
+    fn filter_rejects_too_many_sources() {
+        let mut f = TimeAlignedFilter::new(0.2, AlignOp::Sum);
+        let ctx = FilterContext::new(1, 0, 1);
+        let a = Sample::new(1.0, 0.0, 0.2).to_packet(1, 0).with_src(10);
+        let b = Sample::new(1.0, 0.0, 0.2).to_packet(1, 0).with_src(11);
+        assert!(f.transform(vec![a], &ctx).is_ok());
+        assert!(f.transform(vec![b], &ctx).is_err());
+    }
+}

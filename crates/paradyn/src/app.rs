@@ -1,0 +1,216 @@
+//! The synthetic application model.
+//!
+//! Stands in for `smg2000`, the parallel semicoarsening-multigrid
+//! solver the paper monitors: "The smg2000 executable is relatively
+//! small, containing approximately 434 functions in a 290 KB
+//! executable" (§4.2.1). The model gives every daemon the same
+//! executable image (so checksums collide into one equivalence class
+//! on homogeneous clusters, exactly the case Paradyn's start-up
+//! protocol optimizes) plus a deterministic static call graph.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One function in the application image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Symbol name.
+    pub name: String,
+    /// Start address.
+    pub addr: u64,
+    /// Size in bytes.
+    pub size: u32,
+}
+
+/// One module (compilation unit) in the application image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Module {
+    /// Module (source file) name.
+    pub name: String,
+    /// Functions defined in the module.
+    pub functions: Vec<Function>,
+}
+
+/// A call-graph edge: caller index → callee index (global function
+/// indices).
+pub type CallEdge = (u32, u32);
+
+/// An application executable as a Paradyn daemon sees it after the
+/// "Parse Executable" start-up activity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Executable {
+    /// Executable name.
+    pub name: String,
+    /// Modules, each with its functions.
+    pub modules: Vec<Module>,
+    /// The static call graph.
+    pub call_graph: Vec<CallEdge>,
+}
+
+impl Executable {
+    /// Builds the synthetic `smg2000`-like image: ~434 functions over
+    /// a handful of modules, with a deterministic random DAG call
+    /// graph. Same `seed` ⇒ bit-identical image (homogeneous cluster).
+    pub fn synthetic_smg2000(seed: u64) -> Executable {
+        Executable::synthetic("smg2000", 434, 12, seed)
+    }
+
+    /// Builds a synthetic image with the given shape.
+    pub fn synthetic(name: &str, functions: usize, modules: usize, seed: u64) -> Executable {
+        assert!(modules >= 1 && functions >= modules);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut mods = Vec::with_capacity(modules);
+        let base = functions / modules;
+        let extra = functions % modules;
+        let mut addr: u64 = 0x1000_0000;
+        let mut global = 0usize;
+        for m in 0..modules {
+            let count = base + usize::from(m < extra);
+            let mut funcs = Vec::with_capacity(count);
+            for _ in 0..count {
+                let size = rng.gen_range(64..2048u32);
+                funcs.push(Function {
+                    name: format!("{name}_m{m}_f{global}"),
+                    addr,
+                    size,
+                });
+                addr += u64::from(size) + u64::from(rng.gen_range(0..64u32));
+                global += 1;
+            }
+            mods.push(Module {
+                name: format!("{name}_mod{m}.c"),
+                functions: funcs,
+            });
+        }
+        // A random DAG: edges only from lower to higher indices, so the
+        // "call graph" is acyclic (recursion elided, as Paradyn's
+        // static graphs effectively are for display purposes).
+        let n = functions as u32;
+        let mut call_graph = Vec::new();
+        for caller in 0..n {
+            let fanout = rng.gen_range(0..4u32);
+            for _ in 0..fanout {
+                if caller + 1 < n {
+                    let callee = rng.gen_range(caller + 1..n);
+                    call_graph.push((caller, callee));
+                }
+            }
+        }
+        call_graph.sort_unstable();
+        call_graph.dedup();
+        Executable {
+            name: name.to_owned(),
+            modules: mods,
+            call_graph,
+        }
+    }
+
+    /// Total function count.
+    pub fn num_functions(&self) -> usize {
+        self.modules.iter().map(|m| m.functions.len()).sum()
+    }
+
+    /// All function names, in address order.
+    pub fn function_names(&self) -> Vec<&str> {
+        self.modules
+            .iter()
+            .flat_map(|m| m.functions.iter().map(|f| f.name.as_str()))
+            .collect()
+    }
+
+    /// A stable checksum over the function/module structure — what a
+    /// daemon reports for equivalence-class partitioning (§3.1: "each
+    /// Paradyn daemon first computes a summary of the data (i.e., a
+    /// checksum)"). FNV-1a over names and addresses.
+    pub fn code_checksum(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        for m in &self.modules {
+            mix(m.name.as_bytes());
+            for f in &m.functions {
+                mix(f.name.as_bytes());
+                mix(&f.addr.to_le_bytes());
+                mix(&f.size.to_le_bytes());
+            }
+        }
+        h
+    }
+
+    /// A stable checksum over the static call graph, for the
+    /// "Report Callgraph Eq Classes" activity.
+    pub fn callgraph_checksum(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (a, b) in &self.call_graph {
+            for &byte in a.to_le_bytes().iter().chain(b.to_le_bytes().iter()) {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smg2000_shape_matches_paper() {
+        let exe = Executable::synthetic_smg2000(1);
+        assert_eq!(exe.num_functions(), 434);
+        assert_eq!(exe.modules.len(), 12);
+        assert_eq!(exe.function_names().len(), 434);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = Executable::synthetic_smg2000(9);
+        let b = Executable::synthetic_smg2000(9);
+        assert_eq!(a, b);
+        assert_eq!(a.code_checksum(), b.code_checksum());
+        assert_eq!(a.callgraph_checksum(), b.callgraph_checksum());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Executable::synthetic_smg2000(1);
+        let b = Executable::synthetic_smg2000(2);
+        assert_ne!(a.code_checksum(), b.code_checksum());
+    }
+
+    #[test]
+    fn call_graph_is_acyclic_by_construction() {
+        let exe = Executable::synthetic_smg2000(3);
+        for &(caller, callee) in &exe.call_graph {
+            assert!(caller < callee);
+            assert!((callee as usize) < exe.num_functions());
+        }
+        assert!(!exe.call_graph.is_empty());
+    }
+
+    #[test]
+    fn addresses_strictly_increase() {
+        let exe = Executable::synthetic_smg2000(4);
+        let mut last = 0u64;
+        for m in &exe.modules {
+            for f in &m.functions {
+                assert!(f.addr > last || last == 0);
+                last = f.addr;
+            }
+        }
+    }
+
+    #[test]
+    fn custom_shapes() {
+        let exe = Executable::synthetic("app", 10, 3, 5);
+        assert_eq!(exe.num_functions(), 10);
+        assert_eq!(exe.modules.len(), 3);
+        // 10 = 4 + 3 + 3
+        assert_eq!(exe.modules[0].functions.len(), 4);
+    }
+}

@@ -1,0 +1,29 @@
+//! `paradyn_commnode` — an MRNet internal-process binary carrying
+//! Paradyn's custom filters (equivalence-class binning and time-aligned
+//! performance data aggregation) in addition to the built-ins.
+//!
+//! Deploying the full Paradyn tool across real processes requires the
+//! internal processes to know these filters — the process-mode
+//! analogue of §2.4's "shared object file that contains the filter
+//! function" being installed on every host.
+//!
+//! Usage: `paradyn_commnode --parent HOST:PORT --rank N`
+
+use std::process::ExitCode;
+
+use mrnet::commnode;
+use paradyn::paradyn_registry;
+
+fn main() -> ExitCode {
+    let result = commnode::parse_args(std::env::args().skip(1)).and_then(|(parent, rank)| {
+        let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+        commnode::run(&parent, rank, paradyn_registry(), &exe)
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("paradyn_commnode: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

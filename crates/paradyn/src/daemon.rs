@@ -1,0 +1,296 @@
+//! The Paradyn daemon (tool back-end).
+//!
+//! A daemon owns one MRNet [`Backend`] handle and the application
+//! process(es) it monitors. During start-up it answers the front-end's
+//! protocol requests (§3.1); afterwards it samples performance data at
+//! a fixed rate (§4.2.2).
+
+use std::time::{Duration, Instant};
+
+use mrnet::{Backend, MrnetError, Value};
+use mrnet_packet::StreamId;
+
+use crate::app::Executable;
+use crate::eqclass::{encode_classes, EqClass};
+use crate::error::{ParadynError, Result};
+use crate::mdl;
+use crate::proto::tags;
+use crate::resources::{code_resources, machine_resources};
+use crate::samples::SampleGenerator;
+
+/// A running Paradyn daemon.
+pub struct Daemon {
+    backend: Backend,
+    exe: Executable,
+    host: String,
+    pid: u32,
+    epoch: Instant,
+}
+
+/// A checksum over the metric names a daemon supports, used for the
+/// Report Metrics equivalence classes.
+fn metric_set_checksum(names: &[String]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for name in names {
+        for &b in name.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^= 0xff;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl Daemon {
+    /// Creates a daemon around an attached back-end.
+    pub fn new(backend: Backend, exe: Executable, host: impl Into<String>, pid: u32) -> Daemon {
+        Daemon {
+            backend,
+            exe,
+            host: host.into(),
+            pid,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// This daemon's MRNet rank.
+    pub fn rank(&self) -> u32 {
+        self.backend.rank()
+    }
+
+    /// Borrow the underlying back-end.
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
+    fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    fn handle_startup_request(&self, sid: StreamId, tag: i32, payload: &mrnet::Packet) -> Result<bool> {
+        let rank = self.backend.rank();
+        match tag {
+            tags::REPORT_SELF => {
+                // Basic characteristics: "such as the host on which it
+                // is running".
+                self.backend.send(
+                    sid,
+                    tag,
+                    "%s",
+                    vec![Value::Str(format!("{}:{}:{}", rank, self.host, self.pid))],
+                )?;
+            }
+            tags::REPORT_METRICS => {
+                // Parse the broadcast MDL, then report the supported
+                // metric set via the equivalence-class algorithm
+                // ("including internal metrics not specified in the
+                // MDL data").
+                let doc = payload
+                    .get(0)
+                    .and_then(Value::as_str)
+                    .ok_or(ParadynError::Malformed("MDL broadcast"))?;
+                let mut names: Vec<String> = mdl::parse_mdl(doc)?
+                    .into_iter()
+                    .map(|d| d.name)
+                    .collect();
+                names.push("internal_sampling".to_owned());
+                names.push("internal_observed_cost".to_owned());
+                let class = EqClass::singleton(metric_set_checksum(&names), rank);
+                self.backend
+                    .send_packet(encode_classes(sid, tag, &[class]))?;
+            }
+            tags::SKEW_PROBE => {
+                // Answer with (rank, local clock sample) as an %alf
+                // pair so concatenation can collect all daemons.
+                self.backend.send(
+                    sid,
+                    tag,
+                    "%alf",
+                    vec![Value::DoubleArray(vec![f64::from(rank), self.now()])],
+                )?;
+            }
+            tags::REPORT_PROCESS => {
+                self.backend.send(
+                    sid,
+                    tag,
+                    "%s",
+                    vec![Value::Str(format!(
+                        "pid={} host={} created=true resume=true",
+                        self.pid, self.host
+                    ))],
+                )?;
+            }
+            tags::REPORT_MACHINE => {
+                let paths: Vec<String> = machine_resources(&self.host, self.pid)
+                    .iter()
+                    .map(|r| r.canonical())
+                    .collect();
+                self.backend
+                    .send(sid, tag, "%as", vec![Value::StrArray(paths)])?;
+            }
+            tags::CODE_EQCLASS => {
+                // "Parse Executable" precedes this report; the checksum
+                // covers the parsed function/module structure.
+                let class = EqClass::singleton(self.exe.code_checksum(), rank);
+                self.backend
+                    .send_packet(encode_classes(sid, tag, &[class]))?;
+            }
+            tags::CODE_RESOURCES => {
+                // Only class representatives are in this stream's
+                // communicator; send the complete resource list.
+                let paths: Vec<String> = code_resources(&self.exe)
+                    .iter()
+                    .map(|r| r.canonical())
+                    .collect();
+                self.backend
+                    .send(sid, tag, "%as", vec![Value::StrArray(paths)])?;
+            }
+            tags::CALLGRAPH_EQCLASS => {
+                let class = EqClass::singleton(self.exe.callgraph_checksum(), rank);
+                self.backend
+                    .send_packet(encode_classes(sid, tag, &[class]))?;
+            }
+            tags::CALLGRAPH => {
+                let flat: Vec<u32> = self
+                    .exe
+                    .call_graph
+                    .iter()
+                    .flat_map(|&(a, b)| [a, b])
+                    .collect();
+                self.backend
+                    .send(sid, tag, "%aud", vec![Value::UInt32Array(flat)])?;
+            }
+            tags::REPORT_DONE => {
+                self.backend.send(sid, tag, "%d", vec![Value::Int32(1)])?;
+                return Ok(true);
+            }
+            other => {
+                return Err(ParadynError::Protocol(format!(
+                    "unexpected start-up tag {other}"
+                )))
+            }
+        }
+        Ok(false)
+    }
+
+    /// Serves the complete start-up protocol: answers requests until
+    /// the Report Done round finishes.
+    pub fn serve_startup(&self) -> Result<()> {
+        loop {
+            let (pkt, sid) = self.backend.recv()?;
+            if self.handle_startup_request(sid, pkt.tag(), &pkt)? {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Serves the performance-data phase (§4.2.2): waits for
+    /// `SAMPLE_DATA` requests (one per metric stream), then generates
+    /// samples at `rate` per second per metric for `duration`,
+    /// interleaving all metric streams. Returns the number of samples
+    /// sent.
+    ///
+    /// The daemon stops early if it sees `STOP_SAMPLING` or the
+    /// network goes down.
+    pub fn serve_sampling(
+        &self,
+        num_metrics: usize,
+        rate: f64,
+        duration: Duration,
+    ) -> Result<usize> {
+        // Collect the per-metric stream ids (one SAMPLE_DATA request
+        // per metric, carrying the metric index).
+        let mut streams: Vec<Option<StreamId>> = vec![None; num_metrics];
+        let mut received = 0;
+        while received < num_metrics {
+            let (pkt, sid) = self.backend.recv()?;
+            match pkt.tag() {
+                tags::SAMPLE_DATA => {
+                    let idx = pkt
+                        .get(0)
+                        .and_then(Value::as_u32)
+                        .ok_or(ParadynError::Malformed("sample request"))? as usize;
+                    if idx >= num_metrics {
+                        return Err(ParadynError::Protocol(format!(
+                            "metric index {idx} out of range"
+                        )));
+                    }
+                    if streams[idx].replace(sid).is_none() {
+                        received += 1;
+                    }
+                }
+                tags::STOP_SAMPLING => return Ok(0),
+                _ => {}
+            }
+        }
+        let streams: Vec<StreamId> = streams.into_iter().map(Option::unwrap).collect();
+
+        // Fixed-rate sampling loop, phase-locked to wall time.
+        let rank = self.backend.rank();
+        let mut gens: Vec<SampleGenerator> = (0..num_metrics)
+            .map(|m| {
+                SampleGenerator::new(
+                    rate,
+                    0.0,
+                    0.05,
+                    1.0,
+                    u64::from(rank) * 1000 + m as u64,
+                )
+            })
+            .collect();
+        let start = Instant::now();
+        let mut sent = 0usize;
+        let period = Duration::from_secs_f64(1.0 / rate);
+        let mut tick = 0u32;
+        while start.elapsed() < duration {
+            for (m, generator) in gens.iter_mut().enumerate() {
+                let sample = generator.next_sample();
+                let packet = sample.to_packet(streams[m], tags::SAMPLE_DATA);
+                match self.backend.send_packet(packet) {
+                    Ok(()) => sent += 1,
+                    Err(MrnetError::Shutdown) => return Ok(sent),
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            // Drain any stop request without blocking the schedule.
+            if let Ok(Some((pkt, _))) = self.backend.recv_timeout(Duration::ZERO) {
+                if pkt.tag() == tags::STOP_SAMPLING {
+                    return Ok(sent);
+                }
+            }
+            tick += 1;
+            let next = start + period * tick;
+            let now = Instant::now();
+            if next > now {
+                std::thread::sleep(next - now);
+            }
+        }
+        Ok(sent)
+    }
+
+    /// One-shot convenience for tests: serve start-up then sampling.
+    pub fn serve(
+        &self,
+        num_metrics: usize,
+        rate: f64,
+        sampling: Duration,
+    ) -> Result<usize> {
+        self.serve_startup()?;
+        self.serve_sampling(num_metrics, rate, sampling)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_checksum_is_order_sensitive_and_stable() {
+        let a = metric_set_checksum(&["cpu".into(), "io".into()]);
+        let b = metric_set_checksum(&["cpu".into(), "io".into()]);
+        let c = metric_set_checksum(&["io".into(), "cpu".into()]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

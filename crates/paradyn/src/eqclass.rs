@@ -1,0 +1,307 @@
+//! Checksum equivalence classes and the custom binning filter.
+//!
+//! §3.1: "each Paradyn daemon first computes a summary of the data
+//! (i.e., a checksum). Next, the daemons write the checksums to an
+//! MRNet stream created to use a custom binning filter. This filter
+//! partitions the daemons into equivalence classes based on their
+//! checksum values. When the front-end receives the final set of
+//! equivalence classes, it requests complete function resource
+//! information only for each class' representative process."
+
+use std::collections::BTreeMap;
+
+use mrnet_filters::{FilterContext, FilterError, Transform};
+use mrnet_packet::{FormatString, Packet, PacketBuilder, Rank, StreamId, Value};
+
+use crate::error::{ParadynError, Result};
+
+/// One equivalence class: the daemons whose data hashes to `checksum`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EqClass {
+    /// The shared checksum.
+    pub checksum: u64,
+    /// Member daemon ranks, sorted.
+    pub members: Vec<Rank>,
+}
+
+impl EqClass {
+    /// A singleton class (a daemon's own contribution).
+    pub fn singleton(checksum: u64, rank: Rank) -> EqClass {
+        EqClass {
+            checksum,
+            members: vec![rank],
+        }
+    }
+
+    /// The representative member the front-end queries for full data
+    /// (lowest rank, deterministically).
+    pub fn representative(&self) -> Rank {
+        *self.members.first().expect("classes are never empty")
+    }
+}
+
+/// The wire format of a class-set packet:
+/// checksums, per-class sizes, flattened members.
+pub const CLASSES_FORMAT: &str = "%auld %aud %aud";
+
+/// Encodes a class set into one packet.
+pub fn encode_classes(stream: StreamId, tag: i32, classes: &[EqClass]) -> Packet {
+    let checksums: Vec<u64> = classes.iter().map(|c| c.checksum).collect();
+    let sizes: Vec<u32> = classes.iter().map(|c| c.members.len() as u32).collect();
+    let members: Vec<u32> = classes.iter().flat_map(|c| c.members.iter().copied()).collect();
+    PacketBuilder::new(stream, tag)
+        .push(checksums)
+        .push(sizes)
+        .push(members)
+        .build()
+}
+
+/// Decodes a class-set packet.
+pub fn decode_classes(packet: &Packet) -> Result<Vec<EqClass>> {
+    let checksums = packet
+        .get(0)
+        .and_then(Value::as_u64_slice)
+        .ok_or(ParadynError::Malformed("class checksums"))?;
+    let sizes = packet
+        .get(1)
+        .and_then(Value::as_u32_slice)
+        .ok_or(ParadynError::Malformed("class sizes"))?;
+    let members = packet
+        .get(2)
+        .and_then(Value::as_u32_slice)
+        .ok_or(ParadynError::Malformed("class members"))?;
+    if checksums.len() != sizes.len() {
+        return Err(ParadynError::Malformed("class arity"));
+    }
+    let total: usize = sizes.iter().map(|&s| s as usize).sum();
+    if total != members.len() {
+        return Err(ParadynError::Malformed("class member count"));
+    }
+    let mut classes = Vec::with_capacity(checksums.len());
+    let mut offset = 0usize;
+    for (i, &checksum) in checksums.iter().enumerate() {
+        let size = sizes[i] as usize;
+        if size == 0 {
+            return Err(ParadynError::Malformed("empty class"));
+        }
+        classes.push(EqClass {
+            checksum,
+            members: members[offset..offset + size].to_vec(),
+        });
+        offset += size;
+    }
+    Ok(classes)
+}
+
+/// Merges class sets: classes with equal checksums union their
+/// members. Output is sorted by checksum, members sorted within each
+/// class.
+pub fn merge_classes(sets: impl IntoIterator<Item = EqClass>) -> Vec<EqClass> {
+    let mut by_sum: BTreeMap<u64, Vec<Rank>> = BTreeMap::new();
+    for class in sets {
+        by_sum.entry(class.checksum).or_default().extend(class.members);
+    }
+    by_sum
+        .into_iter()
+        .map(|(checksum, mut members)| {
+            members.sort_unstable();
+            members.dedup();
+            EqClass { checksum, members }
+        })
+        .collect()
+}
+
+/// The custom binning transformation filter: merges the class sets of
+/// one synchronized wave into a single class-set packet. Use with
+/// [`mrnet::SyncMode::WaitForAll`] so every child contributes to each
+/// wave.
+pub struct EqClassFilter {
+    fmt: FormatString,
+}
+
+impl EqClassFilter {
+    /// The registry name used by convention.
+    pub const NAME: &'static str = "paradyn_eqclass";
+
+    /// Creates the filter.
+    pub fn new() -> EqClassFilter {
+        EqClassFilter {
+            fmt: FormatString::parse(CLASSES_FORMAT).expect("static format"),
+        }
+    }
+}
+
+impl Default for EqClassFilter {
+    fn default() -> Self {
+        EqClassFilter::new()
+    }
+}
+
+impl Transform for EqClassFilter {
+    fn name(&self) -> &str {
+        Self::NAME
+    }
+
+    fn input_format(&self) -> Option<&FormatString> {
+        Some(&self.fmt)
+    }
+
+    fn transform(
+        &mut self,
+        inputs: Vec<Packet>,
+        ctx: &FilterContext,
+    ) -> mrnet_filters::Result<Vec<Packet>> {
+        if inputs.is_empty() {
+            return Err(FilterError::EmptyWave);
+        }
+        let mut all = Vec::new();
+        for packet in &inputs {
+            all.extend(
+                decode_classes(packet).map_err(|e| FilterError::Custom(e.to_string()))?,
+            );
+        }
+        let merged = merge_classes(all);
+        let first = &inputs[0];
+        Ok(vec![encode_classes(first.stream_id(), first.tag(), &merged)
+            .with_src(ctx.local_rank)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let classes = vec![
+            EqClass {
+                checksum: 10,
+                members: vec![1, 3, 5],
+            },
+            EqClass {
+                checksum: 99,
+                members: vec![2],
+            },
+        ];
+        let p = encode_classes(4, 7, &classes);
+        assert_eq!(p.fmt().to_string(), CLASSES_FORMAT);
+        assert_eq!(decode_classes(&p).unwrap(), classes);
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        // Arity mismatch between sizes and member count.
+        let p = PacketBuilder::new(0, 0)
+            .push(vec![1u64])
+            .push(vec![3u32])
+            .push(vec![1u32, 2])
+            .build();
+        assert!(decode_classes(&p).is_err());
+        // Wrong value types entirely.
+        let p = PacketBuilder::new(0, 0).push(1i32).build();
+        assert!(decode_classes(&p).is_err());
+        // Empty class.
+        let p = PacketBuilder::new(0, 0)
+            .push(vec![1u64])
+            .push(vec![0u32])
+            .push(Vec::<u32>::new())
+            .build();
+        assert!(decode_classes(&p).is_err());
+    }
+
+    #[test]
+    fn merge_unions_members() {
+        let merged = merge_classes([
+            EqClass::singleton(7, 3),
+            EqClass::singleton(7, 1),
+            EqClass::singleton(8, 2),
+            EqClass {
+                checksum: 7,
+                members: vec![5, 1],
+            },
+        ]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].checksum, 7);
+        assert_eq!(merged[0].members, vec![1, 3, 5]);
+        assert_eq!(merged[0].representative(), 1);
+        assert_eq!(merged[1].members, vec![2]);
+    }
+
+    #[test]
+    fn filter_merges_wave() {
+        let mut f = EqClassFilter::new();
+        let ctx = FilterContext::new(3, 42, 2);
+        let a = encode_classes(3, 0, &[EqClass::singleton(100, 1)]);
+        let b = encode_classes(3, 0, &[
+            EqClass::singleton(100, 2),
+            EqClass::singleton(200, 3),
+        ]);
+        let out = f.transform(vec![a, b], &ctx).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].src(), 42);
+        let classes = decode_classes(&out[0]).unwrap();
+        assert_eq!(classes.len(), 2);
+        assert_eq!(classes[0].members, vec![1, 2]);
+        assert_eq!(classes[1].members, vec![3]);
+    }
+
+    #[test]
+    fn homogeneous_cluster_collapses_to_one_class() {
+        // 64 daemons, identical executables: one class, one
+        // representative — the start-up optimization the paper relies
+        // on.
+        let mut f = EqClassFilter::new();
+        let ctx = FilterContext::new(1, 0, 64);
+        let wave: Vec<Packet> = (0..64)
+            .map(|r| encode_classes(1, 0, &[EqClass::singleton(0xABCD, r)]))
+            .collect();
+        let out = f.transform(wave, &ctx).unwrap();
+        let classes = decode_classes(&out[0]).unwrap();
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].members.len(), 64);
+        assert_eq!(classes[0].representative(), 0);
+    }
+
+    #[test]
+    fn filter_composes_hierarchically() {
+        let ctx = FilterContext::new(1, 9, 2);
+        let mut leaf_a = EqClassFilter::new();
+        let mut leaf_b = EqClassFilter::new();
+        let mut root = EqClassFilter::new();
+        let a = leaf_a
+            .transform(
+                vec![
+                    encode_classes(1, 0, &[EqClass::singleton(5, 10)]),
+                    encode_classes(1, 0, &[EqClass::singleton(6, 11)]),
+                ],
+                &ctx,
+            )
+            .unwrap();
+        let b = leaf_b
+            .transform(
+                vec![
+                    encode_classes(1, 0, &[EqClass::singleton(5, 12)]),
+                    encode_classes(1, 0, &[EqClass::singleton(5, 13)]),
+                ],
+                &ctx,
+            )
+            .unwrap();
+        let out = root
+            .transform(vec![a[0].clone(), b[0].clone()], &ctx)
+            .unwrap();
+        let classes = decode_classes(&out[0]).unwrap();
+        assert_eq!(classes.len(), 2);
+        assert_eq!(classes[0].members, vec![10, 12, 13]);
+        assert_eq!(classes[1].members, vec![11]);
+    }
+
+    #[test]
+    fn filter_rejects_empty_wave() {
+        let mut f = EqClassFilter::new();
+        let ctx = FilterContext::new(1, 0, 2);
+        assert!(matches!(
+            f.transform(vec![], &ctx),
+            Err(FilterError::EmptyWave)
+        ));
+    }
+}

@@ -1,0 +1,87 @@
+//! Error types for the Paradyn tool layer.
+
+use std::fmt;
+
+use mrnet::MrnetError;
+
+/// Errors produced by the Paradyn tool layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParadynError {
+    /// An MRNet-layer failure.
+    Mrnet(MrnetError),
+    /// An MDL parse error.
+    Mdl {
+        /// 1-based line of the offending token.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A protocol step received an unexpected message.
+    Protocol(String),
+    /// A start-up activity timed out.
+    Timeout(&'static str),
+    /// Malformed encoded tool data (equivalence classes, samples…).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for ParadynError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParadynError::Mrnet(e) => write!(f, "MRNet error: {e}"),
+            ParadynError::Mdl { line, message } => {
+                write!(f, "MDL parse error at line {line}: {message}")
+            }
+            ParadynError::Protocol(m) => write!(f, "tool protocol violation: {m}"),
+            ParadynError::Timeout(what) => write!(f, "timed out during {what}"),
+            ParadynError::Malformed(what) => write!(f, "malformed {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ParadynError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParadynError::Mrnet(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MrnetError> for ParadynError {
+    fn from(e: MrnetError) -> Self {
+        ParadynError::Mrnet(e)
+    }
+}
+
+impl From<mrnet_filters::FilterError> for ParadynError {
+    fn from(e: mrnet_filters::FilterError) -> Self {
+        ParadynError::Mrnet(MrnetError::Filter(e))
+    }
+}
+
+impl From<mrnet_packet::PacketError> for ParadynError {
+    fn from(e: mrnet_packet::PacketError) -> Self {
+        ParadynError::Mrnet(MrnetError::Packet(e))
+    }
+}
+
+/// Convenient result alias.
+pub type Result<T> = std::result::Result<T, ParadynError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(ParadynError::Timeout("skew").to_string().contains("skew"));
+        assert!(ParadynError::Mdl {
+            line: 2,
+            message: "bad".into()
+        }
+        .to_string()
+        .contains("line 2"));
+        let e: ParadynError = MrnetError::Timeout.into();
+        assert!(e.to_string().contains("MRNet"));
+    }
+}

@@ -1,0 +1,333 @@
+//! The Paradyn front-end: start-up orchestration and performance-data
+//! consumption over a live MRNet network.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use mrnet::{
+    Communicator, FilterRegistry, MrnetError, Network, Stream, SyncMode, Value,
+};
+use mrnet_packet::Rank;
+
+use crate::aggregation::{AlignOp, TimeAlignedFilter};
+use crate::eqclass::{decode_classes, EqClass, EqClassFilter};
+use crate::error::{ParadynError, Result};
+use crate::proto::{tags, Activity};
+use crate::samples::Sample;
+
+/// Default output-sample interval (5 samples/second, Paradyn's default
+/// initial sampling rate).
+pub const DEFAULT_INTERVAL: f64 = 0.2;
+
+/// A filter registry with Paradyn's custom filters registered on top
+/// of the MRNet built-ins: the equivalence-class binning filter and
+/// the time-aligned Performance Data Aggregation filter (§3).
+pub fn paradyn_registry() -> FilterRegistry {
+    let reg = FilterRegistry::with_builtins();
+    reg.register(EqClassFilter::NAME, || Box::new(EqClassFilter::new()))
+        .expect("fresh registry");
+    reg.register(TimeAlignedFilter::NAME, || {
+        Box::new(TimeAlignedFilter::new(DEFAULT_INTERVAL, AlignOp::Sum))
+    })
+    .expect("fresh registry");
+    reg
+}
+
+/// Everything the front-end learned during start-up, plus per-activity
+/// latencies (the Figure 8b measurement).
+#[derive(Debug)]
+pub struct StartupOutcome {
+    /// Per-activity wall-clock latency, in protocol order.
+    pub timings: Vec<(Activity, Duration)>,
+    /// Raw self-reports, one per daemon.
+    pub daemon_info: Vec<String>,
+    /// Metric-set equivalence classes.
+    pub metric_classes: Vec<EqClass>,
+    /// Estimated clock skew per daemon rank (seconds).
+    pub skews: HashMap<Rank, f64>,
+    /// Process reports, one per daemon.
+    pub process_info: Vec<String>,
+    /// Machine resource paths across all daemons.
+    pub machine_resources: Vec<String>,
+    /// Code-checksum equivalence classes.
+    pub code_classes: Vec<EqClass>,
+    /// Full code resource paths from each class representative.
+    pub code_resources: Vec<String>,
+    /// Call-graph equivalence classes.
+    pub callgraph_classes: Vec<EqClass>,
+    /// Call-graph edges from each representative (flattened pairs).
+    pub callgraph_edges: usize,
+}
+
+impl StartupOutcome {
+    /// Total start-up latency.
+    pub fn total(&self) -> Duration {
+        self.timings.iter().map(|(_, d)| *d).sum()
+    }
+}
+
+const RECV_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn timed<T>(
+    timings: &mut Vec<(Activity, Duration)>,
+    activity: Activity,
+    f: impl FnOnce() -> Result<T>,
+) -> Result<T> {
+    let start = Instant::now();
+    let out = f()?;
+    timings.push((activity, start.elapsed()));
+    Ok(out)
+}
+
+/// One concatenation round: broadcast a request, receive the
+/// concatenated string array.
+fn concat_round(net: &Network, comm: &Communicator, tag: i32) -> Result<Vec<String>> {
+    let concat = net.registry().id_of("concat_s")?;
+    let stream = net.new_stream(comm, concat, SyncMode::WaitForAll)?;
+    stream.send(tag, "%d", vec![Value::Int32(0)])?;
+    let reply = stream.recv_timeout(RECV_TIMEOUT)?;
+    let out = reply
+        .get(0)
+        .and_then(Value::as_str_array)
+        .ok_or(ParadynError::Malformed("concatenation reply"))?
+        .to_vec();
+    stream.close()?;
+    Ok(out)
+}
+
+/// One equivalence-class round: broadcast a request (with optional
+/// string payload), receive the merged class set.
+fn eqclass_round(
+    net: &Network,
+    comm: &Communicator,
+    tag: i32,
+    payload: Option<&str>,
+) -> Result<Vec<EqClass>> {
+    let filter = net.registry().id_of(EqClassFilter::NAME)?;
+    let stream = net.new_stream(comm, filter, SyncMode::WaitForAll)?;
+    match payload {
+        Some(doc) => stream.send(tag, "%s", vec![Value::Str(doc.to_owned())])?,
+        None => stream.send(tag, "%d", vec![Value::Int32(0)])?,
+    }
+    let reply = stream.recv_timeout(RECV_TIMEOUT)?;
+    let classes = decode_classes(&reply)?;
+    stream.close()?;
+    Ok(classes)
+}
+
+/// The MRNet-based clock-skew rounds: repeated broadcast/reduction
+/// pairs; each round concatenates `(rank, clock sample)` pairs from
+/// all daemons, and the minimum-round-trip round provides each
+/// daemon's estimate.
+fn skew_rounds(
+    net: &Network,
+    comm: &Communicator,
+    rounds: usize,
+) -> Result<HashMap<Rank, f64>> {
+    let concat = net.registry().id_of("concat_lf")?;
+    let stream = net.new_stream(comm, concat, SyncMode::WaitForAll)?;
+    let epoch = Instant::now();
+    let mut best: Option<(f64, HashMap<Rank, f64>)> = None;
+    for _ in 0..rounds {
+        let t0 = epoch.elapsed().as_secs_f64();
+        stream.send(tags::SKEW_PROBE, "%d", vec![Value::Int32(0)])?;
+        let reply = stream.recv_timeout(RECV_TIMEOUT)?;
+        let t1 = epoch.elapsed().as_secs_f64();
+        let rtt = t1 - t0;
+        let flat = reply
+            .get(0)
+            .and_then(Value::as_f64_slice)
+            .ok_or(ParadynError::Malformed("skew reply"))?;
+        if flat.len() % 2 != 0 {
+            return Err(ParadynError::Malformed("skew pair array"));
+        }
+        let mut estimates = HashMap::new();
+        for pair in flat.chunks_exact(2) {
+            let rank = pair[0] as Rank;
+            let sample = pair[1];
+            // NTP-style: daemon clock minus assumed midpoint.
+            estimates.insert(rank, sample - (t0 + rtt / 2.0));
+        }
+        if best.as_ref().is_none_or(|(r, _)| rtt < *r) {
+            best = Some((rtt, estimates));
+        }
+    }
+    stream.close()?;
+    Ok(best.map(|(_, e)| e).unwrap_or_default())
+}
+
+/// Requests full data from each class representative over subset
+/// streams; returns the replies' string arrays flattened.
+fn representative_round(
+    net: &Network,
+    classes: &[EqClass],
+    tag: i32,
+) -> Result<Vec<Vec<String>>> {
+    let null = net.registry().id_of("null")?;
+    let mut replies = Vec::new();
+    for class in classes {
+        let comm = net.communicator([class.representative()])?;
+        let stream = net.new_stream(&comm, null, SyncMode::DoNotWait)?;
+        stream.send(tag, "%d", vec![Value::Int32(0)])?;
+        let reply = stream.recv_timeout(RECV_TIMEOUT)?;
+        replies.push(
+            reply
+                .get(0)
+                .and_then(Value::as_str_array)
+                .map(<[String]>::to_vec)
+                .unwrap_or_default(),
+        );
+        stream.close()?;
+    }
+    Ok(replies)
+}
+
+/// Like [`representative_round`] but for `%aud` payloads (call-graph
+/// edges); returns total edge count received.
+fn callgraph_round(net: &Network, classes: &[EqClass], tag: i32) -> Result<usize> {
+    let null = net.registry().id_of("null")?;
+    let mut edges = 0usize;
+    for class in classes {
+        let comm = net.communicator([class.representative()])?;
+        let stream = net.new_stream(&comm, null, SyncMode::DoNotWait)?;
+        stream.send(tag, "%d", vec![Value::Int32(0)])?;
+        let reply = stream.recv_timeout(RECV_TIMEOUT)?;
+        edges += reply
+            .get(0)
+            .and_then(Value::as_u32_slice)
+            .map_or(0, |s| s.len() / 2);
+        stream.close()?;
+    }
+    Ok(edges)
+}
+
+/// Runs the complete §3.1 start-up protocol against live daemons,
+/// timing each Figure 8b activity.
+pub fn run_startup(net: &Network, mdl_doc: &str, skew_probe_rounds: usize) -> Result<StartupOutcome> {
+    let comm = net.broadcast_communicator();
+    let n = comm.len();
+    let mut timings = Vec::new();
+
+    let daemon_info = timed(&mut timings, Activity::ReportSelf, || {
+        concat_round(net, &comm, tags::REPORT_SELF)
+    })?;
+    let metric_classes = timed(&mut timings, Activity::ReportMetrics, || {
+        eqclass_round(net, &comm, tags::REPORT_METRICS, Some(mdl_doc))
+    })?;
+    let skews = timed(&mut timings, Activity::FindClockSkew, || {
+        skew_rounds(net, &comm, skew_probe_rounds)
+    })?;
+    // Parse Executable is daemon-local work overlapped with the code
+    // equivalence-class round in this implementation; it is reported
+    // as a zero-cost activity here and modeled explicitly in the
+    // simulated start-up (`model::startup`).
+    timings.push((Activity::ParseExecutable, Duration::ZERO));
+    let process_info = timed(&mut timings, Activity::ReportProcess, || {
+        concat_round(net, &comm, tags::REPORT_PROCESS)
+    })?;
+    let machine_resources = timed(&mut timings, Activity::ReportMachineResources, || {
+        concat_round(net, &comm, tags::REPORT_MACHINE)
+    })?;
+    let code_classes = timed(&mut timings, Activity::ReportCodeEqClasses, || {
+        eqclass_round(net, &comm, tags::CODE_EQCLASS, None)
+    })?;
+    let code_resources = timed(&mut timings, Activity::ReportCodeResources, || {
+        representative_round(net, &code_classes, tags::CODE_RESOURCES)
+    })?
+    .into_iter()
+    .flatten()
+    .collect();
+    let callgraph_classes = timed(&mut timings, Activity::ReportCallgraphEqClasses, || {
+        eqclass_round(net, &comm, tags::CALLGRAPH_EQCLASS, None)
+    })?;
+    let callgraph_edges = timed(&mut timings, Activity::ReportCallgraph, || {
+        callgraph_round(net, &callgraph_classes, tags::CALLGRAPH)
+    })?;
+    timed(&mut timings, Activity::ReportDone, || {
+        let sum = net.registry().id_of("d_sum")?;
+        let stream = net.new_stream(&comm, sum, SyncMode::WaitForAll)?;
+        stream.send(tags::REPORT_DONE, "%d", vec![Value::Int32(0)])?;
+        let reply = stream.recv_timeout(RECV_TIMEOUT)?;
+        let count = reply.get(0).and_then(Value::as_i32).unwrap_or(0);
+        if count != n as i32 {
+            return Err(ParadynError::Protocol(format!(
+                "Report Done counted {count} of {n} daemons"
+            )));
+        }
+        stream.close()?;
+        Ok(())
+    })?;
+
+    Ok(StartupOutcome {
+        timings,
+        daemon_info,
+        metric_classes,
+        skews,
+        process_info,
+        machine_resources,
+        code_classes,
+        code_resources,
+        callgraph_classes,
+        callgraph_edges,
+    })
+}
+
+/// Statistics from a performance-data collection run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplingStats {
+    /// Aggregated samples received by the front-end.
+    pub received: usize,
+    /// Sum of received sample values (should approach daemons × level
+    /// × seconds for Sum aggregation).
+    pub value_sum: f64,
+    /// Wall-clock duration of the collection phase.
+    pub elapsed: Duration,
+}
+
+/// Runs the §4.2.2 performance-data phase: creates one time-aligned
+/// aggregation stream per metric, asks the daemons to start sampling,
+/// and consumes aggregated samples for `duration` (plus drain slack).
+pub fn run_sampling(
+    net: &Network,
+    num_metrics: usize,
+    duration: Duration,
+) -> Result<(SamplingStats, Vec<Stream>)> {
+    let comm = net.broadcast_communicator();
+    let filter = net.registry().id_of(TimeAlignedFilter::NAME)?;
+    let mut streams = Vec::with_capacity(num_metrics);
+    for m in 0..num_metrics {
+        let stream = net.new_stream(&comm, filter, SyncMode::DoNotWait)?;
+        stream.send(tags::SAMPLE_DATA, "%ud", vec![Value::UInt32(m as u32)])?;
+        streams.push(stream);
+    }
+    let start = Instant::now();
+    let mut received = 0usize;
+    let mut value_sum = 0.0f64;
+    let deadline = start + duration + Duration::from_secs(2);
+    while Instant::now() < deadline {
+        match net.recv_any_timeout(Duration::from_millis(200)) {
+            Ok((pkt, _stream)) => {
+                if pkt.tag() == tags::SAMPLE_DATA {
+                    if let Ok(sample) = Sample::from_packet(&pkt) {
+                        received += 1;
+                        value_sum += sample.value;
+                    }
+                }
+            }
+            Err(MrnetError::Timeout) => {
+                if start.elapsed() > duration + Duration::from_secs(1) {
+                    break;
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok((
+        SamplingStats {
+            received,
+            value_sum,
+            elapsed: start.elapsed(),
+        },
+        streams,
+    ))
+}

@@ -1,0 +1,36 @@
+//! # paradyn
+//!
+//! A Paradyn-style parallel performance tool built on the MRNet
+//! reproduction — the "real-world tool example" of the paper's §3/§4.2.
+//!
+//! The crate provides the tool substrate (synthetic application model,
+//! resources, an MDL subset), the two custom MRNet filters the paper
+//! describes (checksum equivalence-class binning and time-aligned
+//! performance data aggregation), both clock-skew detection schemes,
+//! the complete eleven-activity start-up protocol running over live
+//! MRNet trees, and calibrated models that regenerate the paper's
+//! Figure 8 and Figure 9 at full scale on the simulated substrate.
+
+#![forbid(unsafe_code)]
+
+pub mod aggregation;
+pub mod app;
+mod daemon;
+mod error;
+pub mod eqclass;
+mod frontend;
+pub mod mdl;
+pub mod model;
+pub mod proto;
+pub mod resources;
+pub mod samples;
+pub mod skew;
+pub mod stacktree;
+
+pub use daemon::Daemon;
+pub use error::{ParadynError, Result};
+pub use frontend::{
+    paradyn_registry, run_sampling, run_startup, SamplingStats, StartupOutcome,
+    DEFAULT_INTERVAL,
+};
+pub use proto::Activity;

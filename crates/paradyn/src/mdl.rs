@@ -1,0 +1,308 @@
+//! A subset of Paradyn's Metric Definition Language (MDL).
+//!
+//! "In Paradyn, metric definitions describing how to instrument
+//! processes to collect metric performance data are provided to the
+//! front end in a configuration file written in the Paradyn Metric
+//! Definition Language. The front-end uses simple broadcast operations
+//! to deliver the metric definitions to all tool back-ends" (§3.1).
+//!
+//! The subset implemented here covers what the start-up protocol
+//! needs: named metrics with units, an aggregation operator, and a
+//! style, in the block syntax
+//!
+//! ```text
+//! metric cpu_time {
+//!     units: seconds;
+//!     aggregate: sum;
+//!     style: sampled;
+//! }
+//! ```
+
+use crate::error::{ParadynError, Result};
+
+/// How samples of a metric combine across processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricAgg {
+    /// Values add (CPU time, message bytes).
+    Sum,
+    /// Values average (utilization fractions).
+    Avg,
+    /// Take the minimum.
+    Min,
+    /// Take the maximum.
+    Max,
+}
+
+impl MetricAgg {
+    fn parse(s: &str) -> Option<MetricAgg> {
+        Some(match s {
+            "sum" => MetricAgg::Sum,
+            "avg" => MetricAgg::Avg,
+            "min" => MetricAgg::Min,
+            "max" => MetricAgg::Max,
+            _ => return None,
+        })
+    }
+
+    /// Canonical keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            MetricAgg::Sum => "sum",
+            MetricAgg::Avg => "avg",
+            MetricAgg::Min => "min",
+            MetricAgg::Max => "max",
+        }
+    }
+}
+
+/// How a metric is collected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricStyle {
+    /// Periodically sampled value (e.g. CPU utilization).
+    Sampled,
+    /// Event counter (e.g. message count).
+    EventCounter,
+}
+
+impl MetricStyle {
+    fn parse(s: &str) -> Option<MetricStyle> {
+        Some(match s {
+            "sampled" => MetricStyle::Sampled,
+            "event_counter" => MetricStyle::EventCounter,
+            _ => return None,
+        })
+    }
+
+    /// Canonical keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            MetricStyle::Sampled => "sampled",
+            MetricStyle::EventCounter => "event_counter",
+        }
+    }
+}
+
+/// One metric definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricDef {
+    /// Metric name (e.g. `cpu_time`).
+    pub name: String,
+    /// Unit label (free-form).
+    pub units: String,
+    /// Cross-process aggregation operator.
+    pub aggregate: MetricAgg,
+    /// Collection style.
+    pub style: MetricStyle,
+}
+
+impl MetricDef {
+    /// Renders this definition in MDL syntax.
+    pub fn to_mdl(&self) -> String {
+        format!(
+            "metric {} {{\n    units: {};\n    aggregate: {};\n    style: {};\n}}\n",
+            self.name,
+            self.units,
+            self.aggregate.keyword(),
+            self.style.keyword()
+        )
+    }
+}
+
+/// Parses an MDL document into metric definitions.
+pub fn parse_mdl(input: &str) -> Result<Vec<MetricDef>> {
+    #[derive(Default)]
+    struct Partial {
+        name: String,
+        units: Option<String>,
+        aggregate: Option<MetricAgg>,
+        style: Option<MetricStyle>,
+        line: usize,
+    }
+    let err = |line: usize, message: String| ParadynError::Mdl { line, message };
+
+    let mut defs = Vec::new();
+    let mut current: Option<Partial> = None;
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = lineno + 1;
+        let text = raw.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix("metric ") {
+            if current.is_some() {
+                return Err(err(line, "nested metric block".into()));
+            }
+            let name = rest.trim_end_matches('{').trim();
+            if name.is_empty() || !rest.trim_end().ends_with('{') {
+                return Err(err(line, format!("expected `metric <name> {{`, got `{text}`")));
+            }
+            current = Some(Partial {
+                name: name.to_owned(),
+                line,
+                ..Partial::default()
+            });
+        } else if text == "}" {
+            let p = current
+                .take()
+                .ok_or_else(|| err(line, "`}` outside a metric block".into()))?;
+            defs.push(MetricDef {
+                units: p
+                    .units
+                    .ok_or_else(|| err(p.line, format!("metric {} missing units", p.name)))?,
+                aggregate: p.aggregate.ok_or_else(|| {
+                    err(p.line, format!("metric {} missing aggregate", p.name))
+                })?,
+                style: p
+                    .style
+                    .ok_or_else(|| err(p.line, format!("metric {} missing style", p.name)))?,
+                name: p.name,
+            });
+        } else if let Some((key, value)) = text.split_once(':') {
+            let p = current
+                .as_mut()
+                .ok_or_else(|| err(line, "property outside a metric block".into()))?;
+            let value = value.trim().trim_end_matches(';').trim();
+            match key.trim() {
+                "units" => p.units = Some(value.to_owned()),
+                "aggregate" => {
+                    p.aggregate = Some(
+                        MetricAgg::parse(value)
+                            .ok_or_else(|| err(line, format!("unknown aggregate `{value}`")))?,
+                    )
+                }
+                "style" => {
+                    p.style = Some(
+                        MetricStyle::parse(value)
+                            .ok_or_else(|| err(line, format!("unknown style `{value}`")))?,
+                    )
+                }
+                other => return Err(err(line, format!("unknown property `{other}`"))),
+            }
+        } else {
+            return Err(err(line, format!("unparseable line `{text}`")));
+        }
+    }
+    if current.is_some() {
+        return Err(err(input.lines().count(), "unterminated metric block".into()));
+    }
+    Ok(defs)
+}
+
+/// The standard metric set used by the experiments: the first `n` of
+/// Paradyn's familiar metrics (padded with synthetic counters past the
+/// named ones). Supports the paper's sweeps up to 32 metrics.
+pub fn standard_metrics(n: usize) -> Vec<MetricDef> {
+    const NAMED: &[(&str, &str, MetricAgg, MetricStyle)] = &[
+        ("cpu", "CPUs", MetricAgg::Sum, MetricStyle::Sampled),
+        ("cpu_inclusive", "CPUs", MetricAgg::Sum, MetricStyle::Sampled),
+        ("exec_time", "seconds", MetricAgg::Sum, MetricStyle::Sampled),
+        ("io_wait", "seconds", MetricAgg::Sum, MetricStyle::Sampled),
+        ("io_bytes", "bytes", MetricAgg::Sum, MetricStyle::EventCounter),
+        ("msgs", "operations", MetricAgg::Sum, MetricStyle::EventCounter),
+        ("msg_bytes", "bytes", MetricAgg::Sum, MetricStyle::EventCounter),
+        ("msg_bytes_sent", "bytes", MetricAgg::Sum, MetricStyle::EventCounter),
+        ("msg_bytes_recv", "bytes", MetricAgg::Sum, MetricStyle::EventCounter),
+        ("sync_ops", "operations", MetricAgg::Sum, MetricStyle::EventCounter),
+        ("sync_wait", "seconds", MetricAgg::Sum, MetricStyle::Sampled),
+        ("active_processes", "processes", MetricAgg::Sum, MetricStyle::Sampled),
+        ("procedure_calls", "operations", MetricAgg::Sum, MetricStyle::EventCounter),
+        ("pause_time", "seconds", MetricAgg::Sum, MetricStyle::Sampled),
+        ("observed_cost", "CPUs", MetricAgg::Sum, MetricStyle::Sampled),
+        ("mem_usage", "bytes", MetricAgg::Max, MetricStyle::Sampled),
+    ];
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        if let Some(&(name, units, agg, style)) = NAMED.get(i) {
+            out.push(MetricDef {
+                name: name.to_owned(),
+                units: units.to_owned(),
+                aggregate: agg,
+                style,
+            });
+        } else {
+            out.push(MetricDef {
+                name: format!("counter_{i}"),
+                units: "operations".to_owned(),
+                aggregate: MetricAgg::Sum,
+                style: MetricStyle::EventCounter,
+            });
+        }
+    }
+    out
+}
+
+/// Renders a metric set as one MDL document.
+pub fn to_mdl(defs: &[MetricDef]) -> String {
+    defs.iter().map(MetricDef::to_mdl).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# Paradyn metric definitions
+metric cpu_time {
+    units: seconds;
+    aggregate: sum;
+    style: sampled;
+}
+
+metric msgs {
+    units: operations;   # per process
+    aggregate: sum;
+    style: event_counter;
+}
+";
+
+    #[test]
+    fn parses_sample() {
+        let defs = parse_mdl(SAMPLE).unwrap();
+        assert_eq!(defs.len(), 2);
+        assert_eq!(defs[0].name, "cpu_time");
+        assert_eq!(defs[0].aggregate, MetricAgg::Sum);
+        assert_eq!(defs[1].style, MetricStyle::EventCounter);
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let defs = standard_metrics(32);
+        let doc = to_mdl(&defs);
+        let reparsed = parse_mdl(&doc).unwrap();
+        assert_eq!(reparsed, defs);
+    }
+
+    #[test]
+    fn standard_metrics_count_and_names() {
+        let defs = standard_metrics(32);
+        assert_eq!(defs.len(), 32);
+        assert_eq!(defs[0].name, "cpu");
+        assert_eq!(defs[31].name, "counter_31");
+        // Unique names.
+        let mut names: Vec<_> = defs.iter().map(|d| d.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 32);
+    }
+
+    #[test]
+    fn errors_located_by_line() {
+        let err = parse_mdl("metric x {\n  units: s;\n  aggregate: q;\n}").unwrap_err();
+        assert!(matches!(err, ParadynError::Mdl { line: 3, .. }));
+    }
+
+    #[test]
+    fn missing_property_rejected() {
+        let err = parse_mdl("metric x {\n  units: s;\n  aggregate: sum;\n}").unwrap_err();
+        assert!(err.to_string().contains("missing style"));
+    }
+
+    #[test]
+    fn structural_errors_rejected() {
+        assert!(parse_mdl("}").is_err());
+        assert!(parse_mdl("units: s;").is_err());
+        assert!(parse_mdl("metric x {").is_err());
+        assert!(parse_mdl("metric x {\nmetric y {\n}\n}").is_err());
+        assert!(parse_mdl("blah blah").is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Tags and stream conventions of the Paradyn start-up protocol
+//! (§3.1, the eleven activities of Figure 8b).
+
+/// Message tags used between the Paradyn front-end and its daemons.
+pub mod tags {
+    /// Each daemon reports basic characteristics (concatenation).
+    pub const REPORT_SELF: i32 = 100;
+    /// MDL broadcast downstream; supported-metric equivalence classes
+    /// upstream.
+    pub const REPORT_METRICS: i32 = 101;
+    /// Clock-skew probe round (broadcast/reduction pairs).
+    pub const SKEW_PROBE: i32 = 102;
+    /// Process data report (concatenation).
+    pub const REPORT_PROCESS: i32 = 103;
+    /// Machine resource definitions (concatenation).
+    pub const REPORT_MACHINE: i32 = 104;
+    /// Code checksum equivalence classes (binning filter).
+    pub const CODE_EQCLASS: i32 = 105;
+    /// Full code resources from class representatives.
+    pub const CODE_RESOURCES: i32 = 106;
+    /// Call-graph checksum equivalence classes (binning filter).
+    pub const CALLGRAPH_EQCLASS: i32 = 107;
+    /// Full call graph from class representatives.
+    pub const CALLGRAPH: i32 = 108;
+    /// End of the start-up phase (sum reduction).
+    pub const REPORT_DONE: i32 = 109;
+    /// Performance-data sampling request (metric index in payload).
+    pub const SAMPLE_DATA: i32 = 200;
+    /// Stop sampling.
+    pub const STOP_SAMPLING: i32 = 201;
+}
+
+/// The Figure 8b start-up activities, in protocol order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Activity {
+    /// "Report Self".
+    ReportSelf,
+    /// "Report Metrics".
+    ReportMetrics,
+    /// "Find Clock Skew".
+    FindClockSkew,
+    /// "Parse Executable" (daemon-local work).
+    ParseExecutable,
+    /// "Report Process".
+    ReportProcess,
+    /// "Report Machine Resources".
+    ReportMachineResources,
+    /// "Report Code Eq Classes".
+    ReportCodeEqClasses,
+    /// "Report Code Resources".
+    ReportCodeResources,
+    /// "Report Callgraph Eq Classes".
+    ReportCallgraphEqClasses,
+    /// "Report Callgraph".
+    ReportCallgraph,
+    /// "Report Done".
+    ReportDone,
+}
+
+impl Activity {
+    /// All activities in protocol order.
+    pub const ALL: [Activity; 11] = [
+        Activity::ReportSelf,
+        Activity::ReportMetrics,
+        Activity::FindClockSkew,
+        Activity::ParseExecutable,
+        Activity::ReportProcess,
+        Activity::ReportMachineResources,
+        Activity::ReportCodeEqClasses,
+        Activity::ReportCodeResources,
+        Activity::ReportCallgraphEqClasses,
+        Activity::ReportCallgraph,
+        Activity::ReportDone,
+    ];
+
+    /// The display name used in Figure 8b.
+    pub fn name(self) -> &'static str {
+        match self {
+            Activity::ReportSelf => "Report Self",
+            Activity::ReportMetrics => "Report Metrics",
+            Activity::FindClockSkew => "Find Clock Skew",
+            Activity::ParseExecutable => "Parse Executable",
+            Activity::ReportProcess => "Report Process",
+            Activity::ReportMachineResources => "Report Machine Resources",
+            Activity::ReportCodeEqClasses => "Report Code Eq Classes",
+            Activity::ReportCodeResources => "Report Code Resources",
+            Activity::ReportCallgraphEqClasses => "Report Callgraph Eq Classes",
+            Activity::ReportCallgraph => "Report Callgraph",
+            Activity::ReportDone => "Report Done",
+        }
+    }
+
+    /// Whether the activity uses MRNet aggregation/concatenation for
+    /// some part of its work (bold names in Figure 8b). The others are
+    /// daemon-local work or point-to-point transfers.
+    pub fn uses_aggregation(self) -> bool {
+        !matches!(
+            self,
+            Activity::ParseExecutable
+                | Activity::ReportCodeResources
+                | Activity::ReportCallgraph
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_activities_in_order() {
+        assert_eq!(Activity::ALL.len(), 11);
+        assert_eq!(Activity::ALL[0].name(), "Report Self");
+        assert_eq!(Activity::ALL[10].name(), "Report Done");
+    }
+
+    #[test]
+    fn aggregation_flags_match_figure_8b() {
+        assert!(Activity::ReportSelf.uses_aggregation());
+        assert!(Activity::ReportMetrics.uses_aggregation());
+        assert!(Activity::FindClockSkew.uses_aggregation());
+        assert!(!Activity::ParseExecutable.uses_aggregation());
+        assert!(!Activity::ReportCodeResources.uses_aggregation());
+        assert!(!Activity::ReportCallgraph.uses_aggregation());
+        assert!(Activity::ReportDone.uses_aggregation());
+    }
+
+    #[test]
+    fn tags_distinct() {
+        let all = [
+            tags::REPORT_SELF,
+            tags::REPORT_METRICS,
+            tags::SKEW_PROBE,
+            tags::REPORT_PROCESS,
+            tags::REPORT_MACHINE,
+            tags::CODE_EQCLASS,
+            tags::CODE_RESOURCES,
+            tags::CALLGRAPH_EQCLASS,
+            tags::CALLGRAPH,
+            tags::REPORT_DONE,
+            tags::SAMPLE_DATA,
+            tags::STOP_SAMPLING,
+        ];
+        let mut dedup = all.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len());
+    }
+}

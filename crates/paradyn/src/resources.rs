@@ -1,0 +1,140 @@
+//! Paradyn resources.
+//!
+//! "At tool start-up, the Paradyn back-ends examine application
+//! processes to identify the relevant parts of the program, such as
+//! modules, functions, and process ids. Such items are called
+//! *resources* in Paradyn terminology" (§3.1). Resources form a
+//! hierarchy rooted at `/Code` (program structure) and `/Machine`
+//! (hosts, processes, threads).
+
+use crate::app::Executable;
+
+/// The top-level resource hierarchies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// Program structure: modules and functions.
+    Code,
+    /// Execution structure: hosts, processes, threads.
+    Machine,
+}
+
+/// One resource: a path in a hierarchy, e.g.
+/// `/Code/smg2000_mod3.c/smg2000_m3_f120` or
+/// `/Machine/node007/pid4242/thr0`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Resource {
+    /// Which hierarchy the path belongs to.
+    pub kind: ResourceKind,
+    /// Path components below the hierarchy root.
+    pub path: Vec<String>,
+}
+
+impl Resource {
+    /// Builds a code resource.
+    pub fn code(path: impl IntoIterator<Item = impl Into<String>>) -> Resource {
+        Resource {
+            kind: ResourceKind::Code,
+            path: path.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Builds a machine resource.
+    pub fn machine(path: impl IntoIterator<Item = impl Into<String>>) -> Resource {
+        Resource {
+            kind: ResourceKind::Machine,
+            path: path.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Canonical textual form (`/Code/...` or `/Machine/...`).
+    pub fn canonical(&self) -> String {
+        let root = match self.kind {
+            ResourceKind::Code => "/Code",
+            ResourceKind::Machine => "/Machine",
+        };
+        let mut s = String::from(root);
+        for part in &self.path {
+            s.push('/');
+            s.push_str(part);
+        }
+        s
+    }
+
+    /// Parses the canonical form.
+    pub fn parse(s: &str) -> Option<Resource> {
+        let rest = s.strip_prefix('/')?;
+        let mut parts = rest.split('/');
+        let kind = match parts.next()? {
+            "Code" => ResourceKind::Code,
+            "Machine" => ResourceKind::Machine,
+            _ => return None,
+        };
+        Ok::<(), ()>(()).ok()?;
+        Some(Resource {
+            kind,
+            path: parts.map(str::to_owned).collect(),
+        })
+    }
+}
+
+/// The code resources a daemon defines after parsing `exe`: one per
+/// module plus one per function ("the daemons define resources for all
+/// functions and modules in the application executable", §4.2.1).
+pub fn code_resources(exe: &Executable) -> Vec<Resource> {
+    let mut out = Vec::with_capacity(exe.num_functions() + exe.modules.len());
+    for module in &exe.modules {
+        out.push(Resource::code([module.name.clone()]));
+        for f in &module.functions {
+            out.push(Resource::code([module.name.clone(), f.name.clone()]));
+        }
+    }
+    out
+}
+
+/// The machine resources one daemon defines for its application
+/// process: host, process, and initial thread (§4.2.1 "Report Machine
+/// Resources").
+pub fn machine_resources(host: &str, pid: u32) -> Vec<Resource> {
+    vec![
+        Resource::machine([host.to_owned()]),
+        Resource::machine([host.to_owned(), format!("pid{pid}")]),
+        Resource::machine([host.to_owned(), format!("pid{pid}"), "thr0".to_owned()]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_and_parse_round_trip() {
+        let r = Resource::code(["mod.c", "func"]);
+        assert_eq!(r.canonical(), "/Code/mod.c/func");
+        assert_eq!(Resource::parse("/Code/mod.c/func"), Some(r));
+        let m = Resource::machine(["node1", "pid9", "thr0"]);
+        assert_eq!(Resource::parse(&m.canonical()), Some(m));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(Resource::parse("Code/x"), None);
+        assert_eq!(Resource::parse("/Proc/x"), None);
+        assert_eq!(Resource::parse(""), None);
+    }
+
+    #[test]
+    fn code_resources_cover_modules_and_functions() {
+        let exe = Executable::synthetic("a", 10, 2, 1);
+        let rs = code_resources(&exe);
+        assert_eq!(rs.len(), 12);
+        assert!(rs.iter().any(|r| r.path.len() == 1));
+        assert_eq!(rs.iter().filter(|r| r.path.len() == 2).count(), 10);
+    }
+
+    #[test]
+    fn machine_resources_three_levels() {
+        let rs = machine_resources("node3", 1234);
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs[2].canonical(), "/Machine/node3/pid1234/thr0");
+    }
+}

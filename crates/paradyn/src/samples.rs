@@ -1,0 +1,233 @@
+//! Performance data samples.
+//!
+//! §3.2: "Paradyn represents a data sample as {v, i}, where v is the
+//! sample's value and i is the time interval to which the value
+//! applies." Back-ends collect samples asynchronously, so interval
+//! timestamps — not just arrival order — drive aggregation.
+
+use mrnet_packet::{Packet, PacketBuilder, StreamId, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{ParadynError, Result};
+
+/// One performance data sample: a value over a time interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// The sample's value.
+    pub value: f64,
+    /// Interval start timestamp, seconds.
+    pub start: f64,
+    /// Interval end timestamp, seconds (exclusive; `end > start`).
+    pub end: f64,
+}
+
+impl Sample {
+    /// Builds a sample; panics if the interval is empty or inverted.
+    pub fn new(value: f64, start: f64, end: f64) -> Sample {
+        assert!(end > start, "sample interval must have positive length");
+        Sample { value, start, end }
+    }
+
+    /// Interval length.
+    pub fn len(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Never true — intervals have positive length by construction —
+    /// but provided for API symmetry with `len`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Length of overlap with `[start, end)`.
+    pub fn overlap(&self, start: f64, end: f64) -> f64 {
+        (self.end.min(end) - self.start.max(start)).max(0.0)
+    }
+
+    /// Splits this sample at `t`, attributing value proportionally to
+    /// the two parts (§3.2: "because the sample's value is attributed
+    /// proportionally … there is no lost performance data due to
+    /// round-off issues"). Returns `(left, right)`; `t` must lie
+    /// strictly inside the interval.
+    pub fn split_at(&self, t: f64) -> (Sample, Sample) {
+        assert!(t > self.start && t < self.end, "split point outside interval");
+        let frac = (t - self.start) / self.len();
+        (
+            Sample::new(self.value * frac, self.start, t),
+            Sample::new(self.value * (1.0 - frac), t, self.end),
+        )
+    }
+
+    /// The MRNet wire format for samples: `(value, start, end)`.
+    pub const FORMAT: &'static str = "%lf %lf %lf";
+
+    /// Encodes as a packet on `stream` with `tag`.
+    pub fn to_packet(&self, stream: StreamId, tag: i32) -> Packet {
+        PacketBuilder::new(stream, tag)
+            .push(self.value)
+            .push(self.start)
+            .push(self.end)
+            .build()
+    }
+
+    /// Decodes from a packet produced by [`Sample::to_packet`].
+    pub fn from_packet(packet: &Packet) -> Result<Sample> {
+        let get = |i: usize| {
+            packet
+                .get(i)
+                .and_then(Value::as_f64)
+                .ok_or(ParadynError::Malformed("sample packet"))
+        };
+        let (value, start, end) = (get(0)?, get(1)?, get(2)?);
+        if end <= start {
+            return Err(ParadynError::Malformed("sample interval"));
+        }
+        Ok(Sample { value, start, end })
+    }
+}
+
+/// Generates a daemon's sample sequence for one metric: fixed-rate
+/// sampling with bounded timing jitter, the §4.2.2 workload ("we fixed
+/// each daemon's sampling rate to Paradyn's default initial rate of
+/// five samples per second per metric").
+#[derive(Debug, Clone)]
+pub struct SampleGenerator {
+    rng: SmallRng,
+    period: f64,
+    jitter: f64,
+    /// End timestamp of the last generated sample.
+    cursor: f64,
+    /// Mean sample value.
+    level: f64,
+}
+
+impl SampleGenerator {
+    /// A generator emitting `rate` samples/second with start offset
+    /// `phase`, ±`jitter` fractional interval-length jitter, and mean
+    /// value `level`.
+    pub fn new(rate: f64, phase: f64, jitter: f64, level: f64, seed: u64) -> SampleGenerator {
+        assert!(rate > 0.0);
+        SampleGenerator {
+            rng: SmallRng::seed_from_u64(seed),
+            period: 1.0 / rate,
+            jitter,
+            cursor: phase,
+            level,
+        }
+    }
+
+    /// The next sample in the sequence.
+    pub fn next_sample(&mut self) -> Sample {
+        let len = if self.jitter > 0.0 {
+            self.period * self.rng.gen_range(1.0 - self.jitter..1.0 + self.jitter)
+        } else {
+            self.period
+        };
+        let value = self.level * (len / self.period);
+        let s = Sample::new(value, self.cursor, self.cursor + len);
+        self.cursor = s.end;
+        s
+    }
+
+    /// Generates samples until `until` (exclusive by start time).
+    pub fn take_until(&mut self, until: f64) -> Vec<Sample> {
+        let mut out = Vec::new();
+        while self.cursor < until {
+            out.push(self.next_sample());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_math() {
+        let s = Sample::new(10.0, 1.0, 2.0);
+        assert_eq!(s.overlap(0.0, 3.0), 1.0);
+        assert_eq!(s.overlap(1.5, 3.0), 0.5);
+        assert_eq!(s.overlap(0.0, 1.0), 0.0);
+        assert_eq!(s.overlap(2.0, 3.0), 0.0);
+        assert!((s.len() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proportional_split_conserves_value() {
+        let s = Sample::new(12.0, 0.0, 3.0);
+        let (l, r) = s.split_at(1.0);
+        assert!((l.value - 4.0).abs() < 1e-12);
+        assert!((r.value - 8.0).abs() < 1e-12);
+        assert_eq!(l.end, 1.0);
+        assert_eq!(r.start, 1.0);
+        assert!((l.value + r.value - s.value).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "split point")]
+    fn split_outside_panics() {
+        Sample::new(1.0, 0.0, 1.0).split_at(2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive length")]
+    fn empty_interval_rejected() {
+        Sample::new(1.0, 2.0, 2.0);
+    }
+
+    #[test]
+    fn packet_round_trip() {
+        let s = Sample::new(3.25, 10.0, 10.2);
+        let p = s.to_packet(7, 99);
+        assert_eq!(p.fmt().to_string(), Sample::FORMAT);
+        assert_eq!(Sample::from_packet(&p).unwrap(), s);
+    }
+
+    #[test]
+    fn malformed_packets_rejected() {
+        let p = PacketBuilder::new(0, 0).push(1.0f64).build();
+        assert!(Sample::from_packet(&p).is_err());
+        // Inverted interval.
+        let p = PacketBuilder::new(0, 0)
+            .push(1.0f64)
+            .push(5.0f64)
+            .push(4.0f64)
+            .build();
+        assert!(Sample::from_packet(&p).is_err());
+    }
+
+    #[test]
+    fn generator_rate_and_continuity() {
+        let mut g = SampleGenerator::new(5.0, 0.0, 0.0, 1.0, 1);
+        let samples = g.take_until(1.9);
+        assert_eq!(samples.len(), 10);
+        for w in samples.windows(2) {
+            assert!((w[0].end - w[1].start).abs() < 1e-12, "contiguous");
+        }
+        assert!((samples[0].len() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generator_jitter_bounded_and_contiguous() {
+        let mut g = SampleGenerator::new(5.0, 0.25, 0.2, 1.0, 7);
+        let samples = g.take_until(10.0);
+        for w in samples.windows(2) {
+            assert!((w[0].end - w[1].start).abs() < 1e-12);
+        }
+        for s in &samples {
+            assert!(s.len() >= 0.2 * 0.8 - 1e-9 && s.len() <= 0.2 * 1.2 + 1e-9);
+        }
+        assert_eq!(samples[0].start, 0.25);
+    }
+
+    #[test]
+    fn generator_deterministic() {
+        let mut a = SampleGenerator::new(5.0, 0.0, 0.3, 2.0, 9);
+        let mut b = SampleGenerator::new(5.0, 0.0, 0.3, 2.0, 9);
+        for _ in 0..50 {
+            assert_eq!(a.next_sample(), b.next_sample());
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Clock-skew detection (§3.1, evaluated in §4.2.1).
+//!
+//! Two schemes are implemented over the simulated clock substrate:
+//!
+//! * **MRNet-based**: phase 1 measures "local" skew between each
+//!   process and each direct child with repeated probe exchanges;
+//!   phase 2 accumulates the local skews along tree paths, so "when
+//!   the algorithm finishes the Paradyn front-end holds the skews
+//!   between its clock and the clocks of each tool back-end".
+//! * **Direct-communication** (the comparison scheme): the front-end
+//!   probes each daemon directly; each probe estimates skew from the
+//!   round-trip latency, and "the front-end measured the skew … 100
+//!   times and used the observed skew with the smallest absolute value
+//!   as the actual clock skew".
+//!
+//! Ground truth comes from the simulator's global virtual time — the
+//! stand-in for Blue Pacific's globally-synchronous SP switch clock.
+
+use mrnet_sim::{ClockWorld, LogGpParams};
+use mrnet_topology::{Role, Topology};
+
+/// Parameters of a skew-detection experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct SkewParams {
+    /// Max absolute clock offset, seconds.
+    pub max_offset: f64,
+    /// Max absolute fractional drift.
+    pub max_drift: f64,
+    /// Mean one-way exponential message jitter, seconds.
+    pub jitter_mean: f64,
+    /// Probe exchanges per tree link in the MRNet scheme's phase 1
+    /// (the paper's "repeated broadcast/reduction pairs").
+    pub link_probes: usize,
+    /// Probes per daemon in the direct scheme (the paper used 100).
+    pub direct_probes: usize,
+    /// Base network costs.
+    pub logp: LogGpParams,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SkewParams {
+    fn default() -> Self {
+        SkewParams {
+            max_offset: 0.020,
+            max_drift: 5e-6,
+            jitter_mean: 0.000_8,
+            link_probes: 10,
+            direct_probes: 100,
+            logp: LogGpParams::blue_pacific(),
+            seed: 1,
+        }
+    }
+}
+
+/// One probe exchange `parent -> child -> parent` starting at global
+/// time `t`. Returns `(estimated child-minus-parent skew, rtt)` as the
+/// parent computes them from its own clock.
+fn probe(world: &mut ClockWorld, parent: usize, child: usize, t: f64, base: f64) -> (f64, f64) {
+    let d1 = base + world.sample_jitter();
+    let child_reads = world.clock(child).read(t + d1);
+    let d2 = base + world.sample_jitter();
+    let t_back = t + d1 + d2;
+    let p0 = world.clock(parent).read(t);
+    let p1 = world.clock(parent).read(t_back);
+    let rtt = p1 - p0;
+    // NTP-style estimate: the child's clock read minus the assumed
+    // midpoint of the round trip.
+    let est = child_reads - (p0 + rtt / 2.0);
+    (est, rtt)
+}
+
+/// Measures the local skew of `child` relative to `parent` with
+/// `probes` exchanges, averaging the per-probe estimates (what the
+/// repeated broadcast/reduction pairs of §3.1 amount to). Probes are
+/// spaced `spacing` apart starting at `t0`; returns (estimate, time
+/// after the last probe).
+fn measure_local_skew(
+    world: &mut ClockWorld,
+    parent: usize,
+    child: usize,
+    t0: f64,
+    probes: usize,
+    base: f64,
+    spacing: f64,
+) -> (f64, f64) {
+    let mut sum = 0.0;
+    let mut t = t0;
+    for _ in 0..probes {
+        let (est, _rtt) = probe(world, parent, child, t, base);
+        sum += est;
+        t += spacing;
+    }
+    (sum / probes as f64, t)
+}
+
+/// Results of one scheme: per-daemon `(estimated, true)` skews.
+#[derive(Debug, Clone)]
+pub struct SkewEstimates {
+    /// `(daemon rank, estimated skew, true skew)` triples.
+    pub rows: Vec<(u32, f64, f64)>,
+}
+
+impl SkewEstimates {
+    /// Mean of per-daemon relative errors `|est-true|/|true|`, as a
+    /// percentage — the paper's "average error" metric.
+    pub fn average_error_percent(&self) -> f64 {
+        let sum: f64 = self
+            .rows
+            .iter()
+            .map(|(_, est, truth)| (est - truth).abs() / truth.abs().max(1e-12))
+            .sum();
+        100.0 * sum / self.rows.len() as f64
+    }
+
+    /// Standard deviation of the per-daemon relative errors (percent).
+    pub fn error_stddev_percent(&self) -> f64 {
+        let errs: Vec<f64> = self
+            .rows
+            .iter()
+            .map(|(_, est, truth)| 100.0 * (est - truth).abs() / truth.abs().max(1e-12))
+            .collect();
+        let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+        let var = errs.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / errs.len() as f64;
+        var.sqrt()
+    }
+
+    /// Mean absolute error in seconds.
+    pub fn mean_abs_error(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|(_, est, truth)| (est - truth).abs())
+            .sum::<f64>()
+            / self.rows.len() as f64
+    }
+}
+
+/// Runs the MRNet-based cumulative skew-detection algorithm over
+/// `topology` (node index = simulated process index; the root is the
+/// front-end).
+pub fn mrnet_skew(topology: &Topology, params: &SkewParams) -> SkewEstimates {
+    let mut world = ClockWorld::new(
+        topology.len(),
+        params.max_offset,
+        params.max_drift,
+        params.seed,
+    );
+    world.jitter_mean = params.jitter_mean;
+    let base = params.logp.overhead + params.logp.latency + params.logp.overhead;
+    let spacing = (params.logp.gap * 2.0).max(base);
+
+    // Phase 1: local skew per tree edge. Edges are probed in BFS
+    // order; different subtrees would run concurrently in the real
+    // system, but estimate quality is time-independent here.
+    let mut local = vec![0.0f64; topology.len()];
+    let mut t = 0.0;
+    for id in topology.bfs() {
+        for &child in topology.children(id) {
+            let (est, t_next) = measure_local_skew(
+                &mut world,
+                id.0,
+                child.0,
+                t,
+                params.link_probes,
+                base,
+                spacing,
+            );
+            local[child.0] = est;
+            t = t_next;
+        }
+    }
+
+    // Phase 2: cumulative skew — each daemon's skew against the
+    // front-end is the sum of local skews along its path.
+    let eval_time = t;
+    let mut rows = Vec::new();
+    for id in topology.bfs() {
+        if topology.role(id) != Role::BackEnd {
+            continue;
+        }
+        let mut acc = 0.0;
+        let mut cur = id;
+        while let Some(parent) = topology.parent(cur) {
+            acc += local[cur.0];
+            cur = parent;
+        }
+        let truth = world.true_skew(id.0, topology.root().0, eval_time);
+        rows.push((id.0 as u32, acc, truth));
+    }
+    SkewEstimates { rows }
+}
+
+/// Runs the direct-communication scheme: the front-end probes every
+/// daemon, keeping per daemon "the observed skew with the smallest
+/// absolute value" over `probes` exchanges (§4.2.1).
+pub fn direct_skew(topology: &Topology, params: &SkewParams) -> SkewEstimates {
+    let mut world = ClockWorld::new(
+        topology.len(),
+        params.max_offset,
+        params.max_drift,
+        params.seed,
+    );
+    world.jitter_mean = params.jitter_mean;
+    let base = params.logp.overhead + params.logp.latency + params.logp.overhead;
+    let spacing = (params.logp.gap * 2.0).max(base);
+
+    let root = topology.root().0;
+    let mut t = 0.0;
+    let mut rows = Vec::new();
+    for id in topology.bfs() {
+        if topology.role(id) != Role::BackEnd {
+            continue;
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..params.direct_probes {
+            let (est, _rtt) = probe(&mut world, root, id.0, t, base);
+            if est.abs() < best.abs() {
+                best = est;
+            }
+            t += spacing;
+        }
+        let truth = world.true_skew(id.0, root, t);
+        rows.push((id.0 as u32, best, truth));
+    }
+    SkewEstimates { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrnet_topology::{generator, HostPool};
+
+    fn topo_64_4way() -> Topology {
+        generator::balanced(4, 3, &mut HostPool::synthetic(256)).unwrap()
+    }
+
+    #[test]
+    fn probe_without_jitter_is_exact_for_symmetric_paths() {
+        let mut world = ClockWorld::new(2, 0.05, 0.0, 3);
+        world.jitter_mean = 0.0;
+        let (est, rtt) = probe(&mut world, 0, 1, 10.0, 0.001);
+        let truth = world.true_skew(1, 0, 10.0);
+        assert!((est - truth).abs() < 1e-9, "est {est} vs true {truth}");
+        assert!((rtt - 0.002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn averaged_estimate_converges() {
+        let mut world = ClockWorld::new(2, 0.05, 0.0, 5);
+        world.jitter_mean = 0.001;
+        let truth = world.true_skew(1, 0, 0.0);
+        let (est_many, _) = measure_local_skew(&mut world, 0, 1, 0.0, 400, 0.001, 0.005);
+        assert!(
+            (est_many - truth).abs() < 0.0005,
+            "averaged estimate off by {}",
+            (est_many - truth).abs()
+        );
+    }
+
+    #[test]
+    fn mrnet_skew_64_daemons_reasonable_errors() {
+        let topo = topo_64_4way();
+        assert_eq!(topo.num_backends(), 64);
+        let est = mrnet_skew(&topo, &SkewParams::default());
+        assert_eq!(est.rows.len(), 64);
+        let avg = est.average_error_percent();
+        // Paper: 10.5% average error for this configuration; accept a
+        // generous band around it.
+        assert!(avg < 60.0, "average error {avg}%");
+    }
+
+    #[test]
+    fn direct_skew_runs_and_is_worse_or_similar() {
+        let topo = topo_64_4way();
+        let params = SkewParams::default();
+        let m = mrnet_skew(&topo, &params);
+        let d = direct_skew(&topo, &params);
+        assert_eq!(d.rows.len(), 64);
+        // The paper found the MRNet scheme's average error lower
+        // (10.5% vs 17.5%); require we reproduce the ordering.
+        assert!(
+            m.average_error_percent() <= d.average_error_percent() * 1.2,
+            "mrnet {:.1}% vs direct {:.1}%",
+            m.average_error_percent(),
+            d.average_error_percent()
+        );
+    }
+
+    #[test]
+    fn estimates_deterministic_by_seed() {
+        let topo = topo_64_4way();
+        let a = mrnet_skew(&topo, &SkewParams::default());
+        let b = mrnet_skew(&topo, &SkewParams::default());
+        assert_eq!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn error_statistics() {
+        let est = SkewEstimates {
+            rows: vec![(1, 1.1, 1.0), (2, 0.9, 1.0)],
+        };
+        assert!((est.average_error_percent() - 10.0).abs() < 1e-9);
+        assert!(est.error_stddev_percent() < 1e-9);
+        assert!((est.mean_abs_error() - 0.1).abs() < 1e-12);
+    }
+}

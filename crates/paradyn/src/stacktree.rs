@@ -1,0 +1,450 @@
+//! Call-stack prefix-tree merging — the STAT-style use of MRNet.
+//!
+//! The paper positions MRNet as general infrastructure for scalable
+//! tools; its best-known later adopter is STAT (the Stack Trace
+//! Analysis Tool), which merges stack traces from every process of a
+//! huge MPI job into one prefix tree as they flow up an MRNet tree,
+//! grouping processes into equivalence classes by behavior. This
+//! module provides that aggregation: a [`StackTree`] that merges call
+//! stacks (recording which ranks are at which leaf), a wire encoding,
+//! and [`StackMergeFilter`], a custom transformation filter usable on
+//! any MRNet stream.
+
+
+use mrnet_filters::{FilterContext, FilterError, Transform};
+use mrnet_packet::{FormatString, Packet, PacketBuilder, Rank, StreamId, Value};
+
+use crate::error::{ParadynError, Result};
+
+/// The wire format of an encoded stack tree:
+/// frames, parent indices, per-node suspended-rank lists (offsets +
+/// flattened ranks).
+pub const STACKTREE_FORMAT: &str = "%as %aud %aud %aud";
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Node {
+    frame: String,
+    /// Index of the parent node (`u32::MAX` for the synthetic root).
+    parent: u32,
+    /// Ranks whose innermost frame is this node.
+    ranks: Vec<Rank>,
+}
+
+/// A merged prefix tree of call stacks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackTree {
+    /// Node 0 is the synthetic root (empty frame).
+    nodes: Vec<Node>,
+}
+
+impl Default for StackTree {
+    fn default() -> Self {
+        StackTree::new()
+    }
+}
+
+impl StackTree {
+    /// An empty tree.
+    pub fn new() -> StackTree {
+        StackTree {
+            nodes: vec![Node {
+                frame: String::new(),
+                parent: u32::MAX,
+                ranks: Vec::new(),
+            }],
+        }
+    }
+
+    /// Number of nodes, excluding the synthetic root.
+    pub fn len(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// True when no stacks have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1 && self.nodes[0].ranks.is_empty()
+    }
+
+    fn child_of(&self, parent: u32, frame: &str) -> Option<u32> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .find(|(_, n)| n.parent == parent && n.frame == frame)
+            .map(|(i, _)| i as u32)
+    }
+
+    fn get_or_add_child(&mut self, parent: u32, frame: &str) -> u32 {
+        if let Some(i) = self.child_of(parent, frame) {
+            return i;
+        }
+        self.nodes.push(Node {
+            frame: frame.to_owned(),
+            parent,
+            ranks: Vec::new(),
+        });
+        (self.nodes.len() - 1) as u32
+    }
+
+    /// Inserts one process's call stack (outermost frame first); the
+    /// process `rank` is recorded at the innermost frame.
+    pub fn insert(&mut self, stack: &[impl AsRef<str>], rank: Rank) {
+        let mut cur = 0u32;
+        for frame in stack {
+            cur = self.get_or_add_child(cur, frame.as_ref());
+        }
+        let node = &mut self.nodes[cur as usize];
+        if !node.ranks.contains(&rank) {
+            node.ranks.push(rank);
+            node.ranks.sort_unstable();
+        }
+    }
+
+    /// Merges another tree into this one.
+    pub fn merge(&mut self, other: &StackTree) {
+        // Map other-node-index -> my-node-index, walking in index
+        // order (parents precede children by construction).
+        let mut map = vec![0u32; other.nodes.len()];
+        for (i, node) in other.nodes.iter().enumerate().skip(1) {
+            let my_parent = map[node.parent as usize];
+            let mine = self.get_or_add_child(my_parent, &node.frame);
+            map[i] = mine;
+            for &r in &node.ranks {
+                let m = &mut self.nodes[mine as usize];
+                if !m.ranks.contains(&r) {
+                    m.ranks.push(r);
+                    m.ranks.sort_unstable();
+                }
+            }
+        }
+        for &r in &other.nodes[0].ranks {
+            let m = &mut self.nodes[0];
+            if !m.ranks.contains(&r) {
+                m.ranks.push(r);
+                m.ranks.sort_unstable();
+            }
+        }
+    }
+
+    /// All ranks represented anywhere in the tree, sorted.
+    pub fn all_ranks(&self) -> Vec<Rank> {
+        let mut v: Vec<Rank> = self.nodes.iter().flat_map(|n| n.ranks.iter().copied()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// The behavioral equivalence classes: one per node that has
+    /// suspended ranks, as `(stack path, ranks)`.
+    pub fn classes(&self) -> Vec<(Vec<String>, Vec<Rank>)> {
+        let mut out = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.ranks.is_empty() {
+                continue;
+            }
+            let mut path = Vec::new();
+            let mut cur = i as u32;
+            while cur != 0 && cur != u32::MAX {
+                path.push(self.nodes[cur as usize].frame.clone());
+                cur = self.nodes[cur as usize].parent;
+            }
+            path.reverse();
+            out.push((path, node.ranks.clone()));
+        }
+        out.sort();
+        out
+    }
+
+    /// Renders the tree as an indented text outline (for tool UIs).
+    pub fn render(&self) -> String {
+        fn walk(tree: &StackTree, node: u32, depth: usize, out: &mut String) {
+            let n = &tree.nodes[node as usize];
+            if node != 0 {
+                out.push_str(&"  ".repeat(depth - 1));
+                out.push_str(&n.frame);
+                if !n.ranks.is_empty() {
+                    out.push_str(&format!("  [{} rank(s)]", n.ranks.len()));
+                }
+                out.push('\n');
+            }
+            // Children in index order (stable across merges of the
+            // same insertion order).
+            for (i, c) in tree.nodes.iter().enumerate() {
+                if c.parent == node {
+                    walk(tree, i as u32, depth + 1, out);
+                }
+            }
+        }
+        let mut out = String::new();
+        walk(self, 0, 0, &mut out);
+        out
+    }
+
+    /// Encodes the tree into one packet.
+    pub fn to_packet(&self, stream: StreamId, tag: i32) -> Packet {
+        let frames: Vec<String> = self.nodes.iter().skip(1).map(|n| n.frame.clone()).collect();
+        let parents: Vec<u32> = self.nodes.iter().skip(1).map(|n| n.parent).collect();
+        // Rank lists flattened with per-node offsets (root included at
+        // offset position 0).
+        let mut offsets = Vec::with_capacity(self.nodes.len());
+        let mut ranks = Vec::new();
+        for node in &self.nodes {
+            offsets.push(ranks.len() as u32);
+            ranks.extend(node.ranks.iter().copied());
+        }
+        PacketBuilder::new(stream, tag)
+            .push(frames)
+            .push(parents)
+            .push(offsets)
+            .push(ranks)
+            .build()
+    }
+
+    /// Decodes a packet produced by [`StackTree::to_packet`].
+    pub fn from_packet(packet: &Packet) -> Result<StackTree> {
+        let frames = packet
+            .get(0)
+            .and_then(Value::as_str_array)
+            .ok_or(ParadynError::Malformed("stack tree frames"))?;
+        let parents = packet
+            .get(1)
+            .and_then(Value::as_u32_slice)
+            .ok_or(ParadynError::Malformed("stack tree parents"))?;
+        let offsets = packet
+            .get(2)
+            .and_then(Value::as_u32_slice)
+            .ok_or(ParadynError::Malformed("stack tree offsets"))?;
+        let flat_ranks = packet
+            .get(3)
+            .and_then(Value::as_u32_slice)
+            .ok_or(ParadynError::Malformed("stack tree ranks"))?;
+        if frames.len() != parents.len() || offsets.len() != frames.len() + 1 {
+            return Err(ParadynError::Malformed("stack tree arity"));
+        }
+        let n = frames.len() + 1;
+        let rank_slice = |i: usize| -> Result<Vec<Rank>> {
+            let lo = offsets[i] as usize;
+            let hi = if i + 1 < n {
+                offsets[i + 1] as usize
+            } else {
+                flat_ranks.len()
+            };
+            if lo > hi || hi > flat_ranks.len() {
+                return Err(ParadynError::Malformed("stack tree offsets"));
+            }
+            Ok(flat_ranks[lo..hi].to_vec())
+        };
+        let mut nodes = vec![Node {
+            frame: String::new(),
+            parent: u32::MAX,
+            ranks: rank_slice(0)?,
+        }];
+        for (i, frame) in frames.iter().enumerate() {
+            let parent = parents[i];
+            // Parent must reference an earlier node (acyclic, ordered).
+            if parent as usize > i {
+                return Err(ParadynError::Malformed("stack tree parent order"));
+            }
+            nodes.push(Node {
+                frame: frame.clone(),
+                parent,
+                ranks: rank_slice(i + 1)?,
+            });
+        }
+        Ok(StackTree { nodes })
+    }
+}
+
+/// The custom MRNet filter: merges the stack trees of one synchronized
+/// wave into a single tree packet. Use with
+/// [`mrnet::SyncMode::WaitForAll`].
+pub struct StackMergeFilter {
+    fmt: FormatString,
+}
+
+impl StackMergeFilter {
+    /// The registry name used by convention.
+    pub const NAME: &'static str = "stat_stack_merge";
+
+    /// Creates the filter.
+    pub fn new() -> StackMergeFilter {
+        StackMergeFilter {
+            fmt: FormatString::parse(STACKTREE_FORMAT).expect("static format"),
+        }
+    }
+}
+
+impl Default for StackMergeFilter {
+    fn default() -> Self {
+        StackMergeFilter::new()
+    }
+}
+
+impl Transform for StackMergeFilter {
+    fn name(&self) -> &str {
+        Self::NAME
+    }
+
+    fn input_format(&self) -> Option<&FormatString> {
+        Some(&self.fmt)
+    }
+
+    fn transform(
+        &mut self,
+        inputs: Vec<Packet>,
+        ctx: &FilterContext,
+    ) -> mrnet_filters::Result<Vec<Packet>> {
+        if inputs.is_empty() {
+            return Err(FilterError::EmptyWave);
+        }
+        let mut merged = StackTree::new();
+        for p in &inputs {
+            let tree =
+                StackTree::from_packet(p).map_err(|e| FilterError::Custom(e.to_string()))?;
+            merged.merge(&tree);
+        }
+        let first = &inputs[0];
+        Ok(vec![merged
+            .to_packet(first.stream_id(), first.tag())
+            .with_src(ctx.local_rank)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stack(frames: &[&str]) -> Vec<String> {
+        frames.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn insert_builds_shared_prefixes() {
+        let mut t = StackTree::new();
+        t.insert(&stack(&["main", "solve", "mpi_wait"]), 0);
+        t.insert(&stack(&["main", "solve", "mpi_wait"]), 1);
+        t.insert(&stack(&["main", "io", "write"]), 2);
+        // main, solve, mpi_wait, io, write = 5 nodes.
+        assert_eq!(t.len(), 5);
+        let classes = t.classes();
+        assert_eq!(classes.len(), 2);
+        assert_eq!(classes[0].0, stack(&["main", "io", "write"]));
+        assert_eq!(classes[0].1, vec![2]);
+        assert_eq!(classes[1].1, vec![0, 1]);
+    }
+
+    #[test]
+    fn duplicate_rank_insertions_are_idempotent() {
+        let mut t = StackTree::new();
+        t.insert(&stack(&["main", "f"]), 3);
+        t.insert(&stack(&["main", "f"]), 3);
+        assert_eq!(t.classes()[0].1, vec![3]);
+    }
+
+    #[test]
+    fn empty_stack_records_rank_at_root() {
+        let mut t = StackTree::new();
+        t.insert(&Vec::<String>::new(), 9);
+        assert_eq!(t.all_ranks(), vec![9]);
+        assert_eq!(t.classes()[0].0, Vec::<String>::new());
+    }
+
+    #[test]
+    fn merge_equals_bulk_insert() {
+        let stacks: Vec<(Vec<String>, Rank)> = vec![
+            (stack(&["main", "a", "x"]), 0),
+            (stack(&["main", "a", "y"]), 1),
+            (stack(&["main", "b"]), 2),
+            (stack(&["main", "a", "x"]), 3),
+        ];
+        let mut bulk = StackTree::new();
+        for (s, r) in &stacks {
+            bulk.insert(s, *r);
+        }
+        // Split across two subtrees, then merge.
+        let mut left = StackTree::new();
+        let mut right = StackTree::new();
+        for (i, (s, r)) in stacks.iter().enumerate() {
+            if i % 2 == 0 {
+                left.insert(s, *r);
+            } else {
+                right.insert(s, *r);
+            }
+        }
+        let mut merged = StackTree::new();
+        merged.merge(&left);
+        merged.merge(&right);
+        assert_eq!(merged.classes(), bulk.classes());
+        assert_eq!(merged.all_ranks(), bulk.all_ranks());
+    }
+
+    #[test]
+    fn packet_round_trip() {
+        let mut t = StackTree::new();
+        t.insert(&stack(&["main", "solve", "mpi_wait"]), 0);
+        t.insert(&stack(&["main", "io"]), 7);
+        let p = t.to_packet(4, 2);
+        assert_eq!(p.fmt().to_string(), STACKTREE_FORMAT);
+        let back = StackTree::from_packet(&p).unwrap();
+        assert_eq!(back.classes(), t.classes());
+    }
+
+    #[test]
+    fn malformed_packets_rejected() {
+        let p = PacketBuilder::new(0, 0).push(1i32).build();
+        assert!(StackTree::from_packet(&p).is_err());
+        // Parent referencing a later node.
+        let p = PacketBuilder::new(0, 0)
+            .push(vec!["a".to_string(), "b".to_string()])
+            .push(vec![2u32, 0])
+            .push(vec![0u32, 0, 0])
+            .push(Vec::<u32>::new())
+            .build();
+        assert!(StackTree::from_packet(&p).is_err());
+    }
+
+    #[test]
+    fn filter_merges_hierarchically() {
+        let ctx = FilterContext::new(1, 42, 2);
+        let mut leaf_a = StackMergeFilter::new();
+        let mut root = StackMergeFilter::new();
+        let mk = |frames: &[&str], rank: Rank| {
+            let mut t = StackTree::new();
+            t.insert(&stack(frames), rank);
+            t.to_packet(1, 0)
+        };
+        let a = leaf_a
+            .transform(
+                vec![
+                    mk(&["main", "solve", "mpi_wait"], 0),
+                    mk(&["main", "solve", "mpi_wait"], 1),
+                ],
+                &ctx,
+            )
+            .unwrap();
+        let out = root
+            .transform(vec![a[0].clone(), mk(&["main", "crash"], 2)], &ctx)
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].src(), 42);
+        let t = StackTree::from_packet(&out[0]).unwrap();
+        let classes = t.classes();
+        assert_eq!(classes.len(), 2);
+        assert_eq!(t.all_ranks(), vec![0, 1, 2]);
+        // The waiting pair forms one behavioral class.
+        let wait_class = classes
+            .iter()
+            .find(|(p, _)| p.last().map(String::as_str) == Some("mpi_wait"))
+            .unwrap();
+        assert_eq!(wait_class.1, vec![0, 1]);
+    }
+
+    #[test]
+    fn render_shows_counts() {
+        let mut t = StackTree::new();
+        t.insert(&stack(&["main", "f"]), 0);
+        t.insert(&stack(&["main", "f"]), 1);
+        let text = t.render();
+        assert!(text.contains("main"));
+        assert!(text.contains("f  [2 rank(s)]"));
+    }
+}

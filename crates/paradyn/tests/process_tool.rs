@@ -1,0 +1,66 @@
+//! The complete Paradyn tool running over a tree of *real OS
+//! processes* (`paradyn_commnode` binaries carrying the custom
+//! filters), TCP all the way: start-up protocol plus time-aligned
+//! performance-data aggregation.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use mrnet::{launch_processes_with_registry, Backend};
+use mrnet_topology::{generator, HostPool};
+use paradyn::{app::Executable, mdl, paradyn_registry, run_sampling, run_startup, Daemon};
+
+fn commnode_exe() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_paradyn_commnode"))
+}
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+#[test]
+fn paradyn_over_real_processes() {
+    let topo = generator::balanced(2, 2, &mut HostPool::synthetic(16)).unwrap();
+    let n = topo.num_backends();
+    let pending =
+        launch_processes_with_registry(topo, &commnode_exe(), paradyn_registry()).unwrap();
+    let points = pending.collect_attach_points(TIMEOUT).unwrap();
+    assert_eq!(points.len(), n);
+
+    let exe = Executable::synthetic_smg2000(11);
+    let metrics = 2usize;
+    let daemons: Vec<_> = points
+        .into_iter()
+        .map(|ap| {
+            let exe = exe.clone();
+            std::thread::spawn(move || {
+                let be = Backend::attach_tcp(&ap.endpoint, ap.rank).unwrap();
+                let d = Daemon::new(be, exe, format!("proc-host-{}", ap.rank), ap.rank);
+                d.serve(metrics, 5.0, Duration::from_secs(2))
+            })
+        })
+        .collect();
+
+    let net = pending.wait(TIMEOUT).unwrap();
+    assert_eq!(net.num_backends(), n);
+
+    let doc = mdl::to_mdl(&mdl::standard_metrics(metrics));
+    let outcome = run_startup(&net, &doc, 3).unwrap();
+    // Custom equivalence-class filter ran inside real commnode
+    // processes: one class across identical executables.
+    assert_eq!(outcome.code_classes.len(), 1);
+    assert_eq!(outcome.code_classes[0].members.len(), n);
+    assert_eq!(outcome.code_resources.len(), 434 + 12);
+
+    // Custom time-aligned aggregation filter across processes.
+    let (stats, _streams) = run_sampling(&net, metrics, Duration::from_secs(2)).unwrap();
+    assert!(
+        stats.received > 5,
+        "aggregated samples over processes: {}",
+        stats.received
+    );
+
+    net.shutdown();
+    for d in daemons {
+        let sent = d.join().unwrap().unwrap();
+        assert!(sent > 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Property-based tests for the Paradyn substrates: time-aligned
+//! aggregation conservation, equivalence-class merging, sample
+//! splitting, and MDL round-trips.
+
+use paradyn::aggregation::{AlignOp, TimeAlignedAggregator};
+use paradyn::eqclass::{decode_classes, encode_classes, merge_classes, EqClass};
+use paradyn::mdl::{parse_mdl, standard_metrics, to_mdl};
+use paradyn::samples::{Sample, SampleGenerator};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn sample_split_conserves_value_everywhere(
+        value in -1e9f64..1e9,
+        start in -1e3f64..1e3,
+        len in 0.001f64..100.0,
+        frac in 0.01f64..0.99,
+    ) {
+        let s = Sample::new(value, start, start + len);
+        let t = start + len * frac;
+        if t > s.start && t < s.end {
+            let (l, r) = s.split_at(t);
+            prop_assert!((l.value + r.value - value).abs() <= 1e-9 * value.abs().max(1.0));
+            prop_assert_eq!(l.start, s.start);
+            prop_assert_eq!(r.end, s.end);
+            prop_assert_eq!(l.end, r.start);
+        }
+    }
+
+    #[test]
+    fn aligned_aggregation_conserves_total_value(
+        inputs in 1usize..6,
+        rates in 3.0f64..8.0,
+        jitter in 0.0f64..0.4,
+        seed in 0u64..1000,
+        rounds in 50usize..200,
+    ) {
+        // Total value emitted ≈ total value injected over the emitted
+        // window, for any input count, rate, and jitter.
+        let interval = 0.25;
+        let mut agg = TimeAlignedAggregator::new(inputs, interval, AlignOp::Sum);
+        let mut gens: Vec<SampleGenerator> = (0..inputs)
+            .map(|i| SampleGenerator::new(rates, 0.03 * i as f64, jitter, 1.0, seed + i as u64))
+            .collect();
+        let mut emitted = 0.0;
+        let mut last_end: Option<f64> = None;
+        let mut first_start: Option<f64> = None;
+        for _ in 0..rounds {
+            for (i, g) in gens.iter_mut().enumerate() {
+                for out in agg.push(i, g.next_sample()) {
+                    emitted += out.value;
+                    if first_start.is_none() {
+                        first_start = Some(out.start);
+                    }
+                    last_end = Some(out.end);
+                }
+            }
+        }
+        if let (Some(first), Some(last)) = (first_start, last_end) {
+            // Each input injects `rates` value-units per second
+            // (level 1.0 samples at `rates`/s).
+            let expected = inputs as f64 * rates * (last - first);
+            prop_assert!(
+                (emitted - expected).abs() <= expected * 0.02 + 1.0,
+                "emitted {emitted} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn aligned_outputs_are_contiguous_fixed_intervals(
+        inputs in 1usize..5,
+        seed in 0u64..100,
+    ) {
+        let interval = 0.2;
+        let mut agg = TimeAlignedAggregator::new(inputs, interval, AlignOp::Sum);
+        let mut gens: Vec<SampleGenerator> = (0..inputs)
+            .map(|i| SampleGenerator::new(5.0, 0.01 * i as f64, 0.3, 2.0, seed * 7 + i as u64))
+            .collect();
+        let mut outs = Vec::new();
+        for _ in 0..150 {
+            for (i, g) in gens.iter_mut().enumerate() {
+                outs.extend(agg.push(i, g.next_sample()));
+            }
+        }
+        for w in outs.windows(2) {
+            prop_assert!((w[0].end - w[1].start).abs() < 1e-9);
+        }
+        for o in &outs {
+            prop_assert!((o.len() - interval).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn eqclass_merge_is_idempotent_and_order_insensitive(
+        pairs in proptest::collection::vec((0u64..6, 0u32..64), 1..60)
+    ) {
+        let singletons: Vec<EqClass> = pairs
+            .iter()
+            .map(|&(sum, rank)| EqClass::singleton(sum, rank))
+            .collect();
+        let merged = merge_classes(singletons.clone());
+        // Merging again is a no-op.
+        prop_assert_eq!(merge_classes(merged.clone()), merged.clone());
+        // Reversed input order gives the same result.
+        let mut rev = singletons.clone();
+        rev.reverse();
+        prop_assert_eq!(merge_classes(rev), merged.clone());
+        // Membership is conserved (deduplicated).
+        let mut expected: Vec<(u64, u32)> = pairs.clone();
+        expected.sort_unstable();
+        expected.dedup();
+        let total: usize = merged.iter().map(|c| c.members.len()).sum();
+        prop_assert_eq!(total, expected.len());
+        // Every member is in the class of its checksum.
+        for (sum, rank) in expected {
+            let class = merged.iter().find(|c| c.checksum == sum).unwrap();
+            prop_assert!(class.members.contains(&rank));
+        }
+    }
+
+    #[test]
+    fn eqclass_wire_round_trip(
+        pairs in proptest::collection::vec((0u64..10, 0u32..128), 1..40)
+    ) {
+        let classes = merge_classes(
+            pairs.into_iter().map(|(s, r)| EqClass::singleton(s, r)),
+        );
+        let packet = encode_classes(5, 9, &classes);
+        prop_assert_eq!(decode_classes(&packet).unwrap(), classes);
+    }
+
+    #[test]
+    fn mdl_round_trips_for_any_standard_subset(n in 1usize..40) {
+        let defs = standard_metrics(n);
+        prop_assert_eq!(parse_mdl(&to_mdl(&defs)).unwrap(), defs);
+    }
+}
+
+mod stacktree_props {
+    use paradyn::stacktree::StackTree;
+    use proptest::prelude::*;
+
+    fn arb_stack() -> impl Strategy<Value = Vec<String>> {
+        proptest::collection::vec("[a-f]{1,3}", 0..5)
+    }
+
+    proptest! {
+        #[test]
+        fn merge_is_order_insensitive(
+            stacks in proptest::collection::vec(arb_stack(), 1..20)
+        ) {
+            let mut forward = StackTree::new();
+            let mut backward = StackTree::new();
+            for (i, s) in stacks.iter().enumerate() {
+                forward.insert(s, i as u32);
+            }
+            for (i, s) in stacks.iter().enumerate().rev() {
+                backward.insert(s, i as u32);
+            }
+            prop_assert_eq!(forward.classes(), backward.classes());
+            prop_assert_eq!(forward.all_ranks(), backward.all_ranks());
+        }
+
+        #[test]
+        fn split_merge_equals_bulk(
+            stacks in proptest::collection::vec(arb_stack(), 1..20),
+            split in 0usize..20
+        ) {
+            let split = split.min(stacks.len());
+            let mut bulk = StackTree::new();
+            for (i, s) in stacks.iter().enumerate() {
+                bulk.insert(s, i as u32);
+            }
+            let mut a = StackTree::new();
+            let mut b = StackTree::new();
+            for (i, s) in stacks.iter().enumerate() {
+                if i < split { a.insert(s, i as u32) } else { b.insert(s, i as u32) }
+            }
+            let mut merged = StackTree::new();
+            merged.merge(&a);
+            merged.merge(&b);
+            prop_assert_eq!(merged.classes(), bulk.classes());
+        }
+
+        #[test]
+        fn wire_round_trip_preserves_classes(
+            stacks in proptest::collection::vec(arb_stack(), 1..15)
+        ) {
+            let mut t = StackTree::new();
+            for (i, s) in stacks.iter().enumerate() {
+                t.insert(s, i as u32);
+            }
+            let back = StackTree::from_packet(&t.to_packet(1, 0)).unwrap();
+            prop_assert_eq!(back.classes(), t.classes());
+            prop_assert_eq!(back.len(), t.len());
+        }
+
+        #[test]
+        fn rank_count_conserved(
+            stacks in proptest::collection::vec(arb_stack(), 1..25)
+        ) {
+            let mut t = StackTree::new();
+            for (i, s) in stacks.iter().enumerate() {
+                t.insert(s, i as u32);
+            }
+            prop_assert_eq!(t.all_ranks().len(), stacks.len());
+            let class_total: usize = t.classes().iter().map(|(_, r)| r.len()).sum();
+            prop_assert_eq!(class_total, stacks.len());
+        }
+    }
+}

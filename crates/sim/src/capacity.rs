@@ -1,0 +1,119 @@
+//! Processor capacity model for data-processing experiments.
+//!
+//! Figure 9 reports "the ratio of the rate at which the Paradyn
+//! front-end processed performance data samples to the rate at which
+//! the daemons generated the samples" — i.e. what fraction of the
+//! offered load a saturated front-end keeps up with. [`Cpu`] models a
+//! processor as a budget of work-seconds per second: offered work
+//! below 1.0 is fully serviced (ratio 1.0), beyond that the serviced
+//! fraction is `capacity / offered`, exactly the steady-state behavior
+//! of an overloaded consumer with a bounded input queue.
+
+/// A processor with a fixed work budget (1.0 = one fully-available
+/// CPU-second per second).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cpu {
+    /// Work-seconds this processor can execute per second.
+    pub capacity: f64,
+}
+
+impl Cpu {
+    /// A fully-available single CPU.
+    pub fn one() -> Cpu {
+        Cpu { capacity: 1.0 }
+    }
+
+    /// A CPU with part of its time reserved (e.g. for the tool's GUI
+    /// and control work).
+    pub fn with_capacity(capacity: f64) -> Cpu {
+        assert!(capacity > 0.0, "capacity must be positive");
+        Cpu { capacity }
+    }
+
+    /// Utilization caused by `offered` work-seconds per second
+    /// (may exceed 1.0 when overloaded).
+    pub fn utilization(&self, offered: f64) -> f64 {
+        offered / self.capacity
+    }
+
+    /// Steady-state fraction of offered load actually serviced.
+    pub fn serviced_fraction(&self, offered: f64) -> f64 {
+        if offered <= self.capacity {
+            1.0
+        } else {
+            self.capacity / offered
+        }
+    }
+}
+
+/// Work accounting for a processing stage: a per-item cost plus a
+/// per-batch (message) cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageCost {
+    /// CPU-seconds per data item processed.
+    pub per_item: f64,
+    /// CPU-seconds per arriving message (header handling, demux).
+    pub per_message: f64,
+}
+
+impl StageCost {
+    /// Offered work (CPU-seconds/second) for `item_rate` items/s
+    /// arriving in `message_rate` messages/s.
+    pub fn offered_work(&self, item_rate: f64, message_rate: f64) -> f64 {
+        self.per_item * item_rate + self.per_message * message_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn under_load_everything_serviced() {
+        let cpu = Cpu::one();
+        assert_eq!(cpu.serviced_fraction(0.5), 1.0);
+        assert_eq!(cpu.serviced_fraction(1.0), 1.0);
+    }
+
+    #[test]
+    fn over_load_fraction_is_capacity_ratio() {
+        let cpu = Cpu::one();
+        assert!((cpu.serviced_fraction(2.0) - 0.5).abs() < 1e-12);
+        assert!((cpu.serviced_fraction(20.0) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_capacity() {
+        let cpu = Cpu::with_capacity(0.5);
+        assert_eq!(cpu.serviced_fraction(0.4), 1.0);
+        assert!((cpu.serviced_fraction(1.0) - 0.5).abs() < 1e-12);
+        assert!((cpu.utilization(1.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = Cpu::with_capacity(0.0);
+    }
+
+    #[test]
+    fn stage_cost_combines_item_and_message_work() {
+        let cost = StageCost {
+            per_item: 1e-4,
+            per_message: 1e-3,
+        };
+        let offered = cost.offered_work(1000.0, 10.0);
+        assert!((offered - (0.1 + 0.01)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_monotone_in_offered_load() {
+        let cpu = Cpu::one();
+        let mut prev = 1.0;
+        for i in 1..100 {
+            let f = cpu.serviced_fraction(i as f64 * 0.1);
+            assert!(f <= prev + 1e-12);
+            prev = f;
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Simulated host clocks with skew and drift, plus network jitter.
+//!
+//! The Paradyn clock-skew experiment (§4.2.1) compares skews computed
+//! by the MRNet cumulative algorithm and by a direct round-trip scheme
+//! against ground truth from Blue Pacific's globally-synchronous SP
+//! switch clock. The simulator provides that ground truth for free
+//! (virtual time is global); [`SkewedClock`] gives each process its
+//! own offset + drift, and [`JitterModel`] injects the asymmetric
+//! message delays that make both estimation schemes err.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A per-process clock: `local = global·(1 + drift) + offset`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkewedClock {
+    /// Constant offset from global time, in seconds.
+    pub offset: f64,
+    /// Fractional frequency error (e.g. `50e-6` = 50 ppm fast).
+    pub drift: f64,
+}
+
+impl SkewedClock {
+    /// A perfect clock.
+    pub fn perfect() -> SkewedClock {
+        SkewedClock {
+            offset: 0.0,
+            drift: 0.0,
+        }
+    }
+
+    /// Reads this clock at global (virtual) time `global`.
+    pub fn read(&self, global: f64) -> f64 {
+        global * (1.0 + self.drift) + self.offset
+    }
+
+    /// The true skew of this clock relative to `other` at global time
+    /// `global`: `self.read(t) - other.read(t)`.
+    pub fn skew_against(&self, other: &SkewedClock, global: f64) -> f64 {
+        self.read(global) - other.read(global)
+    }
+}
+
+/// Generates a population of skewed clocks and message jitter samples,
+/// deterministically from a seed.
+#[derive(Debug, Clone)]
+pub struct ClockWorld {
+    clocks: Vec<SkewedClock>,
+    rng: SmallRng,
+    /// Mean one-way extra delay added to each message, in seconds.
+    pub jitter_mean: f64,
+}
+
+impl ClockWorld {
+    /// Builds `n` clocks with offsets uniform in `±max_offset` seconds
+    /// and drifts uniform in `±max_drift` (fractional). Process 0 (the
+    /// front-end) keeps a perfect clock so "skew of daemon d" is
+    /// well-defined against it.
+    pub fn new(n: usize, max_offset: f64, max_drift: f64, seed: u64) -> ClockWorld {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut clocks = Vec::with_capacity(n);
+        clocks.push(SkewedClock::perfect());
+        for _ in 1..n {
+            clocks.push(SkewedClock {
+                offset: if max_offset > 0.0 {
+                    rng.gen_range(-max_offset..max_offset)
+                } else {
+                    0.0
+                },
+                drift: if max_drift > 0.0 {
+                    rng.gen_range(-max_drift..max_drift)
+                } else {
+                    0.0
+                },
+            });
+        }
+        ClockWorld {
+            clocks,
+            rng,
+            jitter_mean: 0.0,
+        }
+    }
+
+    /// The clock of process `i`.
+    pub fn clock(&self, i: usize) -> &SkewedClock {
+        &self.clocks[i]
+    }
+
+    /// Number of clocks.
+    pub fn len(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// True when the world is empty.
+    pub fn is_empty(&self) -> bool {
+        self.clocks.is_empty()
+    }
+
+    /// True skew of process `i` relative to process `j` at `global`.
+    pub fn true_skew(&self, i: usize, j: usize, global: f64) -> f64 {
+        self.clocks[i].skew_against(&self.clocks[j], global)
+    }
+
+    /// Samples an extra one-way message delay: exponentially
+    /// distributed with mean [`ClockWorld::jitter_mean`]. Exponential
+    /// (not symmetric) delays are what bias round-trip-based skew
+    /// estimates, as observed in the paper's error measurements.
+    pub fn sample_jitter(&mut self) -> f64 {
+        if self.jitter_mean <= 0.0 {
+            return 0.0;
+        }
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        -self.jitter_mean * u.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clock_reads_global() {
+        let c = SkewedClock::perfect();
+        assert_eq!(c.read(123.456), 123.456);
+    }
+
+    #[test]
+    fn offset_and_drift_apply() {
+        let c = SkewedClock {
+            offset: 0.5,
+            drift: 1e-3,
+        };
+        let t = 100.0;
+        assert!((c.read(t) - (100.0 * 1.001 + 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skew_against_is_antisymmetric() {
+        let a = SkewedClock {
+            offset: 0.2,
+            drift: 0.0,
+        };
+        let b = SkewedClock {
+            offset: -0.1,
+            drift: 0.0,
+        };
+        assert!((a.skew_against(&b, 10.0) + b.skew_against(&a, 10.0)).abs() < 1e-12);
+        assert!((a.skew_against(&b, 10.0) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn world_front_end_is_perfect() {
+        let w = ClockWorld::new(8, 0.1, 1e-5, 99);
+        assert_eq!(*w.clock(0), SkewedClock::perfect());
+        assert_eq!(w.len(), 8);
+    }
+
+    #[test]
+    fn world_offsets_bounded() {
+        let w = ClockWorld::new(100, 0.05, 1e-5, 3);
+        for i in 1..100 {
+            assert!(w.clock(i).offset.abs() <= 0.05);
+            assert!(w.clock(i).drift.abs() <= 1e-5);
+        }
+    }
+
+    #[test]
+    fn world_deterministic_by_seed() {
+        let a = ClockWorld::new(16, 0.1, 1e-6, 5);
+        let b = ClockWorld::new(16, 0.1, 1e-6, 5);
+        for i in 0..16 {
+            assert_eq!(a.clock(i), b.clock(i));
+        }
+    }
+
+    #[test]
+    fn true_skew_matches_reads() {
+        let w = ClockWorld::new(4, 0.1, 0.0, 11);
+        let t = 42.0;
+        let direct = w.clock(2).read(t) - w.clock(0).read(t);
+        assert!((w.true_skew(2, 0, t) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jitter_is_nonnegative_with_requested_mean() {
+        let mut w = ClockWorld::new(2, 0.0, 0.0, 7);
+        w.jitter_mean = 0.001;
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let j = w.sample_jitter();
+            assert!(j >= 0.0);
+            sum += j;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.001).abs() < 0.0002, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_jitter_mean_gives_zero() {
+        let mut w = ClockWorld::new(2, 0.0, 0.0, 7);
+        assert_eq!(w.sample_jitter(), 0.0);
+    }
+}

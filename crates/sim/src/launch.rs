@@ -1,0 +1,150 @@
+//! Process-creation cost model.
+//!
+//! §2.5 / §4.1: MRNet instantiates its tree with `rsh`/`ssh`; each
+//! parent creates its children *sequentially*, while subtrees in
+//! different branches are created concurrently. On Blue Pacific the
+//! serialized `rsh` cost dominates flat-topology instantiation
+//! (Figure 7a: ~800 s for 512 back-ends ⇒ ≈1.5 s per process).
+//!
+//! [`LaunchModel`] charges a parent a serial occupancy per launch and
+//! the child a readiness delay; the connection handshake that follows
+//! uses the LogP network model.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Cost parameters for remotely creating one process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaunchParams {
+    /// Time the parent is busy per launch (rsh client, fork/exec,
+    /// authentication) before it can start the next launch.
+    pub parent_serial: f64,
+    /// Additional time after launch initiation before the child is
+    /// running and has connected back to its parent.
+    pub child_ready: f64,
+    /// Multiplicative jitter bound: each cost is scaled by a factor
+    /// uniform in `[1-jitter, 1+jitter]`.
+    pub jitter: f64,
+}
+
+impl LaunchParams {
+    /// Calibrated to Blue Pacific: Figure 7a's flat topology reaches
+    /// ≈800 s at 512 back-ends ⇒ ≈1.55 s serialized per rsh.
+    pub fn blue_pacific() -> LaunchParams {
+        LaunchParams {
+            parent_serial: 1.55,
+            child_ready: 0.40,
+            jitter: 0.05,
+        }
+    }
+
+    /// Deterministic unit costs for tests.
+    pub fn unit() -> LaunchParams {
+        LaunchParams {
+            parent_serial: 1.0,
+            child_ready: 1.0,
+            jitter: 0.0,
+        }
+    }
+}
+
+/// Stateful launch-cost sampler (deterministic for a given seed).
+#[derive(Debug, Clone)]
+pub struct LaunchModel {
+    params: LaunchParams,
+    rng: SmallRng,
+}
+
+/// The cost of one launch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaunchCost {
+    /// How long the parent is occupied before it may launch again.
+    pub parent_busy: f64,
+    /// Delay from launch initiation until the child is ready.
+    pub child_ready: f64,
+}
+
+impl LaunchModel {
+    /// Creates a model with the given parameters and RNG seed.
+    pub fn new(params: LaunchParams, seed: u64) -> LaunchModel {
+        LaunchModel {
+            params,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &LaunchParams {
+        &self.params
+    }
+
+    fn jittered(&mut self, base: f64) -> f64 {
+        if self.params.jitter == 0.0 {
+            return base;
+        }
+        let lo = 1.0 - self.params.jitter;
+        let hi = 1.0 + self.params.jitter;
+        base * self.rng.gen_range(lo..hi)
+    }
+
+    /// Samples the cost of one process launch.
+    pub fn sample(&mut self) -> LaunchCost {
+        LaunchCost {
+            parent_busy: self.jittered(self.params.parent_serial),
+            child_ready: self.jittered(self.params.child_ready),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_params_are_deterministic() {
+        let mut m = LaunchModel::new(LaunchParams::unit(), 1);
+        for _ in 0..10 {
+            let c = m.sample();
+            assert_eq!(c.parent_busy, 1.0);
+            assert_eq!(c.child_ready, 1.0);
+        }
+    }
+
+    #[test]
+    fn jitter_stays_bounded() {
+        let mut m = LaunchModel::new(LaunchParams::blue_pacific(), 42);
+        for _ in 0..1000 {
+            let c = m.sample();
+            assert!(c.parent_busy >= 1.55 * 0.95 && c.parent_busy <= 1.55 * 1.05);
+            assert!(c.child_ready >= 0.40 * 0.95 && c.child_ready <= 0.40 * 1.05);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = LaunchModel::new(LaunchParams::blue_pacific(), 7);
+        let mut b = LaunchModel::new(LaunchParams::blue_pacific(), 7);
+        for _ in 0..100 {
+            assert_eq!(a.sample(), b.sample());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = LaunchModel::new(LaunchParams::blue_pacific(), 1);
+        let mut b = LaunchModel::new(LaunchParams::blue_pacific(), 2);
+        let same = (0..100).filter(|_| a.sample() == b.sample()).count();
+        assert!(same < 100);
+    }
+
+    #[test]
+    fn flat_512_magnitude_matches_figure_7a() {
+        // Serialized launches from one parent: ~512 × 1.55 ≈ 794 s.
+        let mut m = LaunchModel::new(LaunchParams::blue_pacific(), 3);
+        let total: f64 = (0..512).map(|_| m.sample().parent_busy).sum();
+        assert!(
+            (700.0..900.0).contains(&total),
+            "flat-512 serialized launch time {total}"
+        );
+    }
+}

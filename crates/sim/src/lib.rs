@@ -1,0 +1,27 @@
+//! # mrnet-sim
+//!
+//! The simulated machine substrate for the MRNet reproduction: a
+//! deterministic discrete-event engine, a LogP/LogGP network cost
+//! model with per-process send serialization, an `rsh` process-launch
+//! cost model, skewed host clocks with message jitter, and processor
+//! capacity accounting.
+//!
+//! Together these stand in for the paper's ASCI Blue Pacific testbed
+//! (280 nodes, IBM SP switch, rsh-based launch) — see DESIGN.md §3 for
+//! the substitution argument. The protocol logic exercised on top of
+//! this substrate is the real MRNet library; the simulator only
+//! decides when messages arrive and what clocks read.
+
+#![forbid(unsafe_code)]
+
+mod capacity;
+mod clock;
+mod engine;
+mod launch;
+mod logp;
+
+pub use capacity::{Cpu, StageCost};
+pub use clock::{ClockWorld, SkewedClock};
+pub use engine::{Scheduler, Sim, SimTime};
+pub use launch::{LaunchCost, LaunchModel, LaunchParams};
+pub use logp::{LogGpParams, NetModel};

@@ -1,0 +1,233 @@
+//! The LogP/LogGP network cost model used by the simulator.
+//!
+//! §2.6 reasons about MRNet topologies under LogP: latency `L`,
+//! per-send/per-receive overhead `o`, inter-send gap `g`, plus the
+//! LogGP per-byte gap `G` for long messages. [`NetModel`] tracks when
+//! each simulated process's network interface is next free, so
+//! successive sends from one process serialize exactly as the model
+//! (and a real NIC) demands — this serialization is what makes flat
+//! topologies collapse in Figures 7–9.
+
+/// LogGP parameters, in seconds (and seconds/byte for `big_gap`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogGpParams {
+    /// Wire latency `L` for a small message.
+    pub latency: f64,
+    /// Per-send and per-receive processor overhead `o`.
+    pub overhead: f64,
+    /// Minimum gap `g` between successive sends from one process.
+    pub gap: f64,
+    /// Per-byte gap `G` (LogGP long-message extension).
+    pub big_gap: f64,
+}
+
+impl LogGpParams {
+    /// Parameters calibrated so simulated magnitudes land near the
+    /// paper's ASCI Blue Pacific measurements (332 MHz PowerPC 604e
+    /// nodes on an IBM SP switch, user-space tool traffic over rsh-
+    /// launched sockets):
+    ///
+    /// * flat 512-back-end broadcast+reduction round trip ≈ 1.4 s
+    ///   (Figure 7b) → per-message serialized cost ≈ 1.3 ms;
+    /// * 8-way tree reduction throughput ≈ 70 ops/s (Figure 7c) →
+    ///   interval ≈ `8·g + overheads` ≈ 14 ms.
+    pub fn blue_pacific() -> LogGpParams {
+        LogGpParams {
+            latency: 0.000_35,
+            overhead: 0.000_15,
+            gap: 0.001_3,
+            big_gap: 0.000_000_01,
+        }
+    }
+
+    /// Unit parameters for symbolic tests.
+    pub fn unit() -> LogGpParams {
+        LogGpParams {
+            latency: 1.0,
+            overhead: 1.0,
+            gap: 1.0,
+            big_gap: 0.0,
+        }
+    }
+
+    /// Pure wire time of one message of `bytes` bytes (no send-side
+    /// serialization): `o + L + (bytes-1)·G + o`.
+    pub fn wire_time(&self, bytes: usize) -> f64 {
+        self.overhead
+            + self.latency
+            + self.big_gap * bytes.saturating_sub(1) as f64
+            + self.overhead
+    }
+}
+
+/// Tracks per-process network state for a population of simulated
+/// processes addressed `0..n`.
+#[derive(Debug, Clone)]
+pub struct NetModel {
+    params: LogGpParams,
+    /// Virtual time at which each process's interface is next free to
+    /// initiate a message operation. LogP's gap `g` is a per-processor
+    /// budget shared by sends *and* receives — a front-end that has
+    /// just multicast 512 messages cannot simultaneously have drained
+    /// 512 replies, which is exactly why the paper's flat round trip
+    /// (Figure 7b) costs roughly twice its one-way broadcast.
+    busy_until: Vec<f64>,
+}
+
+impl NetModel {
+    /// A model over `n` processes.
+    pub fn new(n: usize, params: LogGpParams) -> NetModel {
+        NetModel {
+            params,
+            busy_until: vec![0.0; n],
+        }
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &LogGpParams {
+        &self.params
+    }
+
+    /// Number of modeled processes.
+    pub fn len(&self) -> usize {
+        self.busy_until.len()
+    }
+
+    /// True if the model covers no processes.
+    pub fn is_empty(&self) -> bool {
+        self.busy_until.is_empty()
+    }
+
+    /// Grows the model to cover at least `n` processes.
+    pub fn ensure(&mut self, n: usize) {
+        if self.busy_until.len() < n {
+            self.busy_until.resize(n, 0.0);
+        }
+    }
+
+    /// Simulates `from` sending a `bytes`-byte message at virtual time
+    /// `now`. Returns the arrival time at the receiver (when the
+    /// receive overhead has been paid).
+    ///
+    /// The send begins when both `now` has arrived and the sender's
+    /// interface is free; the interface then stays busy for
+    /// `g + bytes·G`, serializing subsequent sends.
+    pub fn send(&mut self, from: usize, now: f64, bytes: usize) -> f64 {
+        let start = now.max(self.busy_until[from]);
+        let occupancy = self.params.gap + self.params.big_gap * bytes as f64;
+        self.busy_until[from] = start + occupancy;
+        start + self.params.wire_time(bytes)
+    }
+
+    /// When `from`'s interface is next free (for tests/diagnostics).
+    pub fn next_free(&self, from: usize) -> f64 {
+        self.busy_until[from]
+    }
+
+    /// Resets all interfaces to free-at-zero.
+    pub fn reset(&mut self) {
+        self.busy_until.fill(0.0);
+    }
+
+    /// Occupies process `p` until at least `until` — models serialized
+    /// CPU work (e.g. a front-end processing an inbound report) that
+    /// delays the process's next message operation.
+    pub fn occupy(&mut self, p: usize, until: f64) {
+        if until > self.busy_until[p] {
+            self.busy_until[p] = until;
+        }
+    }
+
+    /// Simulates `from` sending a `bytes`-byte message to `to` at
+    /// virtual time `now`, accounting for serialization at *both*
+    /// interfaces. Returns the time the message has been fully
+    /// received (receive overhead paid) at `to`.
+    pub fn transfer(&mut self, from: usize, to: usize, now: f64, bytes: usize) -> f64 {
+        let start = now.max(self.busy_until[from]);
+        let occupancy = self.params.gap + self.params.big_gap * bytes as f64;
+        self.busy_until[from] = start + occupancy;
+        // On the wire: send overhead + latency + long-message cost.
+        let wire_arrival = start
+            + self.params.overhead
+            + self.params.latency
+            + self.params.big_gap * bytes.saturating_sub(1) as f64;
+        // Receiver accepts when its interface frees up, then pays o.
+        let accept = wire_arrival.max(self.busy_until[to]);
+        self.busy_until[to] = accept + occupancy;
+        accept + self.params.overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_send_costs_wire_time() {
+        let mut net = NetModel::new(2, LogGpParams::unit());
+        let arrival = net.send(0, 0.0, 1);
+        // o + L + o = 3 with unit parameters.
+        assert!((arrival - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn successive_sends_serialize_by_gap() {
+        let mut net = NetModel::new(4, LogGpParams::unit());
+        let a1 = net.send(0, 0.0, 1);
+        let a2 = net.send(0, 0.0, 1);
+        let a3 = net.send(0, 0.0, 1);
+        assert!((a2 - a1 - 1.0).abs() < 1e-12, "gap g between sends");
+        assert!((a3 - a2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_senders_do_not_serialize() {
+        let mut net = NetModel::new(4, LogGpParams::unit());
+        let a = net.send(0, 0.0, 1);
+        let b = net.send(1, 0.0, 1);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn long_messages_pay_per_byte() {
+        let params = LogGpParams {
+            latency: 1.0,
+            overhead: 0.0,
+            gap: 0.0,
+            big_gap: 0.01,
+        };
+        let mut net = NetModel::new(2, params);
+        let small = net.send(0, 0.0, 1);
+        net.reset();
+        let big = net.send(0, 0.0, 1001);
+        assert!((big - small - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_interface_sends_immediately_later() {
+        let mut net = NetModel::new(2, LogGpParams::unit());
+        net.send(0, 0.0, 1);
+        // After the gap has passed, a send at t=10 starts at t=10.
+        let arrival = net.send(0, 10.0, 1);
+        assert!((arrival - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_fanout_last_arrival_grows_linearly() {
+        let mut net = NetModel::new(513, LogGpParams::blue_pacific());
+        let mut last = 0.0f64;
+        for _ in 0..512 {
+            last = last.max(net.send(0, 0.0, 64));
+        }
+        // 512 serialized sends at ~1.3 ms gap ≈ 0.67 s one way.
+        assert!(last > 0.5 && last < 1.0, "last arrival {last}");
+    }
+
+    #[test]
+    fn ensure_grows() {
+        let mut net = NetModel::new(1, LogGpParams::unit());
+        net.ensure(10);
+        assert_eq!(net.len(), 10);
+        let _ = net.send(9, 0.0, 1);
+    }
+}

@@ -1,0 +1,74 @@
+//! Error types for topology parsing and validation.
+
+use std::fmt;
+
+/// Errors produced while parsing or validating topology specifications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A syntax error in a configuration file.
+    Parse {
+        /// 1-based line number of the offending token.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The configuration declares a process as a child of two parents.
+    MultipleParents(String),
+    /// The configuration has no root (every declared process has a
+    /// parent) or more than one root.
+    BadRoot {
+        /// Number of parentless processes found.
+        roots: usize,
+    },
+    /// A parent/child edge references a process by an unknown name.
+    UnknownProcess(String),
+    /// The configuration contains a cycle.
+    Cycle(String),
+    /// A generator was asked for an impossible shape.
+    InvalidShape(String),
+    /// The topology is structurally unusable for a tool (e.g. the root
+    /// has no children, so there are no back-ends).
+    NoBackEnds,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::Parse { line, message } => {
+                write!(f, "config parse error at line {line}: {message}")
+            }
+            TopologyError::MultipleParents(p) => {
+                write!(f, "process {p} is declared as a child of multiple parents")
+            }
+            TopologyError::BadRoot { roots } => {
+                write!(f, "topology must have exactly one root, found {roots}")
+            }
+            TopologyError::UnknownProcess(p) => write!(f, "unknown process {p}"),
+            TopologyError::Cycle(p) => write!(f, "cycle detected involving process {p}"),
+            TopologyError::InvalidShape(m) => write!(f, "invalid topology shape: {m}"),
+            TopologyError::NoBackEnds => write!(f, "topology has no back-end processes"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Convenient result alias for topology operations.
+pub type Result<T> = std::result::Result<T, TopologyError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(TopologyError::Parse {
+            line: 3,
+            message: "x".into()
+        }
+        .to_string()
+        .contains("line 3"));
+        assert!(TopologyError::BadRoot { roots: 0 }.to_string().contains("0"));
+        assert!(TopologyError::NoBackEnds.to_string().contains("back-end"));
+    }
+}

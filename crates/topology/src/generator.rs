@@ -1,0 +1,459 @@
+//! Topology generators.
+//!
+//! "MRNet can generate a variety of standard topologies" (§2.1): flat
+//! (single-level, the architecture of most existing tools), balanced
+//! k-ary trees (the paper's experimental configurations), k-nomial
+//! (binomial when k=2) trees, custom level-by-level fan-out lists, and
+//! the specific unbalanced topology of Figure 4b.
+
+use crate::error::{Result, TopologyError};
+use crate::hosts::{HostPool, PlacementPolicy};
+use crate::spec::{NodeId, Topology, TopologyBuilder};
+
+/// A flat, single-level topology: the front-end directly connected to
+/// `n_backends` back-ends. "Closely approximates the architecture of
+/// many parallel tools" (§4.1) — the paper's baseline.
+pub fn flat(n_backends: usize, pool: &mut HostPool) -> Result<Topology> {
+    if n_backends == 0 {
+        return Err(TopologyError::InvalidShape("0 back-ends".into()));
+    }
+    let mut b = TopologyBuilder::new();
+    let root = b.root(pool.next_placement());
+    for _ in 0..n_backends {
+        b.child(root, pool.next_placement());
+    }
+    b.build()
+}
+
+/// A fully-populated balanced tree with the given fan-out at every node
+/// and `depth` levels below the root: `fanout^depth` back-ends.
+pub fn balanced(fanout: usize, depth: usize, pool: &mut HostPool) -> Result<Topology> {
+    if fanout < 1 || depth < 1 {
+        return Err(TopologyError::InvalidShape(format!(
+            "balanced tree needs fanout>=1 and depth>=1, got {fanout}x{depth}"
+        )));
+    }
+    let mut b = TopologyBuilder::new();
+    let root = b.root(pool.next_placement());
+    let mut frontier = vec![root];
+    for _ in 0..depth {
+        let mut next = Vec::with_capacity(frontier.len() * fanout);
+        for parent in frontier {
+            for _ in 0..fanout {
+                next.push(b.child(parent, pool.next_placement()));
+            }
+        }
+        frontier = next;
+    }
+    b.build()
+}
+
+/// A balanced tree with interior fan-out `fanout` and exactly
+/// `n_backends` leaves.
+///
+/// Depth is the smallest `d` with `fanout.pow(d) >= n_backends`; leaves
+/// are distributed as evenly as possible, so when `n_backends` is an
+/// exact power the result is fully populated. This matches the paper's
+/// "fully-populated balanced tree" configurations (e.g. 8-way fan-out
+/// with 512 = 8³ back-ends) while still supporting sweeps over
+/// non-power counts.
+pub fn balanced_for(fanout: usize, n_backends: usize, pool: &mut HostPool) -> Result<Topology> {
+    if fanout < 2 {
+        return Err(TopologyError::InvalidShape(
+            "balanced_for needs fanout >= 2".into(),
+        ));
+    }
+    if n_backends == 0 {
+        return Err(TopologyError::InvalidShape("0 back-ends".into()));
+    }
+    if n_backends == 1 {
+        return flat(1, pool);
+    }
+    let mut depth = 1usize;
+    let mut capacity = fanout;
+    while capacity < n_backends {
+        depth += 1;
+        capacity = capacity.saturating_mul(fanout);
+    }
+    let mut b = TopologyBuilder::new();
+    let root = b.root(pool.next_placement());
+    // Recursively hand each child a near-equal share of the leaves.
+    fn grow(
+        b: &mut TopologyBuilder,
+        parent: NodeId,
+        leaves: usize,
+        fanout: usize,
+        levels_left: usize,
+        pool: &mut HostPool,
+    ) {
+        if levels_left == 1 {
+            for _ in 0..leaves {
+                b.child(parent, pool.next_placement());
+            }
+            return;
+        }
+        // Number of children actually needed to hold `leaves` leaves.
+        let per_child_cap = fanout.pow(levels_left as u32 - 1);
+        let children = leaves.div_ceil(per_child_cap).min(fanout);
+        let base = leaves / children;
+        let extra = leaves % children;
+        for i in 0..children {
+            let share = base + usize::from(i < extra);
+            if share == 0 {
+                continue;
+            }
+            let child = b.child(parent, pool.next_placement());
+            grow(b, child, share, fanout, levels_left - 1, pool);
+        }
+    }
+    grow(&mut b, root, n_backends, fanout, depth, pool);
+    b.build()
+}
+
+/// A k-nomial tree over `n_internal` interior nodes (k=2 gives the
+/// classic binomial tree), with `leaf_fanout` back-ends attached to
+/// every interior node.
+///
+/// With `k=2`, `n_internal=4`, `leaf_fanout=4` this is exactly the
+/// unbalanced topology of Figure 4b.
+pub fn knomial_with_leaves(
+    k: usize,
+    n_internal: usize,
+    leaf_fanout: usize,
+    pool: &mut HostPool,
+) -> Result<Topology> {
+    if k < 2 || n_internal == 0 || leaf_fanout == 0 {
+        return Err(TopologyError::InvalidShape(format!(
+            "knomial needs k>=2, n_internal>=1, leaf_fanout>=1; got k={k}, n={n_internal}, l={leaf_fanout}"
+        )));
+    }
+    let mut b = TopologyBuilder::new();
+    let root = b.root(pool.next_placement());
+    // Standard k-nomial construction: in each round every existing
+    // interior node spawns up to (k-1) new interior children, until
+    // n_internal interior nodes exist. The root counts as interior.
+    let mut interior = vec![root];
+    while interior.len() < n_internal {
+        let snapshot = interior.clone();
+        'outer: for node in snapshot {
+            for _ in 0..(k - 1) {
+                if interior.len() >= n_internal {
+                    break 'outer;
+                }
+                let child = b.child(node, pool.next_placement());
+                interior.push(child);
+            }
+        }
+    }
+    for node in interior {
+        for _ in 0..leaf_fanout {
+            b.child(node, pool.next_placement());
+        }
+    }
+    b.build()
+}
+
+/// The unbalanced topology of Figure 4b: a binomial tree of four
+/// interior nodes, each with four back-ends attached, reaching sixteen
+/// back-ends with a six-way fan-out at the root.
+pub fn fig4_unbalanced(pool: &mut HostPool) -> Result<Topology> {
+    knomial_with_leaves(2, 4, 4, pool)
+}
+
+/// The balanced topology of Figure 4a: a 4-ary tree of depth 2
+/// reaching sixteen back-ends.
+pub fn fig4_balanced(pool: &mut HostPool) -> Result<Topology> {
+    balanced(4, 2, pool)
+}
+
+/// A custom topology from per-level fan-outs: `&[a, b, c]` gives a root
+/// with `a` children, each with `b` children, each with `c` children
+/// (the leaves). Mirrors MRNet's `AxBxC` topology shorthand.
+pub fn from_level_fanouts(fanouts: &[usize], pool: &mut HostPool) -> Result<Topology> {
+    if fanouts.is_empty() || fanouts.contains(&0) {
+        return Err(TopologyError::InvalidShape(
+            "level fan-outs must be non-empty and positive".into(),
+        ));
+    }
+    let mut b = TopologyBuilder::new();
+    let root = b.root(pool.next_placement());
+    let mut frontier = vec![root];
+    for &f in fanouts {
+        let mut next = Vec::with_capacity(frontier.len() * f);
+        for parent in frontier {
+            for _ in 0..f {
+                next.push(b.child(parent, pool.next_placement()));
+            }
+        }
+        frontier = next;
+    }
+    b.build()
+}
+
+/// Builds a balanced tree with exactly `n_backends` leaves over an
+/// explicit host list, honoring a §2.6 placement policy:
+///
+/// * [`PlacementPolicy::Dedicated`] — internal processes (and the
+///   front-end) get hosts from the front of the list; back-ends get
+///   the rest. "We recommend that MRNet's internal processes be
+///   located on resources distinct from those running the application
+///   processes."
+/// * [`PlacementPolicy::CoLocated`] — internal processes share the
+///   back-end hosts round-robin (the configuration the paper argues
+///   against, provided for comparison).
+pub fn balanced_with_policy(
+    fanout: usize,
+    n_backends: usize,
+    hosts: &[String],
+    policy: PlacementPolicy,
+) -> Result<Topology> {
+    if hosts.is_empty() {
+        return Err(TopologyError::InvalidShape("empty host list".into()));
+    }
+    // Shape first (with a throwaway pool), then re-assign placements.
+    let mut shape_pool = HostPool::synthetic(2 * n_backends.max(4));
+    let shape = balanced_for(fanout, n_backends, &mut shape_pool)?;
+    let n_interior = 1 + shape.num_internals();
+    let mut builder = TopologyBuilder::new();
+    // Per-policy host pools. Co-location shares ONE pool so local
+    // ranks stay unique per host.
+    enum Pools {
+        Split(HostPool, HostPool),
+        Shared(HostPool),
+    }
+    let mut pools = match policy {
+        PlacementPolicy::Dedicated => {
+            if hosts.len() < 2 {
+                return Err(TopologyError::InvalidShape(
+                    "dedicated placement needs at least 2 hosts".into(),
+                ));
+            }
+            let split = n_interior.min(hosts.len() - 1).max(1);
+            Pools::Split(
+                HostPool::named(hosts[..split].to_vec()),
+                HostPool::named(hosts[split..].to_vec()),
+            )
+        }
+        PlacementPolicy::CoLocated => Pools::Shared(HostPool::named(hosts.to_vec())),
+    };
+    // Rebuild the shape with policy-driven placements, preserving BFS
+    // structure (children of node i in the shape become children of
+    // the i-th created node).
+    let order = shape.bfs();
+    let mut new_ids = std::collections::HashMap::new();
+    for id in order {
+        let is_backend = shape.role(id) == crate::spec::Role::BackEnd;
+        let placement = match &mut pools {
+            Pools::Shared(pool) => pool.next_placement(),
+            Pools::Split(interior, backend) => {
+                if is_backend {
+                    backend.next_placement()
+                } else {
+                    interior.next_placement()
+                }
+            }
+        };
+        let new_id = match shape.parent(id) {
+            None => builder.root(placement),
+            Some(p) => builder.child(new_ids[&p], placement),
+        };
+        new_ids.insert(id, new_id);
+    }
+    builder.build()
+}
+
+/// Parses the `AxBxC` shorthand (e.g. `"4x4x4"`) into a topology.
+pub fn from_shorthand(spec: &str, pool: &mut HostPool) -> Result<Topology> {
+    let fanouts: Result<Vec<usize>> = spec
+        .split('x')
+        .map(|tok| {
+            tok.trim().parse::<usize>().map_err(|_| {
+                TopologyError::InvalidShape(format!("bad fan-out `{tok}` in `{spec}`"))
+            })
+        })
+        .collect();
+    from_level_fanouts(&fanouts?, pool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Role;
+
+    fn pool() -> HostPool {
+        HostPool::synthetic(64)
+    }
+
+    #[test]
+    fn flat_shape() {
+        let t = flat(10, &mut pool()).unwrap();
+        assert_eq!(t.num_backends(), 10);
+        assert_eq!(t.num_internals(), 0);
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.root_fanout(), 10);
+    }
+
+    #[test]
+    fn flat_rejects_zero() {
+        assert!(flat(0, &mut pool()).is_err());
+    }
+
+    #[test]
+    fn balanced_shape() {
+        let t = balanced(4, 2, &mut pool()).unwrap();
+        assert_eq!(t.num_backends(), 16);
+        assert_eq!(t.num_internals(), 4);
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.max_fanout(), 4);
+        // Every interior node has exactly fanout children.
+        for id in t.internals() {
+            assert_eq!(t.children(id).len(), 4);
+        }
+    }
+
+    #[test]
+    fn balanced_rejects_degenerate() {
+        assert!(balanced(0, 2, &mut pool()).is_err());
+        assert!(balanced(4, 0, &mut pool()).is_err());
+    }
+
+    #[test]
+    fn balanced_for_exact_powers_fully_populated() {
+        let t = balanced_for(8, 512, &mut HostPool::synthetic(1024)).unwrap();
+        assert_eq!(t.num_backends(), 512);
+        assert_eq!(t.depth(), 3);
+        for id in t.internals() {
+            assert_eq!(t.children(id).len(), 8);
+        }
+        assert_eq!(t.root_fanout(), 8);
+    }
+
+    #[test]
+    fn balanced_for_non_powers() {
+        for n in [3, 5, 17, 100, 300, 512] {
+            let t = balanced_for(4, n, &mut HostPool::synthetic(1024)).unwrap();
+            assert_eq!(t.num_backends(), n, "n={n}");
+            assert!(t.max_fanout() <= 4, "n={n} fanout {}", t.max_fanout());
+        }
+    }
+
+    #[test]
+    fn balanced_for_single_backend() {
+        let t = balanced_for(4, 1, &mut pool()).unwrap();
+        assert_eq!(t.num_backends(), 1);
+    }
+
+    #[test]
+    fn fig4_balanced_matches_paper() {
+        let t = fig4_balanced(&mut pool()).unwrap();
+        assert_eq!(t.num_backends(), 16);
+        assert_eq!(t.root_fanout(), 4);
+        assert_eq!(t.depth(), 2);
+    }
+
+    #[test]
+    fn fig4_unbalanced_matches_paper() {
+        let t = fig4_unbalanced(&mut pool()).unwrap();
+        // Sixteen back-ends, four interior nodes, six-way root fan-out
+        // (two interior children + four back-ends).
+        assert_eq!(t.num_backends(), 16);
+        assert_eq!(t.num_internals(), 3); // root is the front-end
+        assert_eq!(t.root_fanout(), 6);
+    }
+
+    #[test]
+    fn level_fanouts() {
+        let t = from_level_fanouts(&[2, 3, 4], &mut pool()).unwrap();
+        assert_eq!(t.num_backends(), 24);
+        assert_eq!(t.depth(), 3);
+    }
+
+    #[test]
+    fn shorthand() {
+        let t = from_shorthand("4x4", &mut pool()).unwrap();
+        assert_eq!(t.num_backends(), 16);
+        assert!(from_shorthand("4xq", &mut pool()).is_err());
+        assert!(from_shorthand("", &mut pool()).is_err());
+    }
+
+    #[test]
+    fn knomial_interior_count() {
+        let t = knomial_with_leaves(2, 8, 2, &mut HostPool::synthetic(128)).unwrap();
+        assert_eq!(t.num_backends(), 16);
+        assert_eq!(t.num_internals() + 1, 8); // + root
+    }
+
+    #[test]
+    fn roles_assigned() {
+        let t = balanced(2, 3, &mut pool()).unwrap();
+        assert_eq!(t.role(t.root()), Role::FrontEnd);
+        assert_eq!(t.backends().len(), 8);
+        assert!(t
+            .backends()
+            .iter()
+            .all(|&b| t.role(b) == Role::BackEnd));
+    }
+
+    #[test]
+    fn dedicated_policy_separates_hosts() {
+        let hosts: Vec<String> = (0..24).map(|i| format!("h{i:02}")).collect();
+        let t = balanced_with_policy(4, 16, &hosts, PlacementPolicy::Dedicated).unwrap();
+        assert_eq!(t.num_backends(), 16);
+        // No host runs both an interior process and a back-end.
+        use std::collections::HashSet;
+        let interior_hosts: HashSet<_> = t
+            .bfs()
+            .into_iter()
+            .filter(|&id| t.role(id) != Role::BackEnd)
+            .map(|id| t.placement(id).host.clone())
+            .collect();
+        let backend_hosts: HashSet<_> = t
+            .backends()
+            .into_iter()
+            .map(|id| t.placement(id).host.clone())
+            .collect();
+        assert!(interior_hosts.is_disjoint(&backend_hosts));
+    }
+
+    #[test]
+    fn colocated_policy_shares_hosts() {
+        let hosts: Vec<String> = (0..4).map(|i| format!("h{i}")).collect();
+        let t = balanced_with_policy(4, 16, &hosts, PlacementPolicy::CoLocated).unwrap();
+        assert_eq!(t.num_backends(), 16);
+        use std::collections::HashSet;
+        let interior_hosts: HashSet<_> = t
+            .internals()
+            .into_iter()
+            .map(|id| t.placement(id).host.clone())
+            .collect();
+        let backend_hosts: HashSet<_> = t
+            .backends()
+            .into_iter()
+            .map(|id| t.placement(id).host.clone())
+            .collect();
+        // With only four hosts, sharing is unavoidable and intended.
+        assert!(!interior_hosts.is_disjoint(&backend_hosts));
+        // Local ranks disambiguate processes sharing a host.
+        let mut labels: Vec<String> =
+            t.bfs().into_iter().map(|id| t.label(id)).collect();
+        let before = labels.len();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), before, "labels must stay unique");
+    }
+
+    #[test]
+    fn dedicated_policy_needs_two_hosts() {
+        let hosts = vec!["only".to_string()];
+        assert!(balanced_with_policy(2, 4, &hosts, PlacementPolicy::Dedicated).is_err());
+    }
+
+    #[test]
+    fn generated_configs_round_trip_through_parser() {
+        let t = balanced(4, 2, &mut pool()).unwrap();
+        let cfg = crate::parser::write_config(&t);
+        let t2 = crate::parser::parse_config(&cfg).unwrap();
+        assert_eq!(t.num_backends(), t2.num_backends());
+        assert_eq!(t.depth(), t2.depth());
+    }
+}

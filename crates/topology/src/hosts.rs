@@ -1,0 +1,146 @@
+//! Host pools and process placement policies.
+//!
+//! The paper's experiments used an "automatic configuration generator
+//! program" that, given the batch partition's host names, builds an
+//! MRNet configuration with the desired topology (§4.1). [`HostPool`]
+//! plays that role: it hands out [`Placement`]s over a set of hosts,
+//! tracking per-host local ranks so several processes can share a host.
+//!
+//! §2.6 recommends that internal processes be located on resources
+//! distinct from the application's; [`PlacementPolicy`] captures both
+//! options.
+
+use std::collections::HashMap;
+
+use crate::spec::Placement;
+
+/// Whether MRNet internal processes share hosts with back-ends or get
+/// dedicated hosts (§2.6 recommends dedicated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// Internal processes are placed on hosts not used by back-ends.
+    #[default]
+    Dedicated,
+    /// Internal processes are co-located round-robin with back-ends.
+    CoLocated,
+}
+
+/// A pool of hosts from which placements are allocated round-robin.
+#[derive(Debug, Clone)]
+pub struct HostPool {
+    hosts: Vec<String>,
+    next_rank: HashMap<String, u32>,
+    cursor: usize,
+}
+
+impl HostPool {
+    /// A pool over explicit host names.
+    pub fn named(hosts: impl IntoIterator<Item = impl Into<String>>) -> HostPool {
+        let hosts: Vec<String> = hosts.into_iter().map(Into::into).collect();
+        assert!(!hosts.is_empty(), "host pool must not be empty");
+        HostPool {
+            hosts,
+            next_rank: HashMap::new(),
+            cursor: 0,
+        }
+    }
+
+    /// A synthetic pool of `n` hosts named `node000`, `node001`, …
+    /// mirroring a Blue Pacific-style partition.
+    pub fn synthetic(n: usize) -> HostPool {
+        assert!(n > 0, "host pool must not be empty");
+        HostPool::named((0..n).map(|i| format!("node{i:03}")))
+    }
+
+    /// Number of distinct hosts in the pool.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// True if the pool has no hosts (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// Allocates the next placement round-robin across hosts, assigning
+    /// a fresh local rank on the chosen host.
+    pub fn next_placement(&mut self) -> Placement {
+        let host = self.hosts[self.cursor % self.hosts.len()].clone();
+        self.cursor += 1;
+        self.place_on_host(&host)
+    }
+
+    /// Allocates a placement on a specific host (by pool index).
+    pub fn place_on(&mut self, host_idx: usize) -> Placement {
+        let host = self.hosts[host_idx % self.hosts.len()].clone();
+        self.place_on_host(&host)
+    }
+
+    fn place_on_host(&mut self, host: &str) -> Placement {
+        let rank = self.next_rank.entry(host.to_owned()).or_insert(0);
+        let placement = Placement::new(host, *rank);
+        *rank += 1;
+        placement
+    }
+
+    /// Splits the pool into two disjoint pools: the first `n` hosts and
+    /// the rest. Used to give internal processes dedicated hosts.
+    pub fn split(self, n: usize) -> (HostPool, HostPool) {
+        assert!(
+            n > 0 && n < self.hosts.len(),
+            "split must leave both pools non-empty"
+        );
+        let (a, b) = {
+            let (a, b) = self.hosts.split_at(n);
+            (a.to_vec(), b.to_vec())
+        };
+        (HostPool::named(a), HostPool::named(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_names() {
+        let mut pool = HostPool::synthetic(3);
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool.next_placement().host, "node000");
+        assert_eq!(pool.next_placement().host, "node001");
+        assert_eq!(pool.next_placement().host, "node002");
+        // Wraps and bumps local rank.
+        let p = pool.next_placement();
+        assert_eq!(p.host, "node000");
+        assert_eq!(p.local_rank, 1);
+    }
+
+    #[test]
+    fn local_ranks_are_per_host() {
+        let mut pool = HostPool::named(["a", "b"]);
+        assert_eq!(pool.place_on(0).local_rank, 0);
+        assert_eq!(pool.place_on(0).local_rank, 1);
+        assert_eq!(pool.place_on(1).local_rank, 0);
+    }
+
+    #[test]
+    fn split_is_disjoint() {
+        let pool = HostPool::synthetic(5);
+        let (mut a, mut b) = pool.split(2);
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 3);
+        assert_eq!(a.next_placement().host, "node000");
+        assert_eq!(b.next_placement().host, "node002");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn split_rejects_degenerate() {
+        let _ = HostPool::synthetic(2).split(2);
+    }
+
+    #[test]
+    fn default_policy_is_dedicated() {
+        assert_eq!(PlacementPolicy::default(), PlacementPolicy::Dedicated);
+    }
+}

@@ -1,0 +1,301 @@
+//! Parser and writer for MRNet topology configuration files.
+//!
+//! The format is the classic MRNet one: each statement declares a
+//! parent and its children, terminated by a semicolon. `host:rank`
+//! names one process slot; `#` starts a comment.
+//!
+//! ```text
+//! # front-end on fe0, two internal processes, four back-ends
+//! fe0:0 => int0:0 int1:0 ;
+//! int0:0 => be0:0 be1:0 ;
+//! int1:0 => be2:0 be3:0 ;
+//! ```
+//!
+//! The root is the process that never appears on the right-hand side.
+
+use std::collections::HashMap;
+
+use crate::error::{Result, TopologyError};
+use crate::spec::{Placement, Topology};
+
+fn parse_placement(token: &str, line: usize) -> Result<Placement> {
+    let (host, rank) = token.rsplit_once(':').ok_or_else(|| TopologyError::Parse {
+        line,
+        message: format!("expected host:rank, got `{token}`"),
+    })?;
+    if host.is_empty() {
+        return Err(TopologyError::Parse {
+            line,
+            message: format!("empty host name in `{token}`"),
+        });
+    }
+    let local_rank = rank.parse::<u32>().map_err(|_| TopologyError::Parse {
+        line,
+        message: format!("invalid rank `{rank}` in `{token}`"),
+    })?;
+    Ok(Placement::new(host, local_rank))
+}
+
+/// Parses a topology configuration file's contents.
+pub fn parse_config(input: &str) -> Result<Topology> {
+    // First pass: tokenize statements of the form `parent => kids... ;`.
+    // A statement may span lines; `;` terminates it.
+    struct Statement {
+        parent: String,
+        children: Vec<String>,
+        line: usize,
+    }
+
+    let mut statements: Vec<Statement> = Vec::new();
+    let mut current: Option<Statement> = None;
+    let mut pending_tokens: Vec<(String, usize)> = Vec::new();
+
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = lineno + 1;
+        let text = raw.split('#').next().unwrap_or("");
+        for token in text.split_whitespace() {
+            // `;` may be glued to the last child token.
+            let (token, terminated) = match token.strip_suffix(';') {
+                Some(t) => (t, true),
+                None => (token, false),
+            };
+            if !token.is_empty() {
+                if token == "=>" {
+                    // Everything before `=>` must be exactly one token:
+                    // the parent of a new statement.
+                    if current.is_some() {
+                        return Err(TopologyError::Parse {
+                            line,
+                            message: "`=>` inside an unterminated statement".into(),
+                        });
+                    }
+                    if pending_tokens.len() != 1 {
+                        return Err(TopologyError::Parse {
+                            line,
+                            message: format!(
+                                "expected one parent before `=>`, got {}",
+                                pending_tokens.len()
+                            ),
+                        });
+                    }
+                    let (parent, pline) = pending_tokens.pop().unwrap();
+                    current = Some(Statement {
+                        parent,
+                        children: Vec::new(),
+                        line: pline,
+                    });
+                } else if let Some(stmt) = current.as_mut() {
+                    stmt.children.push(token.to_owned());
+                } else {
+                    pending_tokens.push((token.to_owned(), line));
+                }
+            }
+            if terminated {
+                match current.take() {
+                    Some(stmt) => statements.push(stmt),
+                    None => {
+                        return Err(TopologyError::Parse {
+                            line,
+                            message: "`;` without a statement".into(),
+                        })
+                    }
+                }
+            }
+        }
+    }
+    if current.is_some() {
+        return Err(TopologyError::Parse {
+            line: input.lines().count(),
+            message: "unterminated statement (missing `;`)".into(),
+        });
+    }
+    if !pending_tokens.is_empty() {
+        let (tok, line) = &pending_tokens[0];
+        return Err(TopologyError::Parse {
+            line: *line,
+            message: format!("dangling token `{tok}` outside any statement"),
+        });
+    }
+    if statements.is_empty() {
+        return Err(TopologyError::Parse {
+            line: 0,
+            message: "empty configuration".into(),
+        });
+    }
+
+    // Second pass: intern placements and build parent links.
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut placements: Vec<Placement> = Vec::new();
+    let mut parents: Vec<Option<usize>> = Vec::new();
+    let mut intern = |label: &str, line: usize,
+                      placements: &mut Vec<Placement>,
+                      parents: &mut Vec<Option<usize>>|
+     -> Result<usize> {
+        if let Some(&i) = index.get(label) {
+            return Ok(i);
+        }
+        let p = parse_placement(label, line)?;
+        let i = placements.len();
+        placements.push(p);
+        parents.push(None);
+        index.insert(label.to_owned(), i);
+        Ok(i)
+    };
+
+    for stmt in &statements {
+        let parent_idx = intern(&stmt.parent, stmt.line, &mut placements, &mut parents)?;
+        if stmt.children.is_empty() {
+            return Err(TopologyError::Parse {
+                line: stmt.line,
+                message: format!("parent `{}` declares no children", stmt.parent),
+            });
+        }
+        for child in &stmt.children {
+            let child_idx = intern(child, stmt.line, &mut placements, &mut parents)?;
+            if parents[child_idx].is_some() {
+                return Err(TopologyError::MultipleParents(child.clone()));
+            }
+            if child_idx == parent_idx {
+                return Err(TopologyError::Cycle(child.clone()));
+            }
+            parents[child_idx] = Some(parent_idx);
+        }
+    }
+
+    Topology::from_parts(placements, parents)
+}
+
+/// Renders a topology back into the configuration-file format parsed by
+/// [`parse_config`]. Statements are emitted in BFS order.
+pub fn write_config(topology: &Topology) -> String {
+    let mut out = String::new();
+    for id in topology.bfs() {
+        let children = topology.children(id);
+        if children.is_empty() {
+            continue;
+        }
+        out.push_str(&topology.label(id));
+        out.push_str(" =>");
+        for &child in children {
+            out.push(' ');
+            out.push_str(&topology.label(child));
+        }
+        out.push_str(" ;\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Role;
+
+    const SAMPLE: &str = "\
+# comment line
+fe0:0 => int0:0 int1:0 ; # trailing comment
+int0:0 => be0:0 be1:0 ;
+int1:0 =>
+    be2:0
+    be3:0 ;
+";
+
+    #[test]
+    fn parses_sample() {
+        let t = parse_config(SAMPLE).unwrap();
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.num_backends(), 4);
+        assert_eq!(t.num_internals(), 2);
+        assert_eq!(t.placement(t.root()).host, "fe0");
+        assert_eq!(t.role(t.root()), Role::FrontEnd);
+    }
+
+    #[test]
+    fn flat_single_statement() {
+        let t = parse_config("fe:0 => a:0 b:0 c:0 ;").unwrap();
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.num_backends(), 3);
+    }
+
+    #[test]
+    fn glued_semicolon() {
+        let t = parse_config("fe:0 => a:0 b:0;").unwrap();
+        assert_eq!(t.num_backends(), 2);
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        let err = parse_config("fe:0 => a:0 b:0").unwrap_err();
+        assert!(matches!(err, TopologyError::Parse { .. }));
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn rejects_bad_rank() {
+        let err = parse_config("fe:x => a:0 ;").unwrap_err();
+        assert!(err.to_string().contains("invalid rank"));
+    }
+
+    #[test]
+    fn rejects_missing_rank() {
+        let err = parse_config("fe => a:0 ;").unwrap_err();
+        assert!(err.to_string().contains("host:rank"));
+    }
+
+    #[test]
+    fn rejects_childless_statement() {
+        let err = parse_config("fe:0 => ;").unwrap_err();
+        assert!(err.to_string().contains("no children"));
+    }
+
+    #[test]
+    fn rejects_multiple_parents() {
+        let err = parse_config("fe:0 => a:0 b:0 ;\na:0 => b:0 ;").unwrap_err();
+        assert_eq!(err, TopologyError::MultipleParents("b:0".into()));
+    }
+
+    #[test]
+    fn rejects_self_child() {
+        let err = parse_config("fe:0 => fe:0 ;").unwrap_err();
+        assert!(matches!(err, TopologyError::Cycle(_)));
+    }
+
+    #[test]
+    fn rejects_two_roots() {
+        let err = parse_config("a:0 => b:0 ;\nc:0 => d:0 ;").unwrap_err();
+        assert_eq!(err, TopologyError::BadRoot { roots: 2 });
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(parse_config("").is_err());
+        assert!(parse_config("# only comments\n").is_err());
+    }
+
+    #[test]
+    fn rejects_dangling_token() {
+        let err = parse_config("fe:0 => a:0 ;\nstray:0\n").unwrap_err();
+        assert!(err.to_string().contains("dangling"));
+    }
+
+    #[test]
+    fn ipv6_like_host_uses_last_colon() {
+        let t = parse_config("fe:0 => weird:host:1 ;").unwrap();
+        let be = t.backends()[0];
+        assert_eq!(t.placement(be).host, "weird:host");
+        assert_eq!(t.placement(be).local_rank, 1);
+    }
+
+    #[test]
+    fn write_parse_round_trip() {
+        let t = parse_config(SAMPLE).unwrap();
+        let rendered = write_config(&t);
+        let t2 = parse_config(&rendered).unwrap();
+        assert_eq!(t.len(), t2.len());
+        assert_eq!(t.num_backends(), t2.num_backends());
+        assert_eq!(t.depth(), t2.depth());
+        // Same labels in same BFS order.
+        let labels =
+            |t: &Topology| t.bfs().into_iter().map(|i| t.label(i)).collect::<Vec<_>>();
+        assert_eq!(labels(&t), labels(&t2));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for topology generation, parsing, and the
+//! LogP analysis.
+
+use mrnet_topology::{
+    broadcast_latency, generator, parse_config, pipeline_interval, reduction_latency,
+    write_config, HostPool, LogP, Topology, TreeStats,
+};
+use proptest::prelude::*;
+
+fn arb_logp() -> impl Strategy<Value = LogP> {
+    (0.01f64..10.0, 0.01f64..10.0, 0.01f64..10.0).prop_map(|(l, o, g)| LogP {
+        latency: l,
+        overhead: o,
+        gap: g,
+        gap_per_byte: 0.0,
+    })
+}
+
+fn arb_tree() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        (1usize..200).prop_map(|n| {
+            generator::flat(n, &mut HostPool::synthetic(512)).unwrap()
+        }),
+        (2usize..9, 1usize..4).prop_map(|(f, d)| {
+            generator::balanced(f, d, &mut HostPool::synthetic(2048)).unwrap()
+        }),
+        (2usize..9, 2usize..300).prop_map(|(f, n)| {
+            generator::balanced_for(f, n, &mut HostPool::synthetic(2048)).unwrap()
+        }),
+        proptest::collection::vec(1usize..5, 1..4).prop_map(|fanouts| {
+            generator::from_level_fanouts(&fanouts, &mut HostPool::synthetic(2048)).unwrap()
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_topologies_are_structurally_sound(topo in arb_tree()) {
+        let stats = TreeStats::of(&topo);
+        // Node accounting: front-end + internals + back-ends.
+        prop_assert_eq!(stats.processes, 1 + stats.internals + stats.backends);
+        prop_assert!(stats.backends >= 1);
+        // BFS covers every node exactly once.
+        let bfs = topo.bfs();
+        prop_assert_eq!(bfs.len(), topo.len());
+        // Every non-root has its parent before it in BFS order.
+        for (i, &id) in bfs.iter().enumerate() {
+            if let Some(parent) = topo.parent(id) {
+                let pos = bfs.iter().position(|&x| x == parent).unwrap();
+                prop_assert!(pos < i);
+            }
+        }
+        // reachable_backends at the root equals the backend set.
+        prop_assert_eq!(
+            topo.reachable_backends(topo.root()),
+            topo.backends().into_iter().collect::<std::collections::BTreeSet<_>>()
+                .into_iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn config_round_trip_preserves_structure(topo in arb_tree()) {
+        let text = write_config(&topo);
+        let reparsed = parse_config(&text).unwrap();
+        prop_assert_eq!(reparsed.len(), topo.len());
+        prop_assert_eq!(reparsed.num_backends(), topo.num_backends());
+        prop_assert_eq!(reparsed.depth(), topo.depth());
+        prop_assert_eq!(reparsed.max_fanout(), topo.max_fanout());
+        // Labels match in BFS order (structure-preserving renumbering).
+        let a: Vec<String> = topo.bfs().into_iter().map(|i| topo.label(i)).collect();
+        let b: Vec<String> = reparsed.bfs().into_iter().map(|i| reparsed.label(i)).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn subtree_extraction_conserves_backends(topo in arb_tree()) {
+        let kids = topo.children(topo.root()).to_vec();
+        let total: usize = kids
+            .iter()
+            .map(|&c| topo.subtree(c).0.num_backends().max(
+                // A leaf child extracts as a single-node topology with
+                // zero "backends" (its root is the front-end of the
+                // slice), so count it as one end-point.
+                usize::from(topo.children(c).is_empty())))
+            .sum();
+        prop_assert_eq!(total, topo.num_backends());
+    }
+
+    #[test]
+    fn logp_latencies_positive_and_monotone_in_params(topo in arb_tree(), p in arb_logp()) {
+        let b = broadcast_latency(&topo, &p);
+        let r = reduction_latency(&topo, &p);
+        prop_assert!(b > 0.0 && r > 0.0);
+        // Scaling every parameter up scales latency up.
+        let p2 = LogP {
+            latency: p.latency * 2.0,
+            overhead: p.overhead * 2.0,
+            gap: p.gap * 2.0,
+            gap_per_byte: 0.0,
+        };
+        prop_assert!(broadcast_latency(&topo, &p2) > b);
+        // Doubling all parameters exactly doubles both (the model is
+        // homogeneous of degree 1 in (L, o, g)).
+        prop_assert!((broadcast_latency(&topo, &p2) - 2.0 * b).abs() < 1e-6 * b.max(1.0));
+        prop_assert!((reduction_latency(&topo, &p2) - 2.0 * r).abs() < 1e-6 * r.max(1.0));
+        // Reduction never beats the cost of the single deepest path.
+        let floor = topo.depth() as f64 * (2.0 * p.overhead + p.latency + p.gap);
+        prop_assert!(r >= floor - 1e-9);
+    }
+
+    #[test]
+    fn pipeline_interval_bounded_by_root_and_max_fanout(topo in arb_tree(), p in arb_logp()) {
+        let interval = pipeline_interval(&topo, &p);
+        let max_fanout = topo.max_fanout() as f64;
+        prop_assert!((interval - max_fanout * p.gap).abs() < 1e-9);
+        prop_assert!(interval >= topo.root_fanout() as f64 * p.gap - 1e-9);
+    }
+
+    #[test]
+    fn deeper_trees_trade_latency_for_throughput(n in 64usize..256) {
+        // For a fixed back-end count, a flat topology has minimal depth
+        // but its pipeline interval dwarfs any tree's.
+        let p = LogP { latency: 1.0, overhead: 1.0, gap: 1.0, gap_per_byte: 0.0 };
+        let flat = generator::flat(n, &mut HostPool::synthetic(1024)).unwrap();
+        let tree = generator::balanced_for(4, n, &mut HostPool::synthetic(1024)).unwrap();
+        prop_assert!(pipeline_interval(&flat, &p) > pipeline_interval(&tree, &p));
+    }
+}

@@ -1,0 +1,73 @@
+//! CLI tests for `topgen`, the automatic configuration generator
+//! (§4.1).
+
+use std::process::Command;
+
+use mrnet_topology::parse_config;
+
+fn topgen(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_topgen"))
+        .args(args)
+        .output()
+        .expect("run topgen");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn generates_parseable_balanced_config() {
+    let (ok, stdout, _) = topgen(&["--backends", "64", "--fanout", "4"]);
+    assert!(ok);
+    let topo = parse_config(&stdout).unwrap();
+    assert_eq!(topo.num_backends(), 64);
+    assert!(topo.max_fanout() <= 4);
+}
+
+#[test]
+fn generates_flat_config_with_named_hosts() {
+    let (ok, stdout, _) = topgen(&["--backends", "3", "--flat", "--hosts", "fe,a,b,c"]);
+    assert!(ok);
+    let topo = parse_config(&stdout).unwrap();
+    assert_eq!(topo.num_backends(), 3);
+    assert_eq!(topo.depth(), 1);
+    assert!(stdout.contains("fe:0"));
+    assert!(stdout.contains("a:0"));
+}
+
+#[test]
+fn shape_shorthand_works() {
+    let (ok, stdout, _) = topgen(&["--backends", "16", "--shape", "4x4"]);
+    assert!(ok, "stderr: {}", topgen(&["--backends", "16", "--shape", "4x4"]).2);
+    let topo = parse_config(&stdout).unwrap();
+    assert_eq!(topo.num_backends(), 16);
+    assert_eq!(topo.depth(), 2);
+}
+
+#[test]
+fn shape_backend_mismatch_rejected() {
+    let (ok, _, stderr) = topgen(&["--backends", "10", "--shape", "4x4"]);
+    assert!(!ok);
+    assert!(stderr.contains("16 back-ends"));
+}
+
+#[test]
+fn stats_are_commented_so_output_still_parses() {
+    let (ok, stdout, _) = topgen(&["--backends", "8", "--fanout", "2", "--stats"]);
+    assert!(ok);
+    assert!(stdout.contains("# back-ends: 8"));
+    let topo = parse_config(&stdout).unwrap();
+    assert_eq!(topo.num_backends(), 8);
+}
+
+#[test]
+fn bad_flags_fail_with_usage() {
+    let (ok, _, stderr) = topgen(&["--bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag"));
+    let (ok, _, stderr) = topgen(&["--fanout", "4"]);
+    assert!(!ok);
+    assert!(stderr.contains("--backends"));
+}

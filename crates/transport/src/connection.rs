@@ -1,0 +1,62 @@
+//! The connection abstraction shared by all transports.
+//!
+//! MRNet processes exchange *frames*: opaque byte buffers that the core
+//! library fills with encoded packet buffers or control messages. A
+//! [`Connection`] is one bidirectional, ordered, reliable frame pipe —
+//! the role a TCP socket plays in the original system. The local
+//! (in-process) and TCP transports both implement this trait, so the
+//! core's internal-process event loop is transport-agnostic.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use crate::error::Result;
+
+/// A bidirectional, ordered, reliable frame pipe between two processes.
+///
+/// Implementations are `Sync`: the receive side may be pumped by one
+/// thread while another sends.
+pub trait Connection: Send + Sync {
+    /// Sends one frame. Never blocks on peer consumption (frames are
+    /// buffered), but fails once the peer has hung up.
+    fn send(&self, frame: Bytes) -> Result<()>;
+
+    /// Receives the next frame, blocking until one arrives or the peer
+    /// hangs up.
+    fn recv(&self) -> Result<Bytes>;
+
+    /// Receives the next frame if one is already buffered.
+    ///
+    /// Returns `Ok(None)` when no frame is pending. Returns
+    /// `Err(Closed)` only once the peer has hung up *and* all buffered
+    /// frames have been drained.
+    fn try_recv(&self) -> Result<Option<Bytes>>;
+
+    /// Receives the next frame, waiting at most `timeout`.
+    /// Returns `Ok(None)` on timeout.
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<Bytes>>;
+
+    /// Human-readable description of the peer, for diagnostics.
+    fn peer(&self) -> String;
+}
+
+/// A boxed connection, the form the core library passes around.
+pub type BoxedConnection = Box<dyn Connection>;
+
+/// A shared connection: the receive side may be pumped by one thread
+/// while another thread sends.
+pub type SharedConnection = std::sync::Arc<dyn Connection>;
+
+/// Something that accepts inbound connections (a bound TCP port or a
+/// named in-process rendezvous point).
+pub trait Listener: Send {
+    /// Blocks until the next inbound connection arrives.
+    fn accept(&self) -> Result<BoxedConnection>;
+
+    /// The address/name peers use to reach this listener.
+    fn addr(&self) -> String;
+}
+
+/// A boxed listener.
+pub type BoxedListener = Box<dyn Listener>;

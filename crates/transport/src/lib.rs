@@ -1,0 +1,20 @@
+//! # mrnet-transport
+//!
+//! The communication substrate beneath the MRNet overlay: a
+//! transport-agnostic [`Connection`]/[`Listener`] abstraction with two
+//! implementations — an in-process channel transport ([`LocalFabric`],
+//! used when a whole tree runs as threads) and a real TCP transport
+//! ([`TcpConnection`]) carrying length-prefixed frames across process
+//! and host boundaries, as the original MRNet's socket layer does.
+
+#![forbid(unsafe_code)]
+
+mod connection;
+mod error;
+mod local;
+mod tcp;
+
+pub use connection::{BoxedConnection, BoxedListener, Connection, Listener, SharedConnection};
+pub use error::{Result, TransportError};
+pub use local::{LocalConnection, LocalFabric, LocalListener};
+pub use tcp::{TcpConnection, TcpTransportListener, MAX_FRAME};

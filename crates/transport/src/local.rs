@@ -1,0 +1,283 @@
+//! In-process transport: connections are crossbeam channel pairs.
+//!
+//! This is the transport used when an entire MRNet tree runs as
+//! threads in one OS process — the configuration used by the test
+//! suite and the threaded examples. [`LocalFabric`] provides the named
+//! rendezvous that stands in for "host:port" addressing, supporting
+//! the paper's second instantiation mode where externally created
+//! back-ends connect to already-running leaf internal processes
+//! (§2.5).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use parking_lot::Mutex;
+
+use crate::connection::{BoxedConnection, BoxedListener, Connection, Listener};
+use crate::error::{Result, TransportError};
+
+/// One end of an in-process connection.
+pub struct LocalConnection {
+    tx: Sender<Bytes>,
+    rx: Receiver<Bytes>,
+    peer: String,
+}
+
+impl LocalConnection {
+    /// Creates a connected pair of local endpoints.
+    ///
+    /// `a_name` and `b_name` label the two sides for diagnostics: the
+    /// first returned endpoint is held by `a_name` and reports its peer
+    /// as `b_name`, and vice versa.
+    pub fn pair(a_name: &str, b_name: &str) -> (LocalConnection, LocalConnection) {
+        let (a_tx, b_rx) = unbounded();
+        let (b_tx, a_rx) = unbounded();
+        (
+            LocalConnection {
+                tx: a_tx,
+                rx: a_rx,
+                peer: b_name.to_owned(),
+            },
+            LocalConnection {
+                tx: b_tx,
+                rx: b_rx,
+                peer: a_name.to_owned(),
+            },
+        )
+    }
+}
+
+impl Connection for LocalConnection {
+    fn send(&self, frame: Bytes) -> Result<()> {
+        self.tx.send(frame).map_err(|_| TransportError::Closed)
+    }
+
+    fn recv(&self) -> Result<Bytes> {
+        self.rx.recv().map_err(|_| TransportError::Closed)
+    }
+
+    fn try_recv(&self) -> Result<Option<Bytes>> {
+        match self.rx.try_recv() {
+            Ok(frame) => Ok(Some(frame)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(TransportError::Closed),
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<Bytes>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(frame) => Ok(Some(frame)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(TransportError::Closed),
+        }
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+type FabricMap = Mutex<HashMap<String, Sender<BoxedConnection>>>;
+
+/// A named in-process rendezvous fabric.
+///
+/// Listeners register under a name (standing in for `host:port`);
+/// connectors reach them by that name. Clones share the same fabric.
+#[derive(Clone, Default)]
+pub struct LocalFabric {
+    listeners: Arc<FabricMap>,
+}
+
+impl LocalFabric {
+    /// Creates an empty fabric.
+    pub fn new() -> LocalFabric {
+        LocalFabric::default()
+    }
+
+    /// Registers a listener under `name`. Re-registering a name
+    /// replaces the previous listener (its `accept` starts failing).
+    pub fn listen(&self, name: &str) -> LocalListener {
+        let (tx, rx) = unbounded();
+        self.listeners.lock().insert(name.to_owned(), tx);
+        LocalListener {
+            name: name.to_owned(),
+            inbound: rx,
+        }
+    }
+
+    /// Connects to the listener registered under `name`, returning the
+    /// connector-side endpoint. `from` labels the connecting process.
+    pub fn connect(&self, name: &str, from: &str) -> Result<BoxedConnection> {
+        let tx = {
+            let map = self.listeners.lock();
+            map.get(name)
+                .cloned()
+                .ok_or_else(|| TransportError::UnknownEndpoint(name.to_owned()))?
+        };
+        let (mine, theirs) = LocalConnection::pair(from, name);
+        tx.send(Box::new(theirs) as BoxedConnection)
+            .map_err(|_| TransportError::UnknownEndpoint(name.to_owned()))?;
+        Ok(Box::new(mine))
+    }
+
+    /// Removes a listener registration.
+    pub fn unlisten(&self, name: &str) {
+        self.listeners.lock().remove(name);
+    }
+
+    /// Names currently registered, for diagnostics.
+    pub fn registered(&self) -> Vec<String> {
+        let mut names: Vec<_> = self.listeners.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+/// The accepting side of a [`LocalFabric`] registration.
+pub struct LocalListener {
+    name: String,
+    inbound: Receiver<BoxedConnection>,
+}
+
+impl Listener for LocalListener {
+    fn accept(&self) -> Result<BoxedConnection> {
+        self.inbound.recv().map_err(|_| TransportError::Closed)
+    }
+
+    fn addr(&self) -> String {
+        self.name.clone()
+    }
+}
+
+impl LocalListener {
+    /// Accepts with a timeout; `Ok(None)` when nothing arrived.
+    pub fn accept_timeout(&self, timeout: Duration) -> Result<Option<BoxedConnection>> {
+        match self.inbound.recv_timeout(timeout) {
+            Ok(conn) => Ok(Some(conn)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(TransportError::Closed),
+        }
+    }
+
+    /// Boxes this listener.
+    pub fn boxed(self) -> BoxedListener {
+        Box::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_carries_frames_both_ways() {
+        let (a, b) = LocalConnection::pair("fe", "be");
+        a.send(Bytes::from_static(b"down")).unwrap();
+        b.send(Bytes::from_static(b"up")).unwrap();
+        assert_eq!(b.recv().unwrap(), Bytes::from_static(b"down"));
+        assert_eq!(a.recv().unwrap(), Bytes::from_static(b"up"));
+        assert_eq!(a.peer(), "be");
+        assert_eq!(b.peer(), "fe");
+    }
+
+    #[test]
+    fn frames_are_ordered() {
+        let (a, b) = LocalConnection::pair("x", "y");
+        for i in 0..100u8 {
+            a.send(Bytes::copy_from_slice(&[i])).unwrap();
+        }
+        for i in 0..100u8 {
+            assert_eq!(b.recv().unwrap()[0], i);
+        }
+    }
+
+    #[test]
+    fn try_recv_nonblocking() {
+        let (a, b) = LocalConnection::pair("x", "y");
+        assert_eq!(b.try_recv().unwrap(), None);
+        a.send(Bytes::from_static(b"z")).unwrap();
+        assert_eq!(b.try_recv().unwrap(), Some(Bytes::from_static(b"z")));
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_a, b) = LocalConnection::pair("x", "y");
+        let got = b.recv_timeout(Duration::from_millis(10)).unwrap();
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn drop_closes() {
+        let (a, b) = LocalConnection::pair("x", "y");
+        drop(a);
+        assert_eq!(b.recv().unwrap_err(), TransportError::Closed);
+        assert_eq!(b.send(Bytes::new()).unwrap_err(), TransportError::Closed);
+    }
+
+    #[test]
+    fn buffered_frames_survive_peer_drop() {
+        let (a, b) = LocalConnection::pair("x", "y");
+        a.send(Bytes::from_static(b"last")).unwrap();
+        drop(a);
+        assert_eq!(b.recv().unwrap(), Bytes::from_static(b"last"));
+        assert_eq!(b.recv().unwrap_err(), TransportError::Closed);
+    }
+
+    #[test]
+    fn fabric_rendezvous() {
+        let fabric = LocalFabric::new();
+        let listener = fabric.listen("leaf0");
+        let conn = fabric.connect("leaf0", "backend7").unwrap();
+        let accepted = listener.accept().unwrap();
+        conn.send(Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(accepted.recv().unwrap(), Bytes::from_static(b"hello"));
+        assert_eq!(accepted.peer(), "backend7");
+        assert_eq!(conn.peer(), "leaf0");
+    }
+
+    #[test]
+    fn fabric_unknown_endpoint() {
+        let fabric = LocalFabric::new();
+        let err = fabric.connect("nope", "x").err().expect("must fail");
+        assert_eq!(err, TransportError::UnknownEndpoint("nope".into()));
+    }
+
+    #[test]
+    fn fabric_unlisten() {
+        let fabric = LocalFabric::new();
+        let _l = fabric.listen("a");
+        assert_eq!(fabric.registered(), vec!["a".to_string()]);
+        fabric.unlisten("a");
+        assert!(fabric.registered().is_empty());
+        assert!(fabric.connect("a", "x").is_err());
+    }
+
+    #[test]
+    fn fabric_accept_timeout() {
+        let fabric = LocalFabric::new();
+        let listener = fabric.listen("quiet");
+        assert!(listener
+            .accept_timeout(Duration::from_millis(5))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn fabric_cross_thread() {
+        let fabric = LocalFabric::new();
+        let listener = fabric.listen("root");
+        let f2 = fabric.clone();
+        let handle = std::thread::spawn(move || {
+            let conn = f2.connect("root", "child").unwrap();
+            conn.send(Bytes::from_static(b"report")).unwrap();
+            conn.recv().unwrap()
+        });
+        let server_side = listener.accept().unwrap();
+        assert_eq!(server_side.recv().unwrap(), Bytes::from_static(b"report"));
+        server_side.send(Bytes::from_static(b"ack")).unwrap();
+        assert_eq!(handle.join().unwrap(), Bytes::from_static(b"ack"));
+    }
+}

@@ -1,0 +1,285 @@
+//! TCP transport: length-prefixed frames over real sockets.
+//!
+//! This is the deployment transport — the overlay network actually
+//! crosses process and host boundaries, exactly as the original
+//! MRNet's socket layer does. Each frame is a `u32` little-endian
+//! length followed by that many payload bytes. A background reader
+//! thread pumps inbound frames into a channel so that the non-blocking
+//! `try_recv`/`recv_timeout` used by internal-process event loops work
+//! uniformly across transports.
+
+use std::io::{BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use parking_lot::Mutex;
+
+use crate::connection::{BoxedConnection, BoxedListener, Connection, Listener};
+use crate::error::{Result, TransportError};
+
+/// Maximum accepted frame size; protects against corrupt length
+/// prefixes.
+pub const MAX_FRAME: u32 = 256 << 20;
+
+/// How many inbound frames may queue before the reader thread applies
+/// back-pressure to the socket.
+const INBOUND_DEPTH: usize = 1024;
+
+/// One end of a TCP connection carrying length-prefixed frames.
+pub struct TcpConnection {
+    writer: Mutex<BufWriter<TcpStream>>,
+    inbound: Receiver<Bytes>,
+    peer: String,
+}
+
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Bytes>> {
+    let mut len_buf = [0u8; 4];
+    // EOF at a frame boundary is a clean close.
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds limit {MAX_FRAME}"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    stream.read_exact(&mut payload)?;
+    Ok(Some(Bytes::from(payload)))
+}
+
+fn spawn_reader(mut stream: TcpStream, tx: Sender<Bytes>) {
+    std::thread::Builder::new()
+        .name("mrnet-tcp-reader".to_owned())
+        .spawn(move || loop {
+            match read_frame(&mut stream) {
+                Ok(Some(frame)) => {
+                    if tx.send(frame).is_err() {
+                        return; // local side dropped the connection
+                    }
+                }
+                Ok(None) | Err(_) => return, // peer closed / socket error
+            }
+        })
+        .expect("spawn tcp reader thread");
+}
+
+impl TcpConnection {
+    fn from_stream(stream: TcpStream) -> Result<TcpConnection> {
+        stream.set_nodelay(true)?;
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".to_owned());
+        let reader_stream = stream.try_clone()?;
+        let (tx, rx) = bounded(INBOUND_DEPTH);
+        spawn_reader(reader_stream, tx);
+        Ok(TcpConnection {
+            writer: Mutex::new(BufWriter::new(stream)),
+            inbound: rx,
+            peer,
+        })
+    }
+
+    /// Connects to a listening MRNet process.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<TcpConnection> {
+        let stream = TcpStream::connect(addr)?;
+        TcpConnection::from_stream(stream)
+    }
+}
+
+impl Drop for TcpConnection {
+    fn drop(&mut self) {
+        // The reader thread holds a cloned FD; without an explicit
+        // shutdown the socket would stay open (and the peer would
+        // never see EOF) until that thread exits — which it only does
+        // on EOF. Shut both directions down to break the cycle.
+        let writer = self.writer.lock();
+        let _ = writer.get_ref().shutdown(std::net::Shutdown::Both);
+    }
+}
+
+impl Connection for TcpConnection {
+    fn send(&self, frame: Bytes) -> Result<()> {
+        let mut writer = self.writer.lock();
+        writer.write_all(&(frame.len() as u32).to_le_bytes())?;
+        writer.write_all(&frame)?;
+        writer.flush()?;
+        Ok(())
+    }
+
+    fn recv(&self) -> Result<Bytes> {
+        self.inbound.recv().map_err(|_| TransportError::Closed)
+    }
+
+    fn try_recv(&self) -> Result<Option<Bytes>> {
+        match self.inbound.try_recv() {
+            Ok(frame) => Ok(Some(frame)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(TransportError::Closed),
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<Bytes>> {
+        match self.inbound.recv_timeout(timeout) {
+            Ok(frame) => Ok(Some(frame)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(TransportError::Closed),
+        }
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+/// A bound TCP listener accepting MRNet connections.
+pub struct TcpTransportListener {
+    listener: TcpListener,
+    addr: String,
+}
+
+impl TcpTransportListener {
+    /// Binds to `addr`; use port 0 to let the OS pick (the chosen
+    /// address is available via [`Listener::addr`], which is how leaf
+    /// processes publish their rendezvous points in mode-2
+    /// instantiation).
+    pub fn bind(addr: impl ToSocketAddrs) -> Result<TcpTransportListener> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?.to_string();
+        Ok(TcpTransportListener { listener, addr })
+    }
+
+    /// Boxes this listener.
+    pub fn boxed(self) -> BoxedListener {
+        Box::new(self)
+    }
+}
+
+impl Listener for TcpTransportListener {
+    fn accept(&self) -> Result<BoxedConnection> {
+        let (stream, _) = self.listener.accept()?;
+        Ok(Box::new(TcpConnection::from_stream(stream)?))
+    }
+
+    fn addr(&self) -> String {
+        self.addr.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (TcpConnection, BoxedConnection) {
+        let listener = TcpTransportListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.addr();
+        let client = TcpConnection::connect(&addr).unwrap();
+        let server = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let (client, server) = pair();
+        client.send(Bytes::from_static(b"hello overlay")).unwrap();
+        assert_eq!(server.recv().unwrap(), Bytes::from_static(b"hello overlay"));
+        server.send(Bytes::from_static(b"ack")).unwrap();
+        assert_eq!(client.recv().unwrap(), Bytes::from_static(b"ack"));
+    }
+
+    #[test]
+    fn empty_frames_allowed() {
+        let (client, server) = pair();
+        client.send(Bytes::new()).unwrap();
+        assert_eq!(server.recv().unwrap(), Bytes::new());
+    }
+
+    #[test]
+    fn large_frame() {
+        let (client, server) = pair();
+        let big = Bytes::from(vec![0xAB; 1 << 20]);
+        client.send(big.clone()).unwrap();
+        assert_eq!(server.recv().unwrap(), big);
+    }
+
+    #[test]
+    fn many_ordered_frames() {
+        let (client, server) = pair();
+        for i in 0..200u32 {
+            client
+                .send(Bytes::copy_from_slice(&i.to_le_bytes()))
+                .unwrap();
+        }
+        for i in 0..200u32 {
+            let f = server.recv().unwrap();
+            assert_eq!(u32::from_le_bytes(f[..].try_into().unwrap()), i);
+        }
+    }
+
+    #[test]
+    fn close_detected() {
+        let (client, server) = pair();
+        drop(client);
+        assert_eq!(server.recv().unwrap_err(), TransportError::Closed);
+    }
+
+    #[test]
+    fn timeout_and_try_recv() {
+        let (client, server) = pair();
+        assert_eq!(server.try_recv().unwrap(), None);
+        assert_eq!(
+            server.recv_timeout(Duration::from_millis(10)).unwrap(),
+            None
+        );
+        client.send(Bytes::from_static(b"x")).unwrap();
+        assert_eq!(
+            server.recv_timeout(Duration::from_secs(5)).unwrap(),
+            Some(Bytes::from_static(b"x"))
+        );
+    }
+
+    #[test]
+    fn connect_refused_is_io_error() {
+        // Bind then immediately drop to get a (very likely) dead port.
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let err = TcpConnection::connect(dead).err().expect("must fail");
+        assert!(matches!(err, TransportError::Io(_)));
+    }
+
+    #[test]
+    fn concurrent_senders_interleave_whole_frames() {
+        let (client, server) = pair();
+        let client = std::sync::Arc::new(client);
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let c = client.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u8 {
+                    c.send(Bytes::from(vec![t, i])).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut seen = [0u8; 4];
+        for _ in 0..200 {
+            let f = server.recv().unwrap();
+            assert_eq!(f.len(), 2);
+            // Frames from each thread arrive in order.
+            assert_eq!(f[1], seen[f[0] as usize]);
+            seen[f[0] as usize] += 1;
+        }
+        assert_eq!(seen, [50; 4]);
+    }
+}

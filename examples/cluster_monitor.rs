@@ -1,0 +1,115 @@
+//! A cluster-monitoring tool in the style the paper positions MRNet
+//! for ("performance and system administration tools", §1; compare
+//! Ganglia/Supermon in §5): every node reports load, memory, and disk
+//! statistics; the tree computes min / max / sum / exact mean without
+//! the front-end ever touching per-node messages.
+//!
+//! Run with: `cargo run --example cluster_monitor -- [nodes] [rounds]`
+
+use std::time::Duration;
+
+use mrnet::{MeanPairFilter, NetworkBuilder, SyncMode, Value};
+use mrnet_topology::{generator, HostPool};
+
+struct NodeStats {
+    load: f64,
+    free_mem_mb: f64,
+}
+
+/// Deterministic per-node fake statistics (a stand-in for /proc).
+fn read_stats(rank: u32, round: u32) -> NodeStats {
+    let r = f64::from(rank);
+    let t = f64::from(round);
+    NodeStats {
+        load: (0.3 + 0.17 * r + 0.05 * t) % 4.0,
+        free_mem_mb: 1500.0 - 37.0 * ((r + t) % 13.0),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let nodes: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(32);
+    let rounds: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+
+    let topo = generator::balanced_for(8, nodes, &mut HostPool::synthetic(4096))
+        .expect("topology");
+    let deployment = NetworkBuilder::new(topo).launch().expect("instantiate");
+    let net = deployment.network.clone();
+    println!("monitoring {} nodes, {} rounds\n", net.num_backends(), rounds);
+
+    // Monitor agents: answer each poll with the requested statistic.
+    let agents: Vec<_> = deployment
+        .backends
+        .into_iter()
+        .map(|be| {
+            std::thread::spawn(move || loop {
+                match be.recv() {
+                    Ok((pkt, sid)) => {
+                        let round = pkt.get(0).and_then(Value::as_u32).unwrap_or(0);
+                        let stats = read_stats(be.rank(), round);
+                        let reply = match pkt.tag() {
+                            1 => Value::Double(stats.load),
+                            2 => Value::Double(stats.free_mem_mb),
+                            // Mean pair contribution: (sum, count).
+                            3 => {
+                                be.send_packet(MeanPairFilter::contribution(
+                                    sid, 3, stats.load,
+                                ))
+                                .ok();
+                                continue;
+                            }
+                            _ => continue,
+                        };
+                        be.send(sid, pkt.tag(), "%lf", vec![reply]).ok();
+                    }
+                    Err(_) => return, // shutdown
+                }
+            })
+        })
+        .collect();
+
+    let comm = net.broadcast_communicator();
+    let reg = net.registry();
+    let max_load = net
+        .new_stream(&comm, reg.id_of("lf_max").unwrap(), SyncMode::WaitForAll)
+        .unwrap();
+    let min_mem = net
+        .new_stream(&comm, reg.id_of("lf_min").unwrap(), SyncMode::WaitForAll)
+        .unwrap();
+    let mean_load = net
+        .new_stream(&comm, reg.id_of("mean_pair").unwrap(), SyncMode::WaitForAll)
+        .unwrap();
+
+    for round in 0..rounds {
+        // All three collections run as concurrent asynchronous
+        // collective operations on separate streams (§1).
+        max_load.send(1, "%ud", vec![Value::UInt32(round)]).unwrap();
+        min_mem.send(2, "%ud", vec![Value::UInt32(round)]).unwrap();
+        mean_load.send(3, "%ud", vec![Value::UInt32(round)]).unwrap();
+
+        let max = max_load
+            .recv_timeout(Duration::from_secs(10))
+            .unwrap()
+            .get(0)
+            .and_then(Value::as_f64)
+            .unwrap();
+        let min = min_mem
+            .recv_timeout(Duration::from_secs(10))
+            .unwrap()
+            .get(0)
+            .and_then(Value::as_f64)
+            .unwrap();
+        let mean_pkt = mean_load.recv_timeout(Duration::from_secs(10)).unwrap();
+        let mean = MeanPairFilter::finish(&mean_pkt).unwrap();
+
+        println!(
+            "round {round}: max load {max:.2}, mean load {mean:.2}, min free mem {min:.0} MB"
+        );
+    }
+
+    net.shutdown();
+    for a in agents {
+        a.join().unwrap();
+    }
+    println!("\nmonitor shut down cleanly");
+}

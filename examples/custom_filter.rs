@@ -1,0 +1,112 @@
+//! Loading a custom filter — the `load_filterFunc` workflow of §2.4.
+//!
+//! Implements a histogram filter (the paper notes Paradyn "uses a
+//! custom histogram filter to place its back-ends into equivalence
+//! classes"): back-ends submit scalar measurements; each internal
+//! process merges per-bucket counts, so the front-end receives one
+//! complete histogram no matter how many back-ends report.
+//!
+//! Run with: `cargo run --example custom_filter -- [backends]`
+
+use mrnet::{
+    FilterRegistry, FnFilter, FormatString, NetworkBuilder, PacketBuilder, SyncMode, Value,
+};
+use mrnet_topology::{generator, HostPool};
+
+const BUCKETS: usize = 8;
+const BUCKET_WIDTH: f64 = 0.125;
+
+/// Registers the histogram filter. Back-ends send `%alf [value]`
+/// (raw measurements); internal processes send `%alf [count; BUCKETS]`
+/// (partial histograms). The filter distinguishes the two by length.
+fn register_histogram(registry: &FilterRegistry) {
+    registry
+        .register("histogram8", || {
+            let fmt = FormatString::parse("%alf").expect("static format");
+            Box::new(FnFilter::new("histogram8", Some(fmt), (), |_, inputs, _ctx| {
+                let mut counts = [0.0f64; BUCKETS];
+                for pkt in &inputs {
+                    let data = pkt
+                        .get(0)
+                        .and_then(Value::as_f64_slice)
+                        .unwrap_or_default();
+                    if data.len() == BUCKETS {
+                        for (c, d) in counts.iter_mut().zip(data) {
+                            *c += d;
+                        }
+                    } else {
+                        for &v in data {
+                            let bucket = ((v / BUCKET_WIDTH) as usize).min(BUCKETS - 1);
+                            counts[bucket] += 1.0;
+                        }
+                    }
+                }
+                let first = &inputs[0];
+                Ok(vec![PacketBuilder::new(first.stream_id(), first.tag())
+                    .push(counts.to_vec())
+                    .build()])
+            }))
+        })
+        .expect("register histogram");
+}
+
+fn main() {
+    let backends: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(27);
+
+    let registry = FilterRegistry::with_builtins();
+    register_histogram(&registry); // load_filterFunc("histogram8", ...)
+
+    let topo = generator::balanced_for(3, backends, &mut HostPool::synthetic(1024))
+        .expect("topology");
+    let deployment = NetworkBuilder::new(topo)
+        .registry(registry)
+        .launch()
+        .expect("instantiate");
+    let net = deployment.network.clone();
+
+    let agent_threads: Vec<_> = deployment
+        .backends
+        .into_iter()
+        .map(|be| {
+            std::thread::spawn(move || {
+                if let Ok((_, sid)) = be.recv() {
+                    // Each back-end's "measurement": deterministic
+                    // pseudo-random value in [0, 1).
+                    let v = f64::from(be.rank().wrapping_mul(2654435761) % 1000) / 1000.0;
+                    be.send(sid, 0, "%alf", vec![Value::DoubleArray(vec![v])])
+                        .ok();
+                }
+            })
+        })
+        .collect();
+
+    let comm = net.broadcast_communicator();
+    let hist_id = net.registry().id_of("histogram8").expect("loaded filter");
+    let stream = net
+        .new_stream(&comm, hist_id, SyncMode::WaitForAll)
+        .expect("stream");
+    stream.send(0, "%d", vec![Value::Int32(0)]).expect("poll");
+
+    let result = stream.recv().expect("histogram");
+    let counts = result
+        .get(0)
+        .and_then(Value::as_f64_slice)
+        .expect("bucket counts");
+    println!("distribution of {backends} back-end measurements:");
+    let total: f64 = counts.iter().sum();
+    for (i, &c) in counts.iter().enumerate() {
+        let lo = i as f64 * BUCKET_WIDTH;
+        let bar = "#".repeat(c as usize);
+        println!("  [{:.3}..{:.3})  {:>3}  {}", lo, lo + BUCKET_WIDTH, c, bar);
+    }
+    assert_eq!(total as usize, backends, "every measurement lands in a bucket");
+
+    net.shutdown();
+    for t in agent_threads {
+        t.join().unwrap();
+    }
+    println!("done");
+}

@@ -1,0 +1,81 @@
+//! The full multi-process deployment: real `mrnet_commnode` OS
+//! processes created recursively per §2.5, connected over TCP, with
+//! back-ends attaching at advertised rendezvous points.
+//!
+//! Build the commnode binary first, then run:
+//! ```text
+//! cargo build -p mrnet --bins
+//! cargo run --example process_overlay
+//! ```
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use mrnet::{launch_processes, Backend, SyncMode, Value};
+use mrnet_topology::{generator, HostPool};
+
+/// Locates `mrnet_commnode` next to this example's own binary
+/// (`target/<profile>/examples/process_overlay` →
+/// `target/<profile>/mrnet_commnode`).
+fn find_commnode() -> Option<PathBuf> {
+    let me = std::env::current_exe().ok()?;
+    let profile_dir = me.parent()?.parent()?;
+    let candidate = profile_dir.join("mrnet_commnode");
+    candidate.exists().then_some(candidate)
+}
+
+fn main() {
+    let Some(commnode) = find_commnode() else {
+        eprintln!("mrnet_commnode binary not found — run `cargo build -p mrnet --bins` first");
+        std::process::exit(1);
+    };
+    println!("using commnode binary: {}", commnode.display());
+
+    // FE (this process) -> 2 commnode processes -> 4 back-ends.
+    let topo = generator::balanced(2, 2, &mut HostPool::synthetic(16)).expect("topology");
+    let pending = launch_processes(topo, &commnode).expect("spawn internal tree");
+    let points = pending
+        .collect_attach_points(Duration::from_secs(20))
+        .expect("rendezvous advertisements");
+    println!("internal processes up; attach points:");
+    for p in &points {
+        println!("  back-end rank {} -> {}", p.rank, p.endpoint);
+    }
+
+    let backends: Vec<_> = points
+        .into_iter()
+        .map(|ap| {
+            std::thread::spawn(move || {
+                let be = Backend::attach_tcp(&ap.endpoint, ap.rank).expect("attach");
+                let (pkt, stream) = be.recv().expect("request");
+                let x = pkt.get(0).and_then(Value::as_i32).unwrap_or(0);
+                be.send(stream, 0, "%d", vec![Value::Int32(x * ap.rank as i32)])
+                    .expect("reply");
+                let _ = be.recv(); // wait for shutdown
+            })
+        })
+        .collect();
+
+    let net = pending.wait(Duration::from_secs(20)).expect("tree ready");
+    println!("network ready: {} back-ends over OS processes", net.num_backends());
+
+    let comm = net.broadcast_communicator();
+    let sum = net.registry().id_of("d_sum").expect("built-in");
+    let stream = net.new_stream(&comm, sum, SyncMode::WaitForAll).expect("stream");
+    stream.send(0, "%d", vec![Value::Int32(3)]).expect("broadcast");
+    let result = stream
+        .recv_timeout(Duration::from_secs(20))
+        .expect("reduction");
+    let expected: i32 = net.endpoints().iter().map(|&r| 3 * r as i32).sum();
+    println!(
+        "sum of 3×rank across the process tree: {} (expected {})",
+        result.get(0).and_then(Value::as_i32).unwrap(),
+        expected
+    );
+
+    net.shutdown();
+    for b in backends {
+        b.join().unwrap();
+    }
+    println!("done — all commnode processes reaped");
+}

@@ -1,0 +1,71 @@
+//! Quickstart: the paper's Figure 2 example, line for line.
+//!
+//! The front-end instantiates the network from a topology
+//! configuration, obtains the auto-generated broadcast communicator,
+//! creates a stream bound to a floating-point-maximum filter,
+//! broadcasts an initialization integer, and receives the single
+//! aggregated maximum. Each back-end does a stream-anonymous receive
+//! and answers with one float.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use mrnet::{NetworkBuilder, SyncMode, Value};
+use mrnet_topology::parse_config;
+
+const FLOAT_MAX_INIT: i32 = 17;
+
+fn main() {
+    // The topology "config file": a front-end, two internal processes,
+    // four back-ends (the paper's configuration-file mechanism, §2.1).
+    let config_file = "\
+        fe:0 => int0:0 int1:0 ;\n\
+        int0:0 => be0:0 be1:0 ;\n\
+        int1:0 => be2:0 be3:0 ;\n";
+    let topology = parse_config(config_file).expect("valid configuration");
+
+    // front_end_main() — Figure 2, left.
+    let deployment = NetworkBuilder::new(topology).launch().expect("instantiate");
+    let net = &deployment.network;
+    println!(
+        "network up: {} back-ends via 2 internal processes",
+        net.num_backends(),
+    );
+
+    // back_end_main() — Figure 2, right — one thread per back-end.
+    let backends: Vec<_> = deployment
+        .backends
+        .into_iter()
+        .map(|be| {
+            std::thread::spawn(move || {
+                let (pkt, stream) = be.recv().expect("recv init");
+                let val = pkt.get(0).and_then(Value::as_i32).expect("an int");
+                if val == FLOAT_MAX_INIT {
+                    let rand_float = 0.25 * be.rank() as f32 + 1.0;
+                    println!("back-end {}: sending {rand_float}", be.rank());
+                    be.send(stream, 0, "%f", vec![Value::Float(rand_float)])
+                        .expect("send reply");
+                }
+            })
+        })
+        .collect();
+
+    let comm = net.broadcast_communicator();
+    let fmax_fil = net.registry().id_of("f_max").expect("built-in filter");
+    let stream = net
+        .new_stream(&comm, fmax_fil, SyncMode::WaitForAll)
+        .expect("create stream");
+    stream
+        .send(0, "%d", vec![Value::Int32(FLOAT_MAX_INIT)])
+        .expect("broadcast init");
+    let result = stream.recv().expect("aggregated result");
+    println!(
+        "front-end: float maximum across all back-ends = {}",
+        result.get(0).and_then(Value::as_f32).expect("a float")
+    );
+
+    for b in backends {
+        b.join().unwrap();
+    }
+    net.shutdown();
+    println!("done");
+}

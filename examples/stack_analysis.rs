@@ -1,0 +1,86 @@
+//! STAT-style stack trace analysis over MRNet — the use case that made
+//! MRNet famous beyond Paradyn: merge the call stacks of every process
+//! in a (hung) parallel job into one prefix tree, grouping processes
+//! into behavioral equivalence classes, with the merging done by a
+//! custom filter inside the tree so the front-end sees one packet.
+//!
+//! Run with: `cargo run --example stack_analysis -- [processes]`
+
+use mrnet::{FilterRegistry, NetworkBuilder, SyncMode, Value};
+use mrnet_topology::{generator, HostPool};
+use paradyn::stacktree::{StackMergeFilter, StackTree};
+
+/// A deterministic "hung MPI job": most ranks wait in `mpi_waitall`,
+/// a few straggle in the solver, and one is stuck in I/O — the classic
+/// STAT diagnosis picture.
+fn sample_stack(rank: u32) -> Vec<String> {
+    let s: &[&str] = match rank {
+        r if r % 17 == 3 => &["main", "solve", "smg_relax", "compute_kernel"],
+        r if r % 23 == 7 => &["main", "checkpoint", "write_restart", "fsync"],
+        _ => &["main", "solve", "exchange_halo", "mpi_waitall"],
+    };
+    s.iter().map(|f| f.to_string()).collect()
+}
+
+fn main() {
+    let processes: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(64);
+
+    let registry = FilterRegistry::with_builtins();
+    registry
+        .register(StackMergeFilter::NAME, || Box::new(StackMergeFilter::new()))
+        .expect("register stack merge filter");
+
+    let topo = generator::balanced_for(4, processes, &mut HostPool::synthetic(4096))
+        .expect("topology");
+    let deployment = NetworkBuilder::new(topo)
+        .registry(registry)
+        .launch()
+        .expect("instantiate");
+    let net = deployment.network.clone();
+
+    // Tool daemons: on request, sample "the application's" stack and
+    // send it up as a single-process tree.
+    let daemons: Vec<_> = deployment
+        .backends
+        .into_iter()
+        .map(|be| {
+            std::thread::spawn(move || {
+                if let Ok((_, sid)) = be.recv() {
+                    let mut t = StackTree::new();
+                    t.insert(&sample_stack(be.rank()), be.rank());
+                    let _ = be.send_packet(t.to_packet(sid, 0));
+                }
+            })
+        })
+        .collect();
+
+    let comm = net.broadcast_communicator();
+    let merge = net.registry().id_of(StackMergeFilter::NAME).unwrap();
+    let stream = net.new_stream(&comm, merge, SyncMode::WaitForAll).unwrap();
+    stream.send(0, "%d", vec![Value::Int32(0)]).unwrap();
+
+    let merged = StackTree::from_packet(&stream.recv().expect("merged tree"))
+        .expect("decode tree");
+    println!(
+        "merged {} process stacks into {} tree nodes\n",
+        merged.all_ranks().len(),
+        merged.len()
+    );
+    print!("{}", merged.render());
+    println!("\nbehavioral equivalence classes:");
+    for (path, ranks) in merged.classes() {
+        println!(
+            "  {:>4} rank(s) at {}",
+            ranks.len(),
+            path.join(" > ")
+        );
+    }
+
+    net.shutdown();
+    for d in daemons {
+        d.join().unwrap();
+    }
+}

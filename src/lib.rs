@@ -1,0 +1,13 @@
+//! Facade crate for the MRNet reproduction workspace.
+//!
+//! Re-exports the public APIs of all member crates so that examples and
+//! integration tests can use a single dependency.
+#![forbid(unsafe_code)]
+
+pub use mrnet;
+pub use mrnet_filters as filters;
+pub use mrnet_packet as packet;
+pub use mrnet_sim as sim;
+pub use mrnet_topology as topology;
+pub use mrnet_transport as transport;
+pub use paradyn;
