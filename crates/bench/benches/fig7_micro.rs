@@ -35,7 +35,10 @@ fn fig7b_roundtrip(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7b_roundtrip");
     for fanout in FANOUTS {
         for backends in [16usize, 64] {
-            let tree = BenchTree::new(experiment_topology(fanout, backends), BatchPolicy::default());
+            let tree = BenchTree::new(
+                experiment_topology(fanout, backends),
+                BatchPolicy::default(),
+            );
             group.bench_with_input(
                 BenchmarkId::new(fanout_label(fanout), backends),
                 &backends,
@@ -54,7 +57,10 @@ fn fig7c_throughput(c: &mut Criterion) {
     group.throughput(Throughput::Elements(WAVES as u64));
     for fanout in FANOUTS {
         for backends in [16usize, 64] {
-            let tree = BenchTree::new(experiment_topology(fanout, backends), BatchPolicy::default());
+            let tree = BenchTree::new(
+                experiment_topology(fanout, backends),
+                BatchPolicy::default(),
+            );
             group.bench_with_input(
                 BenchmarkId::new(fanout_label(fanout), backends),
                 &backends,
@@ -66,5 +72,10 @@ fn fig7c_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, fig7a_instantiation, fig7b_roundtrip, fig7c_throughput);
+criterion_group!(
+    benches,
+    fig7a_instantiation,
+    fig7b_roundtrip,
+    fig7c_throughput
+);
 criterion_main!(benches);

@@ -10,9 +10,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mrnet::NetworkBuilder;
 use mrnet_bench::{experiment_topology, fanout_label};
 use mrnet_topology::{generator, HostPool};
-use paradyn::{
-    app::Executable, mdl, paradyn_registry, run_startup, skew, Daemon,
-};
+use paradyn::{app::Executable, mdl, paradyn_registry, run_startup, skew, Daemon};
 
 /// Runs one full start-up protocol over a live tree, returning after
 /// Report Done completes.

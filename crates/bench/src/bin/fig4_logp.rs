@@ -58,9 +58,7 @@ fn main() {
             ],
         );
     }
-    println!(
-        "\n(latency win: 1 = balanced finishes a single broadcast first, -1 = unbalanced)"
-    );
+    println!("\n(latency win: 1 = balanced finishes a single broadcast first, -1 = unbalanced)");
     println!("The balanced tree's pipelined interval (4g) always beats the");
     println!("unbalanced tree's (6g): better throughput for pipelined operations,");
     println!("which is why the paper's experiments use balanced trees.");

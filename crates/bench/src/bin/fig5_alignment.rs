@@ -29,7 +29,9 @@ fn integrate(a: f64, b: f64) -> f64 {
     // Numeric integration is fine at this resolution.
     let steps = ((b - a) / 1e-3).ceil().max(1.0) as usize;
     let dt = (b - a) / steps as f64;
-    (0..steps).map(|i| signal(a + (i as f64 + 0.5) * dt) * dt).sum()
+    (0..steps)
+        .map(|i| signal(a + (i as f64 + 0.5) * dt) * dt)
+        .sum()
 }
 
 fn rms(errors: &[f64]) -> f64 {
@@ -77,8 +79,7 @@ fn run(daemons: usize, phase_spread: f64, jitter: f64) -> (f64, f64) {
         for (d, s) in streams.iter().enumerate() {
             for out in ordinal.push(d, s[k]) {
                 // Ground truth for the interval the output claims.
-                let truth =
-                    daemons as f64 * integrate(out.start, out.end) * (interval / out.len());
+                let truth = daemons as f64 * integrate(out.start, out.end) * (interval / out.len());
                 // Normalize both to per-interval scale for fairness.
                 ordinal_err.push(out.value * (interval / out.len()) - truth);
             }

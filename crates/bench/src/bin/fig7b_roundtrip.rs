@@ -7,8 +7,12 @@
 //!
 //! Run with: `cargo run -p mrnet-bench --release --bin fig7b_roundtrip`
 
+use mrnet::obs::trace;
 use mrnet::simulate::{roundtrip_latency, SMALL_PACKET};
-use mrnet_bench::{experiment_topology, fanout_label, print_header, print_row};
+use mrnet_bench::{
+    experiment_topology, fanout_label, print_header, print_hop_breakdown, print_row, BenchTree,
+};
+use mrnet_packet::BatchPolicy;
 use mrnet_sim::LogGpParams;
 
 fn main() {
@@ -29,4 +33,16 @@ fn main() {
         print_row(backends, &row);
     }
     println!("\npaper shape: flat ≈ 1.4 s at 512 back-ends; trees well under 0.2 s");
+
+    // Live-tree cross-check: run the same operation on a real threaded
+    // tree with packet-path tracing on, then ask the tree itself (via
+    // the in-band introspection stream) where the time went.
+    println!("\ninternal per-hop breakdown, live 2-way tree with 4 back-ends (traced):\n");
+    trace::set_enabled(true);
+    let tree = BenchTree::new(experiment_topology(Some(2), 4), BatchPolicy::default());
+    for _ in 0..50 {
+        tree.roundtrip();
+    }
+    print_hop_breakdown(&tree.net);
+    tree.shutdown();
 }

@@ -8,8 +8,12 @@
 //!
 //! Run with: `cargo run -p mrnet-bench --release --bin fig7c_throughput`
 
+use mrnet::obs::trace;
 use mrnet::simulate::{reduction_throughput, SMALL_PACKET};
-use mrnet_bench::{experiment_topology, fanout_label, print_header, print_row};
+use mrnet_bench::{
+    experiment_topology, fanout_label, print_header, print_hop_breakdown, print_row, BenchTree,
+};
+use mrnet_packet::BatchPolicy;
 use mrnet_sim::LogGpParams;
 
 fn main() {
@@ -30,4 +34,14 @@ fn main() {
         print_row(backends, &row);
     }
     println!("\npaper shape: trees sustain ~70 ops/s out to 512 back-ends; flat collapses");
+
+    // Live-tree cross-check: pipeline reduction waves through a real
+    // threaded tree with tracing on and report the internal hop and
+    // filter costs via the in-band introspection stream.
+    println!("\ninternal per-hop breakdown, live 2-way tree with 4 back-ends (traced):\n");
+    trace::set_enabled(true);
+    let tree = BenchTree::new(experiment_topology(Some(2), 4), BatchPolicy::default());
+    tree.reduction_waves(200);
+    print_hop_breakdown(&tree.net);
+    tree.shutdown();
 }

@@ -28,9 +28,7 @@ pub fn experiment_topology(fanout: Option<usize>, backends: usize) -> Topology {
     let mut pool = HostPool::synthetic((backends * 3).max(64));
     match fanout {
         None => generator::flat(backends, &mut pool).expect("flat topology"),
-        Some(k) => {
-            generator::balanced_for(k, backends, &mut pool).expect("balanced topology")
-        }
+        Some(k) => generator::balanced_for(k, backends, &mut pool).expect("balanced topology"),
     }
 }
 
@@ -123,6 +121,61 @@ impl BenchTree {
         self.net.shutdown();
         for t in self.threads {
             let _ = t.join();
+        }
+    }
+}
+
+/// Collects an in-band metrics snapshot from a live tree and prints
+/// the internal per-hop breakdown: per node, packets moved in each
+/// direction and the mean in-node hop latencies, plus per-filter
+/// synchronization-wait and execution times (the paper's §3.2 internal
+/// costs). Hop columns are populated only while tracing is on
+/// (`MRNET_TRACE=1` or `mrnet::obs::trace::set_enabled(true)`).
+pub fn print_hop_breakdown(net: &Network) {
+    let snap = match net.metrics_snapshot(Duration::from_secs(5)) {
+        Ok(s) => s,
+        Err(e) => {
+            println!("(metrics snapshot unavailable: {e})");
+            return;
+        }
+    };
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "rank", "up.recv", "up.sent", "down.recv", "down.sent", "hop.up(us)", "hop.down(us)"
+    );
+    for rank in snap.ranks() {
+        let Some(node) = snap.node(rank) else {
+            continue;
+        };
+        let count = |name: &str| node.get(name).unwrap_or(0);
+        let mean = |name: &str| node.hist_mean_us(name).unwrap_or(0.0);
+        println!(
+            "{:>6} {:>10} {:>10} {:>10} {:>10} {:>12.1} {:>12.1}",
+            rank,
+            count("up.pkts.recv"),
+            count("up.pkts.sent"),
+            count("down.pkts.recv"),
+            count("down.pkts.sent"),
+            mean("hop_up_us"),
+            mean("hop_down_us"),
+        );
+    }
+    for rank in snap.ranks() {
+        let Some(node) = snap.node(rank) else {
+            continue;
+        };
+        for (name, waves) in node
+            .entries()
+            .filter(|(n, _)| n.starts_with("filter.") && n.ends_with(".waves"))
+            .map(|(n, v)| (n.to_owned(), v))
+            .collect::<Vec<_>>()
+        {
+            let base = name.trim_end_matches(".waves");
+            let wait = node.hist_mean_us(&format!("{base}.wait_us")).unwrap_or(0.0);
+            let exec = node.hist_mean_us(&format!("{base}.exec_us")).unwrap_or(0.0);
+            println!(
+                "  node {rank}: {base}: {waves} waves, mean wait {wait:.1} us, mean exec {exec:.1} us"
+            );
         }
     }
 }

@@ -6,14 +6,17 @@
 //! sends scalar values upstream on those streams.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
 
+use mrnet_obs::{log_warn, NodeMetrics};
 use mrnet_packet::{Packet, PacketBuilder, Rank, StreamId, Value};
 use mrnet_transport::{LocalFabric, SharedConnection, TcpConnection};
 
 use crate::error::{MrnetError, Result};
+use crate::introspect::{self, METRICS_REQUEST, METRICS_STREAM};
 use crate::proto::{decode_frame, encode_data_frame, Control, Frame};
 use crate::streams::StreamDef;
 
@@ -24,6 +27,7 @@ pub struct Backend {
     streams: Mutex<HashMap<StreamId, StreamDef>>,
     pending: Mutex<VecDeque<Packet>>,
     down: Mutex<bool>,
+    metrics: Arc<NodeMetrics>,
 }
 
 impl Backend {
@@ -43,6 +47,7 @@ impl Backend {
             streams: Mutex::new(HashMap::new()),
             pending: Mutex::new(VecDeque::new()),
             down: Mutex::new(false),
+            metrics: Arc::new(NodeMetrics::new()),
         })
     }
 
@@ -75,17 +80,55 @@ impl Backend {
         *self.down.lock() = true;
     }
 
+    /// This back-end's metrics instruments. Updated as the tool thread
+    /// pumps the connection; reported upstream automatically whenever
+    /// an introspection request reaches this leaf.
+    pub fn metrics(&self) -> Arc<NodeMetrics> {
+        self.metrics.clone()
+    }
+
+    /// Answers an in-band metrics request with this back-end's own
+    /// section. The reply bypasses [`Backend::send_packet`]'s stream
+    /// checks and counters: introspection traffic reports the network,
+    /// it is not part of it.
+    fn answer_metrics(&self, request: &Packet) {
+        let Ok((req_id, _timeout)) = introspect::decode_request(request) else {
+            log_warn!(self.rank, "dropping malformed metrics request");
+            return;
+        };
+        let section = self.metrics.snapshot(self.rank);
+        let reply = introspect::encode_reply(req_id, std::slice::from_ref(&section));
+        let _ = self
+            .conn
+            .send(encode_data_frame(std::slice::from_ref(&reply)));
+    }
+
     fn handle_frame(&self, frame: bytes::Bytes) -> Result<()> {
         match decode_frame(frame)? {
             Frame::Data(packets) => {
-                self.pending.lock().extend(packets);
+                let mut requests = Vec::new();
+                let mut pending = self.pending.lock();
+                for p in packets {
+                    if p.stream_id() == METRICS_STREAM {
+                        if p.tag() == METRICS_REQUEST {
+                            requests.push(p);
+                        }
+                        continue;
+                    }
+                    self.metrics.down_pkts_recv.inc();
+                    self.metrics.stream_counters(p.stream_id()).down_pkts.inc();
+                    pending.push_back(p);
+                }
+                drop(pending);
+                for request in &requests {
+                    self.answer_metrics(request);
+                }
             }
             Frame::Control(pkt) => {
                 let control = Control::from_packet(&pkt)?;
                 match control {
                     Control::NewStream { .. } => {
-                        let def =
-                            StreamDef::from_control(&control).expect("NewStream parses");
+                        let def = StreamDef::from_control(&control).expect("NewStream parses");
                         self.streams.lock().insert(def.id, def);
                     }
                     Control::DeleteStream { stream_id } => {
@@ -170,6 +213,11 @@ impl Backend {
             return Err(MrnetError::UnknownStream(sid));
         }
         let packet = packet.with_src(self.rank);
+        self.metrics.up_pkts_sent.inc();
+        self.metrics.stream_counters(sid).up_pkts.inc();
+        self.metrics
+            .local_up_bytes
+            .add(packet.encoded_size_hint() as u64);
         self.conn
             .send(encode_data_frame(&[packet]))
             .map_err(MrnetError::Transport)

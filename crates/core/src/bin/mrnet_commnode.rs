@@ -15,6 +15,7 @@ use std::process::ExitCode;
 
 use mrnet::commnode;
 use mrnet::FilterRegistry;
+use mrnet_obs::log_error;
 
 fn main() -> ExitCode {
     let result = commnode::parse_args(std::env::args().skip(1)).and_then(|(parent, rank)| {
@@ -24,7 +25,7 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
-            eprintln!("mrnet_commnode: {msg}");
+            log_error!("commnode", "{msg}");
             ExitCode::FAILURE
         }
     }

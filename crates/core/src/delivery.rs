@@ -35,6 +35,22 @@ pub struct Delivery {
     cv: Condvar,
 }
 
+/// A point-in-time view of one stream's standing in the mailbox,
+/// letting callers distinguish "no packet yet" from "this stream has
+/// never delivered anything" and from "the network is down".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeliveryStreamStats {
+    /// Packets currently queued (deposited but not yet consumed).
+    pub queued: usize,
+    /// Lifetime packets delivered, including consumed ones.
+    pub received: u64,
+    /// True once at least one packet has ever arrived on the stream.
+    pub seen: bool,
+    /// True once the mailbox has been closed by shutdown. Queued
+    /// packets remain receivable after close.
+    pub closed: bool,
+}
+
 impl Delivery {
     /// Creates an empty mailbox.
     pub fn new() -> Delivery {
@@ -55,7 +71,12 @@ impl Delivery {
     /// Lifetime count of packets delivered on `stream` (including ones
     /// already consumed by receives).
     pub fn received_on(&self, stream: StreamId) -> u64 {
-        self.state.lock().received.get(&stream).copied().unwrap_or(0)
+        self.state
+            .lock()
+            .received
+            .get(&stream)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Marks the network as shut down; blocked receivers return
@@ -68,6 +89,33 @@ impl Delivery {
     /// True once closed.
     pub fn is_closed(&self) -> bool {
         self.state.lock().closed
+    }
+
+    /// One stream's mailbox standing. An all-default result with
+    /// `seen == false` means the stream has never delivered a packet —
+    /// distinct from a drained stream (`seen`, zero `queued`) and from
+    /// a shut-down mailbox (`closed`).
+    pub fn stream_stats(&self, stream: StreamId) -> DeliveryStreamStats {
+        let st = self.state.lock();
+        let received = st.received.get(&stream).copied().unwrap_or(0);
+        DeliveryStreamStats {
+            queued: st.per_stream.get(&stream).map_or(0, VecDeque::len),
+            received,
+            // `per_stream` keeps a (possibly empty) queue for every
+            // stream that ever delivered, so either signal implies
+            // the stream has been seen.
+            seen: received > 0 || st.per_stream.contains_key(&stream),
+            closed: st.closed,
+        }
+    }
+
+    /// Mailbox-wide totals: `(packets currently queued, lifetime
+    /// packets delivered)` across all streams.
+    pub fn totals(&self) -> (usize, u64) {
+        let st = self.state.lock();
+        let queued = st.per_stream.values().map(VecDeque::len).sum();
+        let received = st.received.values().sum();
+        (queued, received)
     }
 
     /// Packets currently queued for `stream`.
@@ -149,9 +197,18 @@ mod tests {
         d.push(pkt(1, 10));
         d.push(pkt(1, 11));
         d.push(pkt(2, 20));
-        assert_eq!(d.recv_on(1, None).unwrap().get(0).unwrap().as_i32(), Some(10));
-        assert_eq!(d.recv_on(1, None).unwrap().get(0).unwrap().as_i32(), Some(11));
-        assert_eq!(d.recv_on(2, None).unwrap().get(0).unwrap().as_i32(), Some(20));
+        assert_eq!(
+            d.recv_on(1, None).unwrap().get(0).unwrap().as_i32(),
+            Some(10)
+        );
+        assert_eq!(
+            d.recv_on(1, None).unwrap().get(0).unwrap().as_i32(),
+            Some(11)
+        );
+        assert_eq!(
+            d.recv_on(2, None).unwrap().get(0).unwrap().as_i32(),
+            Some(20)
+        );
     }
 
     #[test]
@@ -168,7 +225,10 @@ mod tests {
         let d = Delivery::new();
         d.push(pkt(1, 10));
         d.push(pkt(2, 20));
-        assert_eq!(d.recv_on(1, None).unwrap().get(0).unwrap().as_i32(), Some(10));
+        assert_eq!(
+            d.recv_on(1, None).unwrap().get(0).unwrap().as_i32(),
+            Some(10)
+        );
         // The order entry for stream 1 is stale; recv_any must deliver
         // stream 2's packet.
         assert_eq!(d.recv_any(None).unwrap().stream_id(), 2);
@@ -233,5 +293,53 @@ mod tests {
         assert_eq!(d.received_on(1), 2);
         assert_eq!(d.pending_on(1), 1);
         assert_eq!(d.received_on(9), 0);
+    }
+
+    #[test]
+    fn stream_stats_distinguish_unseen_from_drained() {
+        let d = Delivery::new();
+        // Never-seen stream: all-default, not merely "empty".
+        assert_eq!(d.stream_stats(7), DeliveryStreamStats::default());
+        d.push(pkt(7, 0));
+        let st = d.stream_stats(7);
+        assert!(st.seen);
+        assert_eq!(st.queued, 1);
+        assert_eq!(st.received, 1);
+        assert!(!st.closed);
+        d.recv_on(7, None).unwrap();
+        // Drained: still seen, nothing queued, lifetime count intact.
+        let st = d.stream_stats(7);
+        assert!(st.seen);
+        assert_eq!(st.queued, 0);
+        assert_eq!(st.received, 1);
+    }
+
+    #[test]
+    fn stream_stats_report_pending_after_close() {
+        let d = Delivery::new();
+        d.push(pkt(3, 1));
+        d.close();
+        let st = d.stream_stats(3);
+        assert!(st.closed);
+        assert_eq!(st.queued, 1);
+        // The queued packet is still receivable despite the close...
+        assert!(d.recv_on(3, None).is_ok());
+        // ...and an unseen stream reports closed-but-unseen, so a
+        // caller can tell "shut down" from "no data yet".
+        let st = d.stream_stats(4);
+        assert!(st.closed);
+        assert!(!st.seen);
+    }
+
+    #[test]
+    fn totals_aggregate_across_streams() {
+        let d = Delivery::new();
+        assert_eq!(d.totals(), (0, 0));
+        d.push(pkt(1, 0));
+        d.push(pkt(2, 0));
+        d.push(pkt(2, 1));
+        assert_eq!(d.totals(), (3, 3));
+        d.recv_on(2, None).unwrap();
+        assert_eq!(d.totals(), (2, 3));
     }
 }

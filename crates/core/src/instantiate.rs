@@ -25,11 +25,11 @@ use std::time::Duration;
 use crossbeam::channel::{bounded, Receiver, Sender};
 
 use mrnet_filters::FilterRegistry;
+use mrnet_obs::log_error;
 use mrnet_packet::{BatchPolicy, Rank};
 use mrnet_topology::{Role, Topology};
 use mrnet_transport::{
-    Listener, LocalConnection, LocalFabric, SharedConnection, TcpConnection,
-    TcpTransportListener,
+    Listener, LocalConnection, LocalFabric, SharedConnection, TcpConnection, TcpTransportListener,
 };
 
 use crate::backend::Backend;
@@ -253,8 +253,8 @@ impl NetworkBuilder {
                 Ok((Arc::new(p), Arc::new(c)))
             }
             WireTransport::Tcp => {
-                let listener = TcpTransportListener::bind("127.0.0.1:0")
-                    .map_err(MrnetError::Transport)?;
+                let listener =
+                    TcpTransportListener::bind("127.0.0.1:0").map_err(MrnetError::Transport)?;
                 let addr = listener.addr();
                 let child = TcpConnection::connect(&addr).map_err(MrnetError::Transport)?;
                 let parent = listener.accept().map_err(MrnetError::Transport)?;
@@ -266,7 +266,9 @@ impl NetworkBuilder {
     fn launch_inner(self, attach_mode: bool) -> Result<Launched> {
         let topo = &self.topology;
         if topo.num_backends() == 0 {
-            return Err(MrnetError::Instantiation("topology has no back-ends".into()));
+            return Err(MrnetError::Instantiation(
+                "topology has no back-ends".into(),
+            ));
         }
         let fabric = LocalFabric::new();
         let n = topo.len();
@@ -280,19 +282,18 @@ impl NetworkBuilder {
                 let is_backend = topo.role(child) == Role::BackEnd;
                 if attach_mode && is_backend {
                     let rank = child.0 as Rank;
-                    let (listener, endpoint): (Box<dyn Listener>, String) =
-                        match self.transport {
-                            WireTransport::Channels => {
-                                let name = format!("mrnet-be-{rank}");
-                                (Box::new(fabric.listen(&name)), name)
-                            }
-                            WireTransport::Tcp => {
-                                let l = TcpTransportListener::bind("127.0.0.1:0")
-                                    .map_err(MrnetError::Transport)?;
-                                let addr = l.addr();
-                                (Box::new(l), addr)
-                            }
-                        };
+                    let (listener, endpoint): (Box<dyn Listener>, String) = match self.transport {
+                        WireTransport::Channels => {
+                            let name = format!("mrnet-be-{rank}");
+                            (Box::new(fabric.listen(&name)), name)
+                        }
+                        WireTransport::Tcp => {
+                            let l = TcpTransportListener::bind("127.0.0.1:0")
+                                .map_err(MrnetError::Transport)?;
+                            let addr = l.addr();
+                            (Box::new(l), addr)
+                        }
+                    };
                     leaf_listener[child.0] = Some(listener);
                     attach_points.push(AttachPoint { rank, endpoint });
                 } else {
@@ -351,7 +352,7 @@ impl NetworkBuilder {
                         let children = match resolve_slots(slots) {
                             Ok(c) => c,
                             Err(e) => {
-                                eprintln!("mrnet[{rank}]: attach failed: {e}");
+                                log_error!(rank, "attach failed: {e}");
                                 return;
                             }
                         };
@@ -366,7 +367,7 @@ impl NetworkBuilder {
                             inbox,
                         );
                         if let Err(e) = node.setup() {
-                            eprintln!("mrnet[{rank}]: setup failed: {e}");
+                            log_error!(rank, "setup failed: {e}");
                             return;
                         }
                         node.run();
@@ -484,7 +485,9 @@ pub fn launch_processes_with_registry(
 
     let expected_backends = topology.num_backends();
     if expected_backends == 0 {
-        return Err(MrnetError::Instantiation("topology has no back-ends".into()));
+        return Err(MrnetError::Instantiation(
+            "topology has no back-ends".into(),
+        ));
     }
     let delivery = Arc::new(Delivery::new());
     let (ready_tx, ready_rx) = bounded(1);
@@ -509,7 +512,7 @@ pub fn launch_processes_with_registry(
             let children = match accept_children(&listener, &view, &plan) {
                 Ok(c) => c,
                 Err(e) => {
-                    eprintln!("mrnet[fe]: child gather failed: {e}");
+                    log_error!("fe", "child gather failed: {e}");
                     return;
                 }
             };
@@ -525,7 +528,7 @@ pub fn launch_processes_with_registry(
             );
             node.set_attach_sink(attach_tx);
             if let Err(e) = node.setup() {
-                eprintln!("mrnet[fe]: setup failed: {e}");
+                log_error!("fe", "setup failed: {e}");
                 return;
             }
             node.run();

@@ -22,12 +22,16 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use mrnet_filters::FilterRegistry;
+use mrnet_obs::{
+    log_error, log_warn, trace, MetricsSection, NetworkSnapshot, NodeMetrics, TraceDir, TraceEvent,
+};
 use mrnet_packet::{BatchPolicy, Batcher, Packet, Rank, StreamId};
 use mrnet_transport::SharedConnection;
 
 use crate::delivery::Delivery;
 use crate::error::{MrnetError, Result};
 use crate::internal::stream_manager::StreamManager;
+use crate::introspect::{self, METRICS_REPLY, METRICS_REQUEST, METRICS_STREAM};
 use crate::proto::{decode_frame, encode_data_frame, Control, Frame};
 use crate::route::RoutingTable;
 use crate::streams::StreamDef;
@@ -59,8 +63,35 @@ pub enum Command {
     SendDown(Packet),
     /// Tear down a stream.
     DeleteStream(StreamId),
+    /// Collect a metrics snapshot from every node in the tree
+    /// (in-band introspection, root only).
+    CollectMetrics {
+        /// Correlates replies with this collection.
+        req_id: u32,
+        /// How long to wait for straggler subtrees before answering
+        /// with whatever sections have arrived.
+        timeout_secs: f64,
+        /// Where the merged snapshot is delivered.
+        reply: Sender<NetworkSnapshot>,
+    },
     /// Shut the whole network down.
     Shutdown,
+}
+
+/// In-flight state of one metrics collection at this node: the
+/// sections gathered so far and which children still owe a reply.
+struct MetricsCollect {
+    /// Sections accumulated so far (own section plus decoded child
+    /// replies, in arrival order).
+    sections: Vec<MetricsSection>,
+    /// Child indices whose replies are still outstanding.
+    outstanding: Vec<usize>,
+    /// Epoch-relative time after which the collection completes with
+    /// partial results.
+    deadline: f64,
+    /// Root only: channel back to the blocked front-end caller.
+    /// `None` at interior nodes, which reply upstream instead.
+    reply: Option<Sender<NetworkSnapshot>>,
 }
 
 /// One MRNet process's event loop.
@@ -83,6 +114,9 @@ pub struct NodeLoop {
     /// advertisements harvested from AttachInfo messages during
     /// process instantiation.
     attach_tx: Option<Sender<(Rank, String)>>,
+    metrics: Arc<NodeMetrics>,
+    /// In-flight metrics collections keyed by request id.
+    collects: HashMap<u32, MetricsCollect>,
 }
 
 fn spawn_pump(
@@ -94,22 +128,20 @@ fn spawn_pump(
 ) {
     std::thread::Builder::new()
         .name("mrnet-pump".to_owned())
-        .spawn(move || {
-            loop {
-                if stop.load(Ordering::Relaxed) {
-                    return;
-                }
-                match conn.recv_timeout(PUMP_POLL) {
-                    Ok(Some(frame)) => {
-                        if tx.send(wrap(frame)).is_err() {
-                            return;
-                        }
-                    }
-                    Ok(None) => continue,
-                    Err(_) => {
-                        let _ = tx.send(closed);
+        .spawn(move || loop {
+            if stop.load(Ordering::Relaxed) {
+                return;
+            }
+            match conn.recv_timeout(PUMP_POLL) {
+                Ok(Some(frame)) => {
+                    if tx.send(wrap(frame)).is_err() {
                         return;
                     }
+                }
+                Ok(None) => continue,
+                Err(_) => {
+                    let _ = tx.send(closed);
+                    return;
                 }
             }
         })
@@ -178,7 +210,16 @@ impl NodeLoop {
             stop,
             ready_tx,
             attach_tx: None,
+            metrics: Arc::new(NodeMetrics::new()),
+            collects: HashMap::new(),
         }
+    }
+
+    /// This node's metrics instruments. The loop owns and updates
+    /// them; callers (the front-end, tests) keep a handle for local
+    /// inspection without going through the introspection stream.
+    pub fn metrics(&self) -> Arc<NodeMetrics> {
+        self.metrics.clone()
     }
 
     /// Installs the root-side sink for AttachInfo advertisements
@@ -269,10 +310,12 @@ impl NodeLoop {
     /// Runs the event loop until shutdown. Consumes the node.
     pub fn run(mut self) {
         loop {
+            self.metrics.queue_depth.set(self.inbox.len() as i64);
             let deadline = self
                 .managers
                 .values()
                 .filter_map(StreamManager::deadline)
+                .chain(self.collects.values().map(|c| c.deadline))
                 .fold(f64::INFINITY, f64::min);
             let msg = if deadline.is_finite() {
                 let wait = (deadline - self.now()).max(0.0);
@@ -294,6 +337,9 @@ impl NodeLoop {
                     true
                 }
             };
+            // Steady traffic can keep the loop off the timeout path
+            // indefinitely; expire overdue collections here too.
+            self.expire_collects(self.now());
             self.flush_all();
             if !keep_going {
                 break;
@@ -321,20 +367,21 @@ impl NodeLoop {
         match msg {
             Inbound::Child(i, frame) => {
                 if let Err(e) = self.on_child_frame(i, frame) {
-                    eprintln!("mrnet[{}]: child frame error: {e}", self.rank);
+                    log_error!(self.rank, "child frame error: {e}");
                 }
                 true
             }
             Inbound::Parent(frame) => match self.on_parent_frame(frame) {
                 Ok(keep) => keep,
                 Err(e) => {
-                    eprintln!("mrnet[{}]: parent frame error: {e}", self.rank);
+                    log_error!(self.rank, "parent frame error: {e}");
                     true
                 }
             },
             Inbound::Cmd(cmd) => self.on_command(cmd),
             Inbound::ChildClosed(i) => {
                 self.child_alive[i] = false;
+                self.forget_collect_child(i);
                 true
             }
             // Parent vanished: treat as shutdown so the subtree exits.
@@ -344,6 +391,7 @@ impl NodeLoop {
 
     fn poll_timeouts(&mut self) {
         let now = self.now();
+        self.expire_collects(now);
         let ready: Vec<(StreamId, Vec<Packet>)> = self
             .managers
             .iter_mut()
@@ -365,6 +413,14 @@ impl NodeLoop {
                 let now = self.now();
                 for packet in packets {
                     let sid = packet.stream_id();
+                    if sid == METRICS_STREAM {
+                        // Introspection traffic: handled here, never
+                        // routed or counted.
+                        self.on_metrics_reply(child, &packet);
+                        continue;
+                    }
+                    self.metrics.up_pkts_recv.inc();
+                    self.trace_hop(&packet, TraceDir::Up, now);
                     let ready = match self.managers.get_mut(&sid) {
                         Some(mgr) => mgr.up(child, packet, now)?,
                         // Stream unknown (deleted or never created):
@@ -393,7 +449,13 @@ impl NodeLoop {
     }
 
     fn forward_up(&mut self, packet: Packet) {
+        self.metrics.up_pkts_sent.inc();
         if let Some(delivery) = &self.delivery {
+            // Root: "sent" upstream means delivered to user threads;
+            // account the bytes here since no wire carries them.
+            self.metrics
+                .local_up_bytes
+                .add(packet.encoded_size_hint() as u64);
             delivery.push(packet);
         } else {
             self.parent_batcher.push(packet);
@@ -407,7 +469,14 @@ impl NodeLoop {
     fn on_parent_frame(&mut self, frame: bytes::Bytes) -> Result<bool> {
         match decode_frame(frame)? {
             Frame::Data(packets) => {
+                let now = self.now();
                 for packet in packets {
+                    if packet.stream_id() == METRICS_STREAM {
+                        self.on_metrics_request(&packet);
+                        continue;
+                    }
+                    self.metrics.down_pkts_recv.inc();
+                    self.trace_hop(&packet, TraceDir::Down, now);
                     self.route_down(packet)?;
                 }
                 Ok(true)
@@ -416,8 +485,8 @@ impl NodeLoop {
                 let control = Control::from_packet(&pkt)?;
                 match &control {
                     Control::NewStream { .. } => {
-                        let def = StreamDef::from_control(&control)
-                            .expect("NewStream parses to a def");
+                        let def =
+                            StreamDef::from_control(&control).expect("NewStream parses to a def");
                         self.create_stream(def)?;
                         Ok(true)
                     }
@@ -438,18 +507,26 @@ impl NodeLoop {
         match cmd {
             Command::NewStream(def) => {
                 if let Err(e) = self.create_stream(def) {
-                    eprintln!("mrnet[{}]: stream creation error: {e}", self.rank);
+                    log_error!(self.rank, "stream creation error: {e}");
                 }
                 true
             }
             Command::SendDown(packet) => {
                 if let Err(e) = self.route_down(packet) {
-                    eprintln!("mrnet[{}]: downstream send error: {e}", self.rank);
+                    log_error!(self.rank, "downstream send error: {e}");
                 }
                 true
             }
             Command::DeleteStream(sid) => {
                 self.delete_stream(sid);
+                true
+            }
+            Command::CollectMetrics {
+                req_id,
+                timeout_secs,
+                reply,
+            } => {
+                self.start_collect(req_id, timeout_secs, Some(reply));
                 true
             }
             Command::Shutdown => false,
@@ -458,7 +535,13 @@ impl NodeLoop {
 
     fn create_stream(&mut self, def: StreamDef) -> Result<()> {
         let frame = def.to_control().to_frame();
-        let mgr = StreamManager::new(def, &self.routes, &self.registry, self.rank)?;
+        let mgr = StreamManager::with_metrics(
+            def,
+            &self.routes,
+            &self.registry,
+            self.rank,
+            &self.metrics,
+        )?;
         // Announce to participating children before any data can flow.
         // A child that died (possibly unnoticed until this send) must
         // not prevent the stream from existing for the survivors.
@@ -496,6 +579,7 @@ impl NodeLoop {
             // destined for multiple back-ends" (§2.3) — by reference.
             for child in self.routes.children_for(&endpoints) {
                 if self.child_alive[child] {
+                    self.metrics.down_pkts_sent.inc();
                     self.child_batchers[child].push(out.clone());
                     if self.child_batchers[child].should_flush() {
                         self.flush_child(child);
@@ -511,6 +595,7 @@ impl NodeLoop {
         if packets.is_empty() || !self.child_alive[child] {
             return;
         }
+        self.metrics.batch_pkts.record_us(packets.len() as u64);
         let frame = encode_data_frame(&packets);
         if self.children[child].send(frame).is_err() {
             self.child_alive[child] = false;
@@ -523,6 +608,7 @@ impl NodeLoop {
             return;
         }
         if let Some(parent) = &self.parent {
+            self.metrics.batch_pkts.record_us(packets.len() as u64);
             let frame = encode_data_frame(&packets);
             let _ = parent.send(frame);
         }
@@ -536,6 +622,171 @@ impl NodeLoop {
         }
         if !self.parent_batcher.is_empty() {
             self.flush_parent();
+        }
+    }
+
+    /// Records a packet-path trace event (and the matching hop-latency
+    /// sample) when tracing is on. `t0` is the epoch-relative arrival
+    /// time of the frame carrying the packet, so `hop_us` measures
+    /// in-node handling latency up to this point.
+    fn trace_hop(&self, packet: &Packet, dir: TraceDir, t0: f64) {
+        if !trace::enabled() {
+            return;
+        }
+        let now = self.now();
+        let hop_us = ((now - t0).max(0.0) * 1e6) as u64;
+        let hist = match dir {
+            TraceDir::Up => &self.metrics.hop_up_us,
+            TraceDir::Down => &self.metrics.hop_down_us,
+        };
+        hist.record_us(hop_us);
+        self.metrics.trace.record(TraceEvent {
+            at_us: (now * 1e6) as u64,
+            stream: packet.stream_id(),
+            tag: packet.tag(),
+            origin: packet.src(),
+            dir,
+            hop_us,
+        });
+    }
+
+    /// Begins a metrics collection at this node: snapshot ourselves,
+    /// forward the request to every live child, and wait for their
+    /// replies (or the deadline). Introspection frames go directly to
+    /// the connections — never through the batchers — so they stay
+    /// invisible to the packet counters they report. `reply` is the
+    /// front-end channel at the root; interior nodes pass `None` and
+    /// answer upstream instead.
+    fn start_collect(
+        &mut self,
+        req_id: u32,
+        timeout_secs: f64,
+        reply: Option<Sender<NetworkSnapshot>>,
+    ) {
+        let timeout = timeout_secs.max(0.0);
+        // Children get a slightly tighter deadline than ours so their
+        // (possibly partial) replies land before we give up waiting.
+        let request = introspect::encode_request(req_id, timeout * 0.9);
+        let frame = encode_data_frame(std::slice::from_ref(&request));
+        let mut outstanding = Vec::new();
+        for i in 0..self.children.len() {
+            if !self.child_alive[i] {
+                continue;
+            }
+            if self.children[i].send(frame.clone()).is_ok() {
+                outstanding.push(i);
+            } else {
+                self.child_alive[i] = false;
+            }
+        }
+        self.collects.insert(
+            req_id,
+            MetricsCollect {
+                sections: vec![self.metrics.snapshot(self.rank)],
+                outstanding,
+                deadline: self.now() + timeout,
+                reply,
+            },
+        );
+        self.finish_if_complete(req_id);
+    }
+
+    /// Handles a metrics request arriving from the parent: collect
+    /// from the subtree, replying upstream when done.
+    fn on_metrics_request(&mut self, packet: &Packet) {
+        if packet.tag() != METRICS_REQUEST {
+            return;
+        }
+        let Ok((req_id, timeout)) = introspect::decode_request(packet) else {
+            log_warn!(self.rank, "dropping malformed metrics request");
+            return;
+        };
+        self.start_collect(req_id, timeout, None);
+    }
+
+    /// Merges a child's metrics reply into the matching collection.
+    /// Replies for unknown request ids (stragglers past the deadline)
+    /// are dropped.
+    fn on_metrics_reply(&mut self, child: usize, packet: &Packet) {
+        if packet.tag() != METRICS_REPLY {
+            return;
+        }
+        let Ok((req_id, sections)) = introspect::decode_reply(packet) else {
+            log_warn!(self.rank, "dropping malformed metrics reply");
+            return;
+        };
+        let Some(collect) = self.collects.get_mut(&req_id) else {
+            return;
+        };
+        collect.outstanding.retain(|&i| i != child);
+        collect.sections.extend(sections);
+        self.finish_if_complete(req_id);
+    }
+
+    fn finish_if_complete(&mut self, req_id: u32) {
+        let done = self
+            .collects
+            .get(&req_id)
+            .is_some_and(|c| c.outstanding.is_empty());
+        if done {
+            if let Some(collect) = self.collects.remove(&req_id) {
+                self.finish_collect(req_id, collect);
+            }
+        }
+    }
+
+    /// Delivers a finished (or expired) collection: to the front-end
+    /// channel at the root, upstream as a reply packet elsewhere.
+    fn finish_collect(&mut self, req_id: u32, collect: MetricsCollect) {
+        match collect.reply {
+            Some(tx) => {
+                let _ = tx.send(introspect::snapshot_from_sections(collect.sections));
+            }
+            None => {
+                if let Some(parent) = &self.parent {
+                    let reply = introspect::encode_reply(req_id, &collect.sections);
+                    let _ = parent.send(encode_data_frame(std::slice::from_ref(&reply)));
+                }
+            }
+        }
+    }
+
+    /// A child died: stop waiting for its reply in every in-flight
+    /// collection.
+    fn forget_collect_child(&mut self, child: usize) {
+        if self.collects.is_empty() {
+            return;
+        }
+        let ids: Vec<u32> = self.collects.keys().copied().collect();
+        for req_id in ids {
+            if let Some(collect) = self.collects.get_mut(&req_id) {
+                collect.outstanding.retain(|&i| i != child);
+            }
+            self.finish_if_complete(req_id);
+        }
+    }
+
+    /// Completes any collection whose deadline has passed with the
+    /// sections gathered so far.
+    fn expire_collects(&mut self, now: f64) {
+        if self.collects.is_empty() {
+            return;
+        }
+        let expired: Vec<u32> = self
+            .collects
+            .iter()
+            .filter(|(_, c)| now >= c.deadline)
+            .map(|(&id, _)| id)
+            .collect();
+        for req_id in expired {
+            if let Some(collect) = self.collects.remove(&req_id) {
+                log_warn!(
+                    self.rank,
+                    "metrics collection {req_id} timed out with {} children outstanding",
+                    collect.outstanding.len()
+                );
+                self.finish_collect(req_id, collect);
+            }
         }
     }
 }

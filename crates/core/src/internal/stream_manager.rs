@@ -11,10 +11,12 @@
 //! which of the process's children participate in the stream.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use mrnet_filters::{BoxedTransform, FilterContext, FilterRegistry, SyncFilter};
 #[cfg(test)]
 use mrnet_filters::SyncMode;
+use mrnet_filters::{BoxedTransform, FilterContext, FilterRegistry, SyncFilter};
+use mrnet_obs::{FilterStats, NodeMetrics, StreamCounters};
 use mrnet_packet::{Packet, Rank};
 
 use crate::error::{MrnetError, Result};
@@ -32,6 +34,14 @@ pub struct StreamManager {
     /// order; the position within this vector is the sync-filter slot.
     participants: Vec<usize>,
     slot_of_child: HashMap<usize, usize>,
+    /// Per-stream packet counters (shared with the node's registry).
+    counters: Option<Arc<StreamCounters>>,
+    /// Upstream-filter timing; the synchronization-delay histogram
+    /// (§3.2) is fed from here, the exec histogram from the
+    /// `TimedTransform` wrapping `up`.
+    up_stats: Option<Arc<FilterStats>>,
+    /// When the oldest still-pending wave started accumulating.
+    first_arrival: Option<f64>,
 }
 
 impl StreamManager {
@@ -43,13 +53,46 @@ impl StreamManager {
         registry: &FilterRegistry,
         local_rank: Rank,
     ) -> Result<StreamManager> {
+        StreamManager::build(def, routes, registry, local_rank, None)
+    }
+
+    /// Like [`StreamManager::new`], but instrumented: per-stream packet
+    /// counters and filter wait/exec histograms record into `metrics`.
+    pub fn with_metrics(
+        def: StreamDef,
+        routes: &RoutingTable,
+        registry: &FilterRegistry,
+        local_rank: Rank,
+        metrics: &NodeMetrics,
+    ) -> Result<StreamManager> {
+        StreamManager::build(def, routes, registry, local_rank, Some(metrics))
+    }
+
+    fn build(
+        def: StreamDef,
+        routes: &RoutingTable,
+        registry: &FilterRegistry,
+        local_rank: Rank,
+        metrics: Option<&NodeMetrics>,
+    ) -> Result<StreamManager> {
         let participants = routes.children_for(&def.endpoints);
         let slot_of_child: HashMap<usize, usize> = participants
             .iter()
             .enumerate()
             .map(|(slot, &child)| (child, slot))
             .collect();
-        let up = registry.instantiate(registry.id_of(&def.up_filter)?)?;
+        let up_id = registry.id_of(&def.up_filter)?;
+        let (up, counters, up_stats) = match metrics {
+            Some(m) => {
+                let stats = m.filter_stats(&def.up_filter);
+                (
+                    registry.instantiate_timed(up_id, stats.clone())?,
+                    Some(m.stream_counters(def.id)),
+                    Some(stats),
+                )
+            }
+            None => (registry.instantiate(up_id)?, None, None),
+        };
         let down = registry.instantiate(registry.id_of(&def.down_filter)?)?;
         let sync = SyncFilter::new(def.sync, participants.len());
         let ctx = FilterContext::new(def.id, local_rank, participants.len());
@@ -61,6 +104,9 @@ impl StreamManager {
             down,
             participants,
             slot_of_child,
+            counters,
+            up_stats,
+            first_arrival: None,
         })
     }
 
@@ -84,7 +130,14 @@ impl StreamManager {
                 self.def.id
             ))
         })?;
+        if let Some(c) = &self.counters {
+            c.up_pkts.inc();
+        }
+        if self.first_arrival.is_none() {
+            self.first_arrival = Some(now);
+        }
         let waves = self.sync.push(slot, packet, now);
+        self.note_released(&waves, now);
         self.run_waves(waves)
     }
 
@@ -92,7 +145,29 @@ impl StreamManager {
     /// streams); returns any packets released by a timeout.
     pub fn poll(&mut self, now: f64) -> Result<Vec<Packet>> {
         let waves = self.sync.collect(now);
+        self.note_released(&waves, now);
         self.run_waves(waves)
+    }
+
+    /// Records synchronization delay (first arrival of a wave → its
+    /// release, the paper's §3.2 measure) for each released wave.
+    fn note_released(&mut self, waves: &[Vec<Packet>], now: f64) {
+        if waves.is_empty() {
+            return;
+        }
+        if let Some(start) = self.first_arrival.take() {
+            if let Some(stats) = &self.up_stats {
+                for _ in waves {
+                    stats.wait_us.record_secs(now - start);
+                }
+            }
+        }
+        if self.sync.has_pending() {
+            // Packets for the next wave are already queued; the delay
+            // clock for that wave starts now (its true first arrival
+            // is unknowable once its predecessor flushed).
+            self.first_arrival = Some(now);
+        }
     }
 
     fn run_waves(&mut self, waves: Vec<Vec<Packet>>) -> Result<Vec<Packet>> {
@@ -100,11 +175,7 @@ impl StreamManager {
         for wave in waves {
             let produced = self.up.transform(wave, &self.ctx)?;
             // Aggregated packets continue on the same stream.
-            out.extend(
-                produced
-                    .into_iter()
-                    .map(|p| p.with_stream(self.def.id)),
-            );
+            out.extend(produced.into_iter().map(|p| p.with_stream(self.def.id)));
         }
         Ok(out)
     }
@@ -114,6 +185,9 @@ impl StreamManager {
     /// supported for downstream data flows" (§2.3), so each packet is
     /// transformed as a singleton wave.
     pub fn down(&mut self, packet: Packet) -> Result<Vec<Packet>> {
+        if let Some(c) = &self.counters {
+            c.down_pkts.inc();
+        }
         let produced = self.down.transform(vec![packet], &self.ctx)?;
         Ok(produced
             .into_iter()
@@ -251,6 +325,35 @@ mod tests {
         .err()
         .expect("unknown filter");
         assert!(matches!(err, MrnetError::Filter(_)));
+    }
+
+    #[test]
+    fn metrics_record_packets_and_sync_delay() {
+        let reg = FilterRegistry::with_builtins();
+        let metrics = NodeMetrics::new();
+        let mut m = StreamManager::with_metrics(
+            def(vec![10, 12, 13], "f_sum", SyncMode::WaitForAll),
+            &routes(),
+            &reg,
+            3,
+            &metrics,
+        )
+        .unwrap();
+        assert!(m.up(0, fpkt(1.0), 0.0).unwrap().is_empty());
+        assert!(m.up(1, fpkt(2.0), 0.010).unwrap().is_empty());
+        let out = m.up(2, fpkt(3.0), 0.025).unwrap();
+        assert_eq!(out.len(), 1);
+        m.down(fpkt(9.0)).unwrap();
+        let counters = metrics.stream_counters(5);
+        assert_eq!(counters.up_pkts.get(), 3);
+        assert_eq!(counters.down_pkts.get(), 1);
+        let stats = metrics.filter_stats("f_sum");
+        assert_eq!(stats.waves.get(), 1);
+        assert_eq!(stats.exec_us.count(), 1);
+        // One wave waited 25 ms between first arrival and release.
+        let wait = stats.wait_us.snapshot();
+        assert_eq!(wait.count, 1);
+        assert_eq!(wait.sum_us, 25_000);
     }
 
     #[test]

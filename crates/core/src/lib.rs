@@ -46,6 +46,7 @@ mod delivery;
 mod error;
 mod instantiate;
 pub mod internal;
+pub mod introspect;
 mod network;
 pub mod procspawn;
 pub mod proto;
@@ -56,14 +57,15 @@ pub mod slice;
 mod streams;
 
 pub use backend::Backend;
+pub use delivery::DeliveryStreamStats;
 pub use error::{MrnetError, Result};
 pub use instantiate::{
     launch_local, launch_processes, launch_processes_with_registry, AttachPoint, Deployment,
     NetworkBuilder, PendingNetwork, WireTransport,
 };
-pub use slice::{SubtreeSlice, SubtreeView};
 pub use network::{Communicator, Network, Stream, StreamStats};
 pub use route::RoutingTable;
+pub use slice::{SubtreeSlice, SubtreeView};
 pub use streams::StreamDef;
 
 // Re-export the pieces tools use alongside the core API.
@@ -71,6 +73,11 @@ pub use mrnet_filters::{
     FilterContext, FilterId, FilterRegistry, FnFilter, MeanPairFilter, ScalarOp, SyncMode,
     Transform, FILTER_NULL,
 };
+/// The observability layer (metrics, tracing, logging), re-exported so
+/// tools can read [`mrnet_obs::NetworkSnapshot`]s and tune
+/// `MRNET_LOG`/`MRNET_TRACE` programmatically.
+pub use mrnet_obs as obs;
+pub use mrnet_obs::{MetricsSection, NetworkSnapshot};
 pub use mrnet_packet::{
     FormatString, Packet, PacketBuilder, Rank, StreamId, Tag, TypeCode, Unpack, Value,
 };

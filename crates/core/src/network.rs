@@ -19,10 +19,11 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::Sender;
+use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
 
 use mrnet_filters::{FilterId, FilterRegistry, SyncMode, FILTER_NULL};
+use mrnet_obs::NetworkSnapshot;
 use mrnet_packet::{Packet, Rank, StreamId, Value};
 
 use crate::delivery::Delivery;
@@ -37,6 +38,7 @@ pub(crate) struct NetInner {
     pub(crate) endpoints: Vec<Rank>,
     pub(crate) registry: FilterRegistry,
     next_stream: AtomicU32,
+    next_metrics_req: AtomicU32,
     streams: Mutex<HashMap<StreamId, StreamDef>>,
     sent: Mutex<HashMap<StreamId, u64>>,
     joins: Mutex<Vec<JoinHandle<()>>>,
@@ -93,6 +95,12 @@ pub struct StreamStats {
     /// Aggregated packets delivered to the front-end (whether or not
     /// they have been consumed by `recv` yet).
     pub received: u64,
+    /// Delivered packets not yet consumed by `recv`.
+    pub queued: usize,
+    /// True once the network has shut down. `received`/`queued` stay
+    /// meaningful after close, so a zeroed result with `closed` unset
+    /// means "no data yet", not "network gone".
+    pub closed: bool,
 }
 
 impl Network {
@@ -110,6 +118,7 @@ impl Network {
                 endpoints,
                 registry,
                 next_stream: AtomicU32::new(FIRST_USER_STREAM),
+                next_metrics_req: AtomicU32::new(0),
                 streams: Mutex::new(HashMap::new()),
                 sent: Mutex::new(HashMap::new()),
                 joins: Mutex::new(joins),
@@ -228,6 +237,28 @@ impl Network {
         let packet = self.inner.delivery.recv_any(Some(timeout))?;
         let stream = self.stream(packet.stream_id())?;
         Ok((packet, stream))
+    }
+
+    /// Collects a metrics snapshot from every node in the tree via the
+    /// in-band introspection stream (§3's internal measurements, made
+    /// available to tools): the request multicasts down, each process
+    /// appends its own flattened section, and the sections reduce back
+    /// up by concatenation. Blocks up to `timeout`; subtrees that miss
+    /// the deadline are simply absent from the result, so a complete
+    /// snapshot has one section per process plus one per back-end.
+    pub fn metrics_snapshot(&self, timeout: Duration) -> Result<NetworkSnapshot> {
+        self.ensure_up()?;
+        let req_id = self.inner.next_metrics_req.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = bounded(1);
+        self.send_cmd(Command::CollectMetrics {
+            req_id,
+            timeout_secs: timeout.as_secs_f64(),
+            reply: tx,
+        })?;
+        // The root answers (possibly partially) at its own deadline;
+        // the slack covers scheduling of the reply itself.
+        rx.recv_timeout(timeout + Duration::from_secs(2))
+            .map_err(|_| MrnetError::Timeout)
     }
 
     fn ensure_up(&self) -> Result<()> {
@@ -351,15 +382,12 @@ impl Stream {
 
     /// Front-end traffic counters for this stream.
     pub fn stats(&self) -> StreamStats {
+        let d = self.net.delivery.stream_stats(self.def.id);
         StreamStats {
-            sent: self
-                .net
-                .sent
-                .lock()
-                .get(&self.def.id)
-                .copied()
-                .unwrap_or(0),
-            received: self.net.delivery.received_on(self.def.id),
+            sent: self.net.sent.lock().get(&self.def.id).copied().unwrap_or(0),
+            received: d.received,
+            queued: d.queued,
+            closed: d.closed,
         }
     }
 

@@ -73,9 +73,7 @@ pub fn spawn_internal_children(
             .stdin(Stdio::null())
             .spawn()
             .map_err(|e| {
-                MrnetError::Instantiation(format!(
-                    "failed to launch commnode for rank {rank}: {e}"
-                ))
+                MrnetError::Instantiation(format!("failed to launch commnode for rank {rank}: {e}"))
             })?;
         children.push(child);
     }
@@ -118,9 +116,9 @@ pub fn accept_children(
                 ))
             }
         };
-        let &slot = slot_of.get(&rank).ok_or_else(|| {
-            MrnetError::Instantiation(format!("unexpected rank {rank} attached"))
-        })?;
+        let &slot = slot_of
+            .get(&rank)
+            .ok_or_else(|| MrnetError::Instantiation(format!("unexpected rank {rank} attached")))?;
         if conns[slot].is_some() {
             return Err(MrnetError::Instantiation(format!(
                 "rank {rank} attached twice"
@@ -140,7 +138,10 @@ pub fn accept_children(
         conns[slot] = Some(conn);
         remaining -= 1;
     }
-    Ok(conns.into_iter().map(|c| c.expect("all slots filled")).collect())
+    Ok(conns
+        .into_iter()
+        .map(|c| c.expect("all slots filled"))
+        .collect())
 }
 
 #[cfg(test)]
@@ -162,10 +163,7 @@ mod tests {
             assert_eq!(ep, "127.0.0.1:9999");
         }
         // Order covers both kinds.
-        assert_eq!(
-            plan.order.len(),
-            plan.spawn.len() + plan.advertise.len()
-        );
+        assert_eq!(plan.order.len(), plan.spawn.len() + plan.advertise.len());
     }
 
     #[test]
@@ -209,7 +207,9 @@ mod tests {
             c.send(Control::Attach { rank: 999 }.to_frame()).unwrap();
             c
         });
-        let err = accept_children(&listener, &view, &plan).err().expect("bad rank");
+        let err = accept_children(&listener, &view, &plan)
+            .err()
+            .expect("bad rank");
         assert!(matches!(err, MrnetError::Instantiation(_)));
         let _ = t.join();
     }

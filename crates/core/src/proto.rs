@@ -183,12 +183,10 @@ impl Control {
                 .push(*rank)
                 .build(),
             Control::Shutdown => Packet::control(CONTROL_STREAM, tags::SHUTDOWN),
-            Control::Launch { ranks, parents } => {
-                PacketBuilder::new(CONTROL_STREAM, tags::LAUNCH)
-                    .push(ranks.clone())
-                    .push(parents.clone())
-                    .build()
-            }
+            Control::Launch { ranks, parents } => PacketBuilder::new(CONTROL_STREAM, tags::LAUNCH)
+                .push(ranks.clone())
+                .push(parents.clone())
+                .build(),
             Control::AttachInfo { ranks, endpoints } => {
                 PacketBuilder::new(CONTROL_STREAM, tags::ATTACH_INFO)
                     .push(ranks.clone())
@@ -292,9 +290,7 @@ impl Control {
                 }
                 Ok(Control::AttachInfo { ranks, endpoints })
             }
-            other => Err(MrnetError::Protocol(format!(
-                "unknown control tag {other}"
-            ))),
+            other => Err(MrnetError::Protocol(format!("unknown control tag {other}"))),
         }
     }
 

@@ -53,9 +53,7 @@ impl RoutingTable {
 
     /// Whether child `child` leads to any rank in `endpoints`.
     pub fn child_serves(&self, child: usize, endpoints: &[Rank]) -> bool {
-        endpoints
-            .iter()
-            .any(|r| self.reachable[child].contains(r))
+        endpoints.iter().any(|r| self.reachable[child].contains(r))
     }
 
     /// Local indices of the children that lead to at least one of

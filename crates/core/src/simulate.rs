@@ -77,12 +77,7 @@ pub fn broadcast_latency(topology: &Topology, logp: LogGpParams, bytes: usize) -
 /// Runs one broadcast wave starting at `start`; returns per-node
 /// arrival times (0 for nodes not reached, i.e. only the root starts
 /// at `start`).
-fn broadcast_into(
-    topology: &Topology,
-    net: &mut NetModel,
-    start: f64,
-    bytes: usize,
-) -> Vec<f64> {
+fn broadcast_into(topology: &Topology, net: &mut NetModel, start: f64, bytes: usize) -> Vec<f64> {
     let mut arrival = vec![0.0f64; topology.len()];
     arrival[topology.root().0] = start;
     for id in topology.bfs() {
@@ -134,14 +129,7 @@ fn reduction_into(
         // Synchronize (wave complete) then aggregate.
         last + filter_cost
     }
-    up(
-        topology,
-        topology.root(),
-        net,
-        start,
-        bytes,
-        filter_cost,
-    )
+    up(topology, topology.root(), net, start, bytes, filter_cost)
 }
 
 /// Simulated latency of one reduction (all back-ends send at t=0).

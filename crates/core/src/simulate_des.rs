@@ -36,7 +36,12 @@ pub fn des_broadcast_latency(topology: &Topology, logp: LogGpParams, bytes: usiz
         last_leaf_arrival: 0.0,
     });
 
-    fn deliver(world: &mut World, sched: &mut mrnet_sim::Scheduler<World>, node: NodeId, bytes: usize) {
+    fn deliver(
+        world: &mut World,
+        sched: &mut mrnet_sim::Scheduler<World>,
+        node: NodeId,
+        bytes: usize,
+    ) {
         let now = sched.now();
         if world.topology.children(node).is_empty() {
             world.last_leaf_arrival = world.last_leaf_arrival.max(now);
@@ -68,7 +73,12 @@ pub fn des_reduction_latency(topology: &Topology, logp: LogGpParams, bytes: usiz
         last_leaf_arrival: 0.0,
     });
 
-    fn send_up(world: &mut World, sched: &mut mrnet_sim::Scheduler<World>, node: NodeId, bytes: usize) {
+    fn send_up(
+        world: &mut World,
+        sched: &mut mrnet_sim::Scheduler<World>,
+        node: NodeId,
+        bytes: usize,
+    ) {
         let now = sched.now();
         match world.topology.parent(node) {
             None => {
@@ -87,7 +97,12 @@ pub fn des_reduction_latency(topology: &Topology, logp: LogGpParams, bytes: usiz
         }
     }
 
-    fn arrive(world: &mut World, sched: &mut mrnet_sim::Scheduler<World>, node: NodeId, bytes: usize) {
+    fn arrive(
+        world: &mut World,
+        sched: &mut mrnet_sim::Scheduler<World>,
+        node: NodeId,
+        bytes: usize,
+    ) {
         world.missing[node.0] -= 1;
         if world.missing[node.0] == 0 {
             send_up(world, sched, node, bytes);

@@ -52,7 +52,13 @@ impl SubtreeSlice {
             .collect();
         let parent_opts: Vec<Option<usize>> = parents
             .iter()
-            .map(|&p| if p == u32::MAX { None } else { Some(p as usize) })
+            .map(|&p| {
+                if p == u32::MAX {
+                    None
+                } else {
+                    Some(p as usize)
+                }
+            })
             .collect();
         let topology = Topology::from_parts(placements, parent_opts)
             .map_err(|e| MrnetError::Protocol(format!("invalid subtree slice: {e}")))?;
@@ -94,12 +100,7 @@ impl SubtreeView {
         self.topology
             .children(self.topology.root())
             .iter()
-            .map(|&c| {
-                (
-                    self.ranks[c.0],
-                    self.topology.children(c).is_empty(),
-                )
-            })
+            .map(|&c| (self.ranks[c.0], self.topology.children(c).is_empty()))
             .collect()
     }
 

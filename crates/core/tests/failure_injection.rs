@@ -41,9 +41,16 @@ fn dead_backend_stalls_wait_for_all_but_not_other_streams() {
 
     // ...but a stream over the survivors works fine on the same tree.
     let survivors = net
-        .communicator(net.endpoints().iter().copied().filter(|&r| r != victim_rank))
+        .communicator(
+            net.endpoints()
+                .iter()
+                .copied()
+                .filter(|&r| r != victim_rank),
+        )
         .unwrap();
-    let ok_stream = net.new_stream(&survivors, sum, SyncMode::WaitForAll).unwrap();
+    let ok_stream = net
+        .new_stream(&survivors, sum, SyncMode::WaitForAll)
+        .unwrap();
     ok_stream.send(1, "%d", vec![Value::Int32(0)]).unwrap();
     for be in &backends {
         let (_, sid) = be.recv().unwrap();
@@ -66,9 +73,7 @@ fn timeout_streams_survive_dead_backends() {
 
     let comm = net.broadcast_communicator();
     let sum = net.registry().id_of("d_sum").unwrap();
-    let stream = net
-        .new_stream(&comm, sum, SyncMode::TimeOut(0.3))
-        .unwrap();
+    let stream = net.new_stream(&comm, sum, SyncMode::TimeOut(0.3)).unwrap();
     stream.send(0, "%d", vec![Value::Int32(0)]).unwrap();
     for be in &backends {
         let (_, sid) = be.recv().unwrap();
@@ -120,9 +125,14 @@ fn garbage_frames_do_not_poison_the_backend() {
     server.recv().unwrap();
     server.recv().unwrap();
     // Garbage bytes.
-    server.send(bytes::Bytes::from_static(&[0xde, 0xad, 0xbe, 0xef])).unwrap();
+    server
+        .send(bytes::Bytes::from_static(&[0xde, 0xad, 0xbe, 0xef]))
+        .unwrap();
     let err = be.recv_timeout(Duration::from_secs(1)).unwrap_err();
-    assert!(matches!(err, MrnetError::Packet(_) | MrnetError::Protocol(_)));
+    assert!(matches!(
+        err,
+        MrnetError::Packet(_) | MrnetError::Protocol(_)
+    ));
     // A valid frame afterwards is still delivered.
     let pkt = mrnet::PacketBuilder::new(3, 1).push(42i32).build();
     // The stream must be known first: announce it.
@@ -148,7 +158,10 @@ fn instantiation_failure_surfaces_not_hangs() {
     // cleanly in wait().
     let topo = generator::flat(2, &mut pool()).unwrap();
     let pending = NetworkBuilder::new(topo).launch_internal().unwrap();
-    let err = pending.wait(Duration::from_millis(300)).err().expect("timeout");
+    let err = pending
+        .wait(Duration::from_millis(300))
+        .err()
+        .expect("timeout");
     assert!(matches!(err, MrnetError::Instantiation(_)));
 }
 

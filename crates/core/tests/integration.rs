@@ -3,9 +3,7 @@
 
 use std::time::Duration;
 
-use mrnet::{
-    launch_local, Backend, MrnetError, NetworkBuilder, SyncMode, Value, WireTransport,
-};
+use mrnet::{launch_local, Backend, MrnetError, NetworkBuilder, SyncMode, Value, WireTransport};
 use mrnet_packet::BatchPolicy;
 use mrnet_topology::{generator, HostPool};
 
@@ -85,8 +83,13 @@ fn concat_collects_all_hostnames() {
     stream.send(2, "%d", vec![Value::Int32(1)]).unwrap();
     drive_backends(dep.backends, |be| {
         let (_, sid) = be.recv().unwrap();
-        be.send(sid, 2, "%s", vec![Value::Str(format!("host-{}", be.rank()))])
-            .unwrap();
+        be.send(
+            sid,
+            2,
+            "%s",
+            vec![Value::Str(format!("host-{}", be.rank()))],
+        )
+        .unwrap();
     });
     let result = stream.recv_timeout(TIMEOUT).unwrap();
     let names = result.get(0).unwrap().as_str_array().unwrap().to_vec();
@@ -128,15 +131,30 @@ fn multiple_concurrent_streams() {
     });
     let ranks: Vec<i32> = net.endpoints().iter().map(|&r| r as i32).collect();
     assert_eq!(
-        s_max.recv_timeout(TIMEOUT).unwrap().get(0).unwrap().as_i32(),
+        s_max
+            .recv_timeout(TIMEOUT)
+            .unwrap()
+            .get(0)
+            .unwrap()
+            .as_i32(),
         ranks.iter().max().copied()
     );
     assert_eq!(
-        s_min.recv_timeout(TIMEOUT).unwrap().get(0).unwrap().as_i32(),
+        s_min
+            .recv_timeout(TIMEOUT)
+            .unwrap()
+            .get(0)
+            .unwrap()
+            .as_i32(),
         ranks.iter().min().copied()
     );
     assert_eq!(
-        s_sum.recv_timeout(TIMEOUT).unwrap().get(0).unwrap().as_i32(),
+        s_sum
+            .recv_timeout(TIMEOUT)
+            .unwrap()
+            .get(0)
+            .unwrap()
+            .as_i32(),
         Some(ranks.iter().sum())
     );
     net.shutdown();
@@ -181,7 +199,8 @@ fn do_not_wait_streams_deliver_packets_individually() {
     stream.send(0, "%d", vec![Value::Int32(0)]).unwrap();
     drive_backends(dep.backends, |be| {
         let (_, sid) = be.recv().unwrap();
-        be.send(sid, 0, "%ud", vec![Value::UInt32(be.rank())]).unwrap();
+        be.send(sid, 0, "%ud", vec![Value::UInt32(be.rank())])
+            .unwrap();
         be.send(sid, 0, "%ud", vec![Value::UInt32(be.rank() + 100)])
             .unwrap();
     });
@@ -198,11 +217,7 @@ fn do_not_wait_streams_deliver_packets_individually() {
         );
     }
     got.sort_unstable();
-    let mut expected: Vec<u32> = net
-        .endpoints()
-        .iter()
-        .flat_map(|&r| [r, r + 100])
-        .collect();
+    let mut expected: Vec<u32> = net.endpoints().iter().flat_map(|&r| [r, r + 100]).collect();
     expected.sort_unstable();
     assert_eq!(got, expected);
     net.shutdown();
@@ -215,9 +230,7 @@ fn timeout_sync_releases_partial_waves() {
     let net = dep.network.clone();
     let comm = net.broadcast_communicator();
     let sum = net.registry().id_of("d_sum").unwrap();
-    let stream = net
-        .new_stream(&comm, sum, SyncMode::TimeOut(0.3))
-        .unwrap();
+    let stream = net.new_stream(&comm, sum, SyncMode::TimeOut(0.3)).unwrap();
     stream.send(0, "%d", vec![Value::Int32(0)]).unwrap();
     // Only two of four back-ends answer.
     drive_backends(dep.backends, |be| {
@@ -340,7 +353,10 @@ fn custom_filter_via_registry() {
             ))
         })
         .unwrap();
-    let dep = NetworkBuilder::new(topo).registry(registry).launch().unwrap();
+    let dep = NetworkBuilder::new(topo)
+        .registry(registry)
+        .launch()
+        .unwrap();
     let net = dep.network.clone();
     let comm = net.broadcast_communicator();
     let wid = net.registry().id_of("wave_width").unwrap();
@@ -373,8 +389,13 @@ fn mode2_attach_instantiation() {
                 let be = Backend::attach(&fabric, &ap.endpoint, ap.rank).unwrap();
                 let (pkt, sid) = be.recv().unwrap();
                 assert_eq!(pkt.get(0).unwrap().as_i32(), Some(55));
-                be.send(sid, 0, "%d", vec![Value::Int32(i32::try_from(ap.rank).unwrap())])
-                    .unwrap();
+                be.send(
+                    sid,
+                    0,
+                    "%d",
+                    vec![Value::Int32(i32::try_from(ap.rank).unwrap())],
+                )
+                .unwrap();
             })
         })
         .collect();
@@ -559,7 +580,9 @@ fn downstream_transformation_filter_applies_at_internal_nodes() {
                         .into_iter()
                         .map(|p| {
                             let v = p.get(0).unwrap().as_i32().unwrap();
-                            PacketBuilder::new(p.stream_id(), p.tag()).push(v * 2).build()
+                            PacketBuilder::new(p.stream_id(), p.tag())
+                                .push(v * 2)
+                                .build()
                         })
                         .collect())
                 },
@@ -567,7 +590,10 @@ fn downstream_transformation_filter_applies_at_internal_nodes() {
         })
         .unwrap();
     let topo = generator::balanced(2, 2, &mut pool()).unwrap();
-    let dep = NetworkBuilder::new(topo).registry(registry).launch().unwrap();
+    let dep = NetworkBuilder::new(topo)
+        .registry(registry)
+        .launch()
+        .unwrap();
     let net = dep.network.clone();
     let comm = net.broadcast_communicator();
     let up = net.registry().id_of("d_sum").unwrap();
@@ -636,7 +662,8 @@ fn recv_any_interleaves_streams_fairly() {
     drive_backends(dep.backends, |be| {
         for _ in 0..2 {
             let (pkt, sid) = be.recv().unwrap();
-            be.send(sid, pkt.tag(), "%d", vec![Value::Int32(1)]).unwrap();
+            be.send(sid, pkt.tag(), "%d", vec![Value::Int32(1)])
+                .unwrap();
         }
     });
     // Four packets total (2 backends × 2 streams), all via recv_any.

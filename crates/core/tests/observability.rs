@@ -1,0 +1,264 @@
+//! End-to-end tests of the observability layer: per-node packet
+//! counters that reconcile across the tree, and the in-band
+//! introspection stream that collects them.
+
+use std::time::Duration;
+
+use mrnet::{launch_local, MetricsSection, MrnetError, NetworkSnapshot, SyncMode, Value};
+use mrnet_topology::{generator, HostPool};
+
+fn pool() -> HostPool {
+    HostPool::synthetic(64)
+}
+
+const TIMEOUT: Duration = Duration::from_secs(20);
+
+/// Sections for ranks in `ranks`, in snapshot order.
+fn sections_for<'a>(
+    snap: &'a NetworkSnapshot,
+    ranks: &'a [u32],
+) -> impl Iterator<Item = &'a MetricsSection> {
+    snap.nodes.iter().filter(|s| ranks.contains(&s.rank))
+}
+
+#[test]
+fn counters_reconcile_and_introspection_covers_every_node() {
+    // 2-level binary tree: front-end, 2 internal processes, 4 back-ends.
+    let topo = generator::balanced(2, 2, &mut pool()).unwrap();
+    let dep = launch_local(topo).unwrap();
+    let net = dep.network.clone();
+    let backend_ranks: Vec<u32> = net.endpoints().to_vec();
+    assert_eq!(backend_ranks.len(), 4);
+
+    // Null filter + DoNotWait: every back-end packet reaches the root
+    // unmerged, so packet counts are conserved hop by hop.
+    let comm = net.broadcast_communicator();
+    let null = net.registry().id_of("null").unwrap();
+    let stream = net.new_stream(&comm, null, SyncMode::DoNotWait).unwrap();
+
+    const WAVES: u64 = 5;
+    stream
+        .send(1, "%d", vec![Value::Int32(WAVES as i32)])
+        .unwrap();
+
+    // Back-ends answer the broadcast with WAVES packets each, then keep
+    // pumping their connections so introspection requests get answered.
+    let handles: Vec<_> = dep
+        .backends
+        .into_iter()
+        .map(|be| {
+            std::thread::spawn(move || {
+                let (_, sid) = be.recv().unwrap();
+                for w in 0..WAVES {
+                    be.send(sid, 1, "%d", vec![Value::Int32(w as i32)]).unwrap();
+                }
+                loop {
+                    match be.recv_timeout(Duration::from_millis(100)) {
+                        Ok(_) => {}
+                        Err(MrnetError::Shutdown) => return,
+                        Err(e) => panic!("backend pump failed: {e}"),
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Drain all packets so every hop has fully forwarded before the
+    // snapshot is taken.
+    let expected = WAVES * backend_ranks.len() as u64;
+    for _ in 0..expected {
+        stream.recv_timeout(TIMEOUT).unwrap();
+    }
+
+    let snap = net.metrics_snapshot(Duration::from_secs(5)).unwrap();
+
+    // One section per node: front-end + 2 internal + 4 back-ends.
+    assert_eq!(snap.nodes.len(), 7, "ranks seen: {:?}", snap.ranks());
+    let mut ranks = snap.ranks();
+    ranks.dedup();
+    assert_eq!(ranks.len(), 7, "sections must have distinct ranks");
+    for be in &backend_ranks {
+        assert!(snap.node(*be).is_some(), "missing back-end rank {be}");
+    }
+
+    // Identify roles. The front-end is the one node that never
+    // receives from above; back-ends are known by rank.
+    let interior: Vec<&MetricsSection> = snap
+        .nodes
+        .iter()
+        .filter(|s| !backend_ranks.contains(&s.rank))
+        .collect();
+    assert_eq!(interior.len(), 3);
+    let root = interior
+        .iter()
+        .find(|s| s.get("down.pkts.recv") == Some(0))
+        .expect("exactly one node has no parent");
+    let internals: Vec<&&MetricsSection> = interior
+        .iter()
+        .filter(|s| s.get("down.pkts.recv") != Some(0))
+        .collect();
+    assert_eq!(internals.len(), 2);
+
+    // Reconciliation: with no filter merging or drops, the sum of the
+    // leaves' upstream sends equals the root's upstream receives.
+    let leaf_sent: u64 = sections_for(&snap, &backend_ranks)
+        .map(|s| s.get("up.pkts.sent").unwrap_or(0))
+        .sum();
+    assert_eq!(leaf_sent, expected);
+    assert_eq!(root.get("up.pkts.recv"), Some(expected));
+    // ... and every delivered packet was counted out of the root.
+    assert_eq!(root.get("up.pkts.sent"), Some(expected));
+    assert!(root.get("up.bytes.local").unwrap_or(0) > 0);
+
+    // Each internal node carried its half of the traffic, both ways.
+    for mid in &internals {
+        assert_eq!(mid.get("up.pkts.recv"), Some(expected / 2));
+        assert_eq!(mid.get("up.pkts.sent"), Some(expected / 2));
+        assert_eq!(mid.get("down.pkts.recv"), Some(1));
+        assert_eq!(mid.get("down.pkts.sent"), Some(2));
+    }
+    // The root multicast one packet to its two children; each back-end
+    // received exactly one.
+    assert_eq!(root.get("down.pkts.sent"), Some(2));
+    for be in sections_for(&snap, &backend_ranks) {
+        assert_eq!(be.get("down.pkts.recv"), Some(1));
+        assert_eq!(be.get("up.pkts.sent"), Some(WAVES));
+    }
+
+    // Byte counters moved at the edges.
+    let leaf_bytes: u64 = sections_for(&snap, &backend_ranks)
+        .map(|s| s.get("up.bytes.local").unwrap_or(0))
+        .sum();
+    assert!(leaf_bytes > 0);
+
+    net.shutdown();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn filter_timings_populated_and_introspection_repeats() {
+    let topo = generator::balanced(2, 2, &mut pool()).unwrap();
+    let dep = launch_local(topo).unwrap();
+    let net = dep.network.clone();
+
+    let comm = net.broadcast_communicator();
+    let dsum = net.registry().id_of("d_sum").unwrap();
+    let stream = net.new_stream(&comm, dsum, SyncMode::WaitForAll).unwrap();
+    stream.send(2, "%d", vec![Value::Int32(0)]).unwrap();
+
+    let handles: Vec<_> = dep
+        .backends
+        .into_iter()
+        .map(|be| {
+            std::thread::spawn(move || {
+                let (_, sid) = be.recv().unwrap();
+                be.send(sid, 2, "%d", vec![Value::Int32(3)]).unwrap();
+                loop {
+                    match be.recv_timeout(Duration::from_millis(100)) {
+                        Ok(_) => {}
+                        Err(MrnetError::Shutdown) => return,
+                        Err(e) => panic!("backend pump failed: {e}"),
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let result = stream.recv_timeout(TIMEOUT).unwrap();
+    assert_eq!(result.get(0).unwrap().as_i32(), Some(12));
+
+    // Every interior node synchronized and executed the sum filter at
+    // least once; the WaitForAll alignment also records wait time.
+    let backend_ranks: Vec<u32> = net.endpoints().to_vec();
+    let snap = net.metrics_snapshot(Duration::from_secs(5)).unwrap();
+    assert_eq!(snap.nodes.len(), 7);
+    for node in snap
+        .nodes
+        .iter()
+        .filter(|s| !backend_ranks.contains(&s.rank))
+    {
+        assert!(
+            node.get("filter.d_sum.waves").unwrap_or(0) >= 1,
+            "rank {} never ran the filter",
+            node.rank
+        );
+        assert!(
+            node.get("filter.d_sum.exec_us.count").unwrap_or(0) >= 1,
+            "rank {} has no exec samples",
+            node.rank
+        );
+        assert!(
+            node.get("filter.d_sum.wait_us.count").unwrap_or(0) >= 1,
+            "rank {} has no sync-wait samples",
+            node.rank
+        );
+    }
+
+    // Introspection is repeatable: a second request gets fresh,
+    // monotonically non-decreasing counters.
+    let again = net.metrics_snapshot(Duration::from_secs(5)).unwrap();
+    assert_eq!(again.nodes.len(), 7);
+    assert!(again.total("up.pkts.sent") >= snap.total("up.pkts.sent"));
+
+    net.shutdown();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn stream_stats_track_queue_and_close() {
+    let topo = generator::flat(2, &mut pool()).unwrap();
+    let dep = launch_local(topo).unwrap();
+    let net = dep.network.clone();
+
+    let comm = net.broadcast_communicator();
+    let null = net.registry().id_of("null").unwrap();
+    let stream = net.new_stream(&comm, null, SyncMode::DoNotWait).unwrap();
+
+    // Nothing has moved: stats are all-default, not "closed".
+    let stats = stream.stats();
+    assert_eq!(stats, mrnet::StreamStats::default());
+
+    stream.send(3, "%d", vec![Value::Int32(0)]).unwrap();
+    let handles: Vec<_> = dep
+        .backends
+        .into_iter()
+        .map(|be| {
+            std::thread::spawn(move || {
+                let (_, sid) = be.recv().unwrap();
+                be.send(sid, 3, "%d", vec![Value::Int32(1)]).unwrap();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Both replies delivered but not consumed: they show as queued.
+    let deadline = std::time::Instant::now() + TIMEOUT;
+    while stream.stats().received < 2 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "replies never arrived"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let stats = stream.stats();
+    assert_eq!(stats.sent, 1);
+    assert_eq!(stats.received, 2);
+    assert_eq!(stats.queued, 2);
+    assert!(!stats.closed);
+
+    stream.recv_timeout(TIMEOUT).unwrap();
+    assert_eq!(stream.stats().queued, 1);
+
+    net.shutdown();
+    let stats = stream.stats();
+    assert!(stats.closed);
+    // Undrained data remains visible (and receivable) after close.
+    assert_eq!(stats.queued, 1);
+    assert_eq!(stats.received, 2);
+}

@@ -123,6 +123,60 @@ fn mixed_node_unbalanced_topology() {
 }
 
 #[test]
+fn introspection_covers_every_process_in_the_tree() {
+    // FE (this process) -> 2 commnode OS processes -> 4 back-ends. The
+    // in-band metrics request must cross real TCP hops and come back
+    // with one section per node: 1 front-end + 2 commnodes + 4
+    // back-ends. Back-ends blocked in `recv` answer automatically.
+    let topology = generator::balanced(2, 2, &mut HostPool::synthetic(16)).unwrap();
+    let n = topology.num_backends();
+    let pending = launch_processes(topology, &commnode_exe()).unwrap();
+    let points = pending.collect_attach_points(TIMEOUT).unwrap();
+
+    let backend_threads: Vec<_> = points
+        .into_iter()
+        .map(|ap| {
+            std::thread::spawn(move || {
+                let be = Backend::attach_tcp(&ap.endpoint, ap.rank).unwrap();
+                let (pkt, sid) = be.recv().unwrap();
+                let base = pkt.get(0).and_then(Value::as_i32).unwrap();
+                be.send(sid, 0, "%d", vec![Value::Int32(base)]).unwrap();
+                let _ = be.recv();
+            })
+        })
+        .collect();
+
+    let net = pending.wait(TIMEOUT).unwrap();
+    let comm = net.broadcast_communicator();
+    let sum = net.registry().id_of("d_sum").unwrap();
+    let stream = net.new_stream(&comm, sum, SyncMode::WaitForAll).unwrap();
+    stream.send(0, "%d", vec![Value::Int32(1)]).unwrap();
+    stream.recv_timeout(TIMEOUT).unwrap();
+
+    let snap = net.metrics_snapshot(Duration::from_secs(10)).unwrap();
+    assert_eq!(
+        snap.nodes.len(),
+        n + 3,
+        "one merged section per process, got ranks {:?}",
+        snap.ranks()
+    );
+    let mut ranks = snap.ranks();
+    ranks.dedup();
+    assert_eq!(ranks.len(), n + 3, "sections must have distinct ranks");
+    // Data flowed through every back-end and was counted there.
+    for &be in net.endpoints() {
+        let node = snap.node(be).expect("back-end section");
+        assert_eq!(node.get("up.pkts.sent"), Some(1));
+        assert_eq!(node.get("down.pkts.recv"), Some(1));
+    }
+
+    net.shutdown();
+    for t in backend_threads {
+        t.join().unwrap();
+    }
+}
+
+#[test]
 fn missing_commnode_binary_fails_cleanly() {
     let topo = generator::balanced(2, 2, &mut HostPool::synthetic(16)).unwrap();
     let err = launch_processes(topo, std::path::Path::new("/nonexistent/commnode"))

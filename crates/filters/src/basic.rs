@@ -48,14 +48,27 @@ macro_rules! fold_numeric {
         let mut acc: Option<$ty> = None;
         let mut count: usize = 0;
         for p in $inputs {
-            let v = p.get(0).and_then(Value::$getter).ok_or_else(|| {
-                FilterError::Custom("scalar filter input missing value".into())
-            })?;
+            let v = p
+                .get(0)
+                .and_then(Value::$getter)
+                .ok_or_else(|| FilterError::Custom("scalar filter input missing value".into()))?;
             count += 1;
             acc = Some(match ($op, acc) {
                 (_, None) => v,
-                (ScalarOp::Min, Some(a)) => if v < a { v } else { a },
-                (ScalarOp::Max, Some(a)) => if v > a { v } else { a },
+                (ScalarOp::Min, Some(a)) => {
+                    if v < a {
+                        v
+                    } else {
+                        a
+                    }
+                }
+                (ScalarOp::Max, Some(a)) => {
+                    if v > a {
+                        v
+                    } else {
+                        a
+                    }
+                }
                 (ScalarOp::Sum, Some(a)) => a + v,
                 (ScalarOp::Avg, Some(a)) => a + v,
             });
@@ -276,7 +289,10 @@ mod tests {
             PacketBuilder::new(0, 0).push(2.5f64).build(),
         ];
         assert_eq!(
-            f.transform(wave, &ctx()).unwrap()[0].get(0).unwrap().as_f64(),
+            f.transform(wave, &ctx()).unwrap()[0]
+                .get(0)
+                .unwrap()
+                .as_f64(),
             Some(4.0)
         );
         let mut f = ScalarFilter::new(ScalarOp::Max, TypeCode::UInt64).unwrap();
@@ -285,7 +301,10 @@ mod tests {
             PacketBuilder::new(0, 0).push(u64::MAX).build(),
         ];
         assert_eq!(
-            f.transform(wave, &ctx()).unwrap()[0].get(0).unwrap().as_u64(),
+            f.transform(wave, &ctx()).unwrap()[0]
+                .get(0)
+                .unwrap()
+                .as_u64(),
             Some(u64::MAX)
         );
     }
@@ -320,12 +339,8 @@ mod tests {
         let mut level1a = ScalarFilter::new(ScalarOp::Min, TypeCode::Int32).unwrap();
         let mut level1b = ScalarFilter::new(ScalarOp::Min, TypeCode::Int32).unwrap();
         let mut root = ScalarFilter::new(ScalarOp::Min, TypeCode::Int32).unwrap();
-        let a = level1a
-            .transform(vec![ipkt(5), ipkt(3)], &ctx())
-            .unwrap();
-        let b = level1b
-            .transform(vec![ipkt(-1), ipkt(8)], &ctx())
-            .unwrap();
+        let a = level1a.transform(vec![ipkt(5), ipkt(3)], &ctx()).unwrap();
+        let b = level1b.transform(vec![ipkt(-1), ipkt(8)], &ctx()).unwrap();
         let out = root
             .transform(vec![a[0].clone(), b[0].clone()], &ctx())
             .unwrap();
@@ -340,9 +355,7 @@ mod tests {
         let mut fb = MeanPairFilter::new();
         let mut root = MeanPairFilter::new();
         let c = |v: f64| MeanPairFilter::contribution(1, 0, v);
-        let a = fa
-            .transform(vec![c(1.0), c(2.0), c(3.0)], &ctx())
-            .unwrap();
+        let a = fa.transform(vec![c(1.0), c(2.0), c(3.0)], &ctx()).unwrap();
         let b = fb.transform(vec![c(10.0)], &ctx()).unwrap();
         let out = root
             .transform(vec![a[0].clone(), b[0].clone()], &ctx())

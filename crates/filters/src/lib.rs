@@ -19,7 +19,7 @@ mod transform;
 pub use basic::{MeanPairFilter, ScalarFilter, ScalarOp};
 pub use concat::ConcatFilter;
 pub use error::{FilterError, Result};
-pub use registry::{FilterId, FilterRegistry, FILTER_NULL};
+pub use registry::{FilterId, FilterRegistry, TimedTransform, FILTER_NULL};
 pub use sync::{SyncFilter, SyncMode};
 pub use transform::{
     check_wave_format, BoxedTransform, FilterContext, FnFilter, NullFilter, Transform,

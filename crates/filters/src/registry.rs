@@ -19,15 +19,17 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::RwLock;
 
-use mrnet_packet::TypeCode;
+use mrnet_obs::FilterStats;
+use mrnet_packet::{FormatString, Packet, TypeCode};
 
 use crate::basic::{MeanPairFilter, ScalarFilter, ScalarOp};
 use crate::concat::ConcatFilter;
 use crate::error::{FilterError, Result};
-use crate::transform::{BoxedTransform, NullFilter};
+use crate::transform::{BoxedTransform, FilterContext, NullFilter, Transform};
 
 /// Identifies a registered transformation filter across the tool
 /// instance.
@@ -164,6 +166,17 @@ impl FilterRegistry {
         Ok(factory())
     }
 
+    /// Like [`FilterRegistry::instantiate`], but wraps the instance in
+    /// a [`TimedTransform`] that records wave counts and per-wave
+    /// execution time into `stats`.
+    pub fn instantiate_timed(
+        &self,
+        id: FilterId,
+        stats: Arc<FilterStats>,
+    ) -> Result<BoxedTransform> {
+        Ok(Box::new(TimedTransform::new(self.instantiate(id)?, stats)))
+    }
+
     /// Number of registered filters.
     pub fn len(&self) -> usize {
         self.inner.read().factories.len()
@@ -189,10 +202,48 @@ impl FilterRegistry {
     }
 }
 
+/// A [`Transform`] decorator that times every wave.
+///
+/// Wraps a filter instance so each `transform` call increments the
+/// wave counter and records wall-clock execution time into the shared
+/// [`FilterStats`] — how the core crate populates the
+/// `filter.<name>.exec_us` histograms reported by a node's metrics
+/// snapshot. Name and input format delegate to the inner filter.
+pub struct TimedTransform {
+    inner: BoxedTransform,
+    stats: Arc<FilterStats>,
+}
+
+impl TimedTransform {
+    /// Wraps `inner`, recording into `stats`.
+    pub fn new(inner: BoxedTransform, stats: Arc<FilterStats>) -> TimedTransform {
+        TimedTransform { inner, stats }
+    }
+}
+
+impl Transform for TimedTransform {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn input_format(&self) -> Option<&FormatString> {
+        self.inner.input_format()
+    }
+
+    fn transform(&mut self, inputs: Vec<Packet>, ctx: &FilterContext) -> Result<Vec<Packet>> {
+        let start = Instant::now();
+        let out = self.inner.transform(inputs, ctx);
+        self.stats
+            .exec_us
+            .record_us(start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        self.stats.waves.inc();
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::transform::FilterContext;
     use mrnet_packet::PacketBuilder;
 
     #[test]
@@ -259,6 +310,29 @@ mod tests {
         let wave = vec![PacketBuilder::new(0, 0).push(1i32).build()];
         let out = f.transform(wave, &ctx).unwrap();
         assert_eq!(out[0].get(0).unwrap().as_u32(), Some(1));
+    }
+
+    #[test]
+    fn timed_transform_records_waves_and_exec_time() {
+        let reg = FilterRegistry::with_builtins();
+        let id = reg.scalar(ScalarOp::Sum, TypeCode::UInt32).unwrap();
+        let stats = Arc::new(FilterStats::default());
+        let mut f = reg.instantiate_timed(id, stats.clone()).unwrap();
+        assert_eq!(f.name(), "ud_sum");
+        let ctx = FilterContext::new(0, 0, 2);
+        for _ in 0..3 {
+            let wave = vec![
+                PacketBuilder::new(0, 0).push(1u32).build(),
+                PacketBuilder::new(0, 0).push(2u32).build(),
+            ];
+            f.transform(wave, &ctx).unwrap();
+        }
+        assert_eq!(stats.waves.get(), 3);
+        assert_eq!(stats.exec_us.count(), 3);
+        // Failed waves are still counted (time was spent).
+        let bad = vec![PacketBuilder::new(0, 0).push("wrong type").build()];
+        assert!(f.transform(bad, &ctx).is_err());
+        assert_eq!(stats.waves.get(), 4);
     }
 
     #[test]

@@ -101,8 +101,7 @@ impl SyncFilter {
     pub fn collect(&mut self, now: f64) -> Vec<Vec<Packet>> {
         let mut waves = Vec::new();
         loop {
-            let complete = !self.queues.is_empty()
-                && self.queues.iter().all(|q| !q.is_empty());
+            let complete = !self.queues.is_empty() && self.queues.iter().all(|q| !q.is_empty());
             let timed_out = match (self.mode, self.wave_started_at) {
                 (SyncMode::TimeOut(t), Some(started)) => now - started >= t,
                 _ => false,

@@ -127,9 +127,7 @@ impl<S: Send> FnFilter<S> {
         name: impl Into<String>,
         fmt: Option<FormatString>,
         state: S,
-        func: impl FnMut(&mut S, Vec<Packet>, &FilterContext) -> Result<Vec<Packet>>
-            + Send
-            + 'static,
+        func: impl FnMut(&mut S, Vec<Packet>, &FilterContext) -> Result<Vec<Packet>> + Send + 'static,
     ) -> FnFilter<S> {
         FnFilter {
             name: name.into(),

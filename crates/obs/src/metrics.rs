@@ -1,0 +1,421 @@
+//! Lock-cheap metric instruments and the per-node registry.
+//!
+//! Three primitive instruments — [`Counter`], [`Gauge`], and
+//! [`Histogram`] — all built on relaxed atomics so recording on the
+//! packet hot path costs a single `fetch_add`. [`NodeMetrics`] bundles
+//! the fixed per-node instruments (packets and bytes, up and down,
+//! sent and received) with lazily-created per-stream and per-filter
+//! instrument groups; lookups lock a `parking_lot` mutex once and the
+//! returned `Arc` handles are cached by their users, keeping the maps
+//! off the hot path.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::snapshot::MetricsSection;
+use crate::trace::TraceBuffer;
+
+/// Number of exponential histogram buckets: bucket `i` counts samples
+/// with value `<= 2^i` microseconds (the last bucket is a catch-all),
+/// spanning 1 µs to ~33 s.
+pub const HIST_BUCKETS: usize = 26;
+
+/// A monotonically increasing event count.
+///
+/// Increments are relaxed and wrapping: under pathological overflow the
+/// count wraps rather than panicking or stalling the packet path.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (wrapping on overflow).
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed level, e.g. a queue depth.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Sets the level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative).
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Maps a microsecond value to its bucket: bucket `i` holds samples
+/// `<= 2^i` µs, with the final bucket catching everything larger.
+fn bucket_index(us: u64) -> usize {
+    if us <= 1 {
+        0
+    } else {
+        (64 - (us - 1).leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// A fixed-bucket exponential latency histogram (microsecond domain).
+///
+/// Recording is two relaxed adds (bucket + running sum); there is no
+/// allocation and no locking, so it is safe on the per-packet path.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample measured in microseconds.
+    pub fn record_us(&self, us: u64) {
+        self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Records one sample given in seconds (the node loop's clock
+    /// domain); negative or non-finite values are clamped to zero.
+    pub fn record_secs(&self, secs: f64) {
+        let us = if secs.is_finite() && secs > 0.0 {
+            (secs * 1e6) as u64
+        } else {
+            0
+        };
+        self.record_us(us);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts; bucket `i` holds samples `<= 2^i` µs.
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples, in microseconds.
+    pub sum_us: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value in microseconds (zero when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// The upper bound (µs) of the smallest bucket whose cumulative
+    /// count reaches quantile `q` in `0.0..=1.0`; zero when empty. The
+    /// last bucket is unbounded, reported as `u64::MAX`.
+    pub fn quantile_le_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= target.max(1) {
+                return if i == HIST_BUCKETS - 1 {
+                    u64::MAX
+                } else {
+                    1u64 << i
+                };
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Per-stream packet counters, handed out by
+/// [`NodeMetrics::stream_counters`] and cached by the stream manager.
+#[derive(Debug, Default)]
+pub struct StreamCounters {
+    /// Upstream packets this node forwarded (or delivered, at the
+    /// root) on this stream.
+    pub up_pkts: Counter,
+    /// Downstream packets this node forwarded (or delivered, at a
+    /// leaf) on this stream.
+    pub down_pkts: Counter,
+}
+
+/// Per-filter timing, handed out by [`NodeMetrics::filter_stats`].
+#[derive(Debug, Default)]
+pub struct FilterStats {
+    /// Synchronization waves released through this filter.
+    pub waves: Counter,
+    /// Time from a wave's first packet arrival until the wave was
+    /// released by the synchronization filter (the paper's §3.2
+    /// "synchronization delay").
+    pub wait_us: Histogram,
+    /// Wall-clock time spent inside the transformation filter itself.
+    pub exec_us: Histogram,
+}
+
+/// The per-node metrics registry: one per overlay process (front-end,
+/// internal, or back-end), shared via `Arc` between the node loop,
+/// stream managers, and the public API.
+#[derive(Debug, Default)]
+pub struct NodeMetrics {
+    /// Packets this node sent toward the root (to its parent, or into
+    /// local delivery at the root itself).
+    pub up_pkts_sent: Counter,
+    /// Packets this node received from below (from its children).
+    pub up_pkts_recv: Counter,
+    /// Packets this node sent away from the root (to its children, or
+    /// into local delivery at a back-end).
+    pub down_pkts_sent: Counter,
+    /// Packets this node received from above (from its parent).
+    pub down_pkts_recv: Counter,
+    /// Encoded bytes of upstream packets delivered locally at the
+    /// root, which has no parent connection to count them on.
+    pub local_up_bytes: Counter,
+    /// Current depth of this node's event inbox (commands + frames).
+    pub queue_depth: Gauge,
+    /// Packets per flushed batch frame (batching amortizes the §4
+    /// per-frame cost).
+    pub batch_pkts: Histogram,
+    /// Per-hop upstream latency (child send → this node's receive),
+    /// recorded only while tracing is enabled.
+    pub hop_up_us: Histogram,
+    /// Per-hop downstream latency (parent send → this node's receive),
+    /// recorded only while tracing is enabled.
+    pub hop_down_us: Histogram,
+    /// Packet-path trace events, bounded ring; populated only while
+    /// tracing is enabled.
+    pub trace: TraceBuffer,
+    streams: Mutex<BTreeMap<u32, Arc<StreamCounters>>>,
+    filters: Mutex<BTreeMap<String, Arc<FilterStats>>>,
+}
+
+impl NodeMetrics {
+    /// Creates an empty registry.
+    pub fn new() -> NodeMetrics {
+        NodeMetrics::default()
+    }
+
+    /// The counters for stream `id`, created on first use. Callers
+    /// cache the returned handle; only the first lookup locks.
+    pub fn stream_counters(&self, id: u32) -> Arc<StreamCounters> {
+        Arc::clone(
+            self.streams
+                .lock()
+                .entry(id)
+                .or_insert_with(|| Arc::new(StreamCounters::default())),
+        )
+    }
+
+    /// The timing stats for filter `name`, created on first use.
+    pub fn filter_stats(&self, name: &str) -> Arc<FilterStats> {
+        Arc::clone(
+            self.filters
+                .lock()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(FilterStats::default())),
+        )
+    }
+
+    /// Flattens every instrument into a wire-ready [`MetricsSection`]
+    /// for `rank`.
+    pub fn snapshot(&self, rank: u32) -> MetricsSection {
+        let mut s = MetricsSection::new(rank);
+        s.push("up.pkts.sent", self.up_pkts_sent.get());
+        s.push("up.pkts.recv", self.up_pkts_recv.get());
+        s.push("down.pkts.sent", self.down_pkts_sent.get());
+        s.push("down.pkts.recv", self.down_pkts_recv.get());
+        s.push("up.bytes.local", self.local_up_bytes.get());
+        s.push("queue.depth", self.queue_depth.get().max(0) as u64);
+        s.push("trace.events", self.trace.recorded());
+        s.push_histogram("batch.pkts", &self.batch_pkts.snapshot());
+        s.push_histogram("hop_up_us", &self.hop_up_us.snapshot());
+        s.push_histogram("hop_down_us", &self.hop_down_us.snapshot());
+        for (id, c) in self.streams.lock().iter() {
+            s.push(&format!("stream.{id}.up.pkts"), c.up_pkts.get());
+            s.push(&format!("stream.{id}.down.pkts"), c.down_pkts.get());
+        }
+        for (name, f) in self.filters.lock().iter() {
+            s.push(&format!("filter.{name}.waves"), f.waves.get());
+            s.push_histogram(&format!("filter.{name}.wait_us"), &f.wait_us.snapshot());
+            s.push_histogram(&format!("filter.{name}.exec_us"), &f.exec_us.snapshot());
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(1025), 11);
+        // Anything above 2^24 µs lands in the catch-all last bucket.
+        assert_eq!(bucket_index(1 << 25), HIST_BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = Histogram::new();
+        h.record_us(1);
+        h.record_us(3);
+        h.record_us(3);
+        h.record_us(1 << 30);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.sum_us, 1 + 3 + 3 + (1 << 30));
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[2], 2);
+        assert_eq!(snap.buckets[HIST_BUCKETS - 1], 1);
+        assert!((snap.mean_us() - snap.sum_us as f64 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_record_secs_clamps() {
+        let h = Histogram::new();
+        h.record_secs(-1.0);
+        h.record_secs(f64::NAN);
+        h.record_secs(0.001); // 1 ms = 1000 µs
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.buckets[0], 2); // the two clamped zeros
+        assert_eq!(snap.buckets[10], 1); // 1000 µs <= 1024
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let h = Histogram::new();
+        for _ in 0..9 {
+            h.record_us(2); // bucket 1 (<= 2 µs)
+        }
+        h.record_us(1 << 20); // bucket 20
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile_le_us(0.5), 2);
+        assert_eq!(snap.quantile_le_us(1.0), 1 << 20);
+        assert_eq!(HistogramSnapshot::default_empty().quantile_le_us(0.5), 0);
+    }
+
+    impl HistogramSnapshot {
+        fn default_empty() -> HistogramSnapshot {
+            HistogramSnapshot {
+                buckets: [0; HIST_BUCKETS],
+                count: 0,
+                sum_us: 0,
+            }
+        }
+    }
+
+    #[test]
+    fn counter_wraps_on_overflow() {
+        let c = Counter::new();
+        c.add(u64::MAX);
+        assert_eq!(c.get(), u64::MAX);
+        c.add(3);
+        assert_eq!(c.get(), 2); // wrapped, not panicked
+    }
+
+    #[test]
+    fn gauge_tracks_level() {
+        let g = Gauge::new();
+        g.add(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+    }
+
+    #[test]
+    fn node_metrics_snapshot_flattens_everything() {
+        let m = NodeMetrics::new();
+        m.up_pkts_sent.add(4);
+        m.down_pkts_recv.add(2);
+        let sc = m.stream_counters(1);
+        sc.up_pkts.add(4);
+        // Second lookup returns the same instrument.
+        assert_eq!(m.stream_counters(1).up_pkts.get(), 4);
+        let fs = m.filter_stats("sum_u32");
+        fs.waves.inc();
+        fs.exec_us.record_us(10);
+        let s = m.snapshot(3);
+        assert_eq!(s.rank, 3);
+        assert_eq!(s.get("up.pkts.sent"), Some(4));
+        assert_eq!(s.get("down.pkts.recv"), Some(2));
+        assert_eq!(s.get("stream.1.up.pkts"), Some(4));
+        assert_eq!(s.get("stream.1.down.pkts"), Some(0));
+        assert_eq!(s.get("filter.sum_u32.waves"), Some(1));
+        assert_eq!(s.get("filter.sum_u32.exec_us.count"), Some(1));
+        assert_eq!(s.get("no.such.metric"), None);
+    }
+}

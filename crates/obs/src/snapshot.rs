@@ -1,0 +1,180 @@
+//! Wire-ready metric snapshots.
+//!
+//! A [`MetricsSection`] flattens one node's instruments into parallel
+//! `names`/`values` arrays — exactly the shape MRNet's packet `Value`
+//! arrays carry, so the core crate's introspection stream can encode a
+//! section as `(StrArray, UInt64Array)` without this crate knowing
+//! anything about packets. A [`NetworkSnapshot`] is the concatenation
+//! of every node's section, which is also the reduction the tree
+//! performs: merging two partial snapshots is appending their
+//! sections.
+
+use crate::metrics::{HistogramSnapshot, HIST_BUCKETS};
+
+/// One node's flattened metrics: parallel name/value arrays tagged
+/// with the node's rank.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSection {
+    /// The reporting node's rank.
+    pub rank: u32,
+    /// Metric names, parallel to `values`.
+    pub names: Vec<String>,
+    /// Metric values, parallel to `names`.
+    pub values: Vec<u64>,
+}
+
+impl MetricsSection {
+    /// Creates an empty section for `rank`.
+    pub fn new(rank: u32) -> MetricsSection {
+        MetricsSection {
+            rank,
+            names: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Appends one metric.
+    pub fn push(&mut self, name: &str, value: u64) {
+        self.names.push(name.to_string());
+        self.values.push(value);
+    }
+
+    /// Appends a histogram as `<name>.count`, `<name>.sum_us`, and one
+    /// `<name>.le_<2^i>` entry per non-empty bucket (empty buckets are
+    /// elided to keep sections small on the wire).
+    pub fn push_histogram(&mut self, name: &str, h: &HistogramSnapshot) {
+        self.push(&format!("{name}.count"), h.count);
+        self.push(&format!("{name}.sum_us"), h.sum_us);
+        for (i, &b) in h.buckets.iter().enumerate() {
+            if b == 0 {
+                continue;
+            }
+            if i == HIST_BUCKETS - 1 {
+                self.push(&format!("{name}.le_inf"), b);
+            } else {
+                self.push(&format!("{name}.le_{}", 1u64 << i), b);
+            }
+        }
+    }
+
+    /// The value of metric `name`, if present.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.values[i])
+    }
+
+    /// Mean of a histogram pushed under `name`, in microseconds
+    /// (`None` if the histogram is absent or empty).
+    pub fn hist_mean_us(&self, name: &str) -> Option<f64> {
+        let count = self.get(&format!("{name}.count"))?;
+        if count == 0 {
+            return None;
+        }
+        let sum = self.get(&format!("{name}.sum_us"))?;
+        Some(sum as f64 / count as f64)
+    }
+
+    /// Iterates `(name, value)` pairs.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.names
+            .iter()
+            .map(String::as_str)
+            .zip(self.values.iter().copied())
+    }
+
+    /// Number of metrics in the section.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the section holds no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// Metrics for a whole overlay: one [`MetricsSection`] per node,
+/// concatenated as the sections reduce up the tree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetworkSnapshot {
+    /// Per-node sections, in arrival order.
+    pub nodes: Vec<MetricsSection>,
+}
+
+impl NetworkSnapshot {
+    /// The section reported by `rank`, if present.
+    pub fn node(&self, rank: u32) -> Option<&MetricsSection> {
+        self.nodes.iter().find(|s| s.rank == rank)
+    }
+
+    /// Ranks that reported, sorted ascending.
+    pub fn ranks(&self) -> Vec<u32> {
+        let mut r: Vec<u32> = self.nodes.iter().map(|s| s.rank).collect();
+        r.sort_unstable();
+        r
+    }
+
+    /// Sum of metric `name` across every node that reports it.
+    pub fn total(&self, name: &str) -> u64 {
+        self.nodes
+            .iter()
+            .filter_map(|s| s.get(name))
+            .fold(0u64, u64::wrapping_add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section_push_and_get() {
+        let mut s = MetricsSection::new(2);
+        assert!(s.is_empty());
+        s.push("a", 1);
+        s.push("b", 2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get("a"), Some(1));
+        assert_eq!(s.get("c"), None);
+        let pairs: Vec<_> = s.entries().collect();
+        assert_eq!(pairs, vec![("a", 1), ("b", 2)]);
+    }
+
+    #[test]
+    fn section_histogram_elides_empty_buckets() {
+        let mut h = HistogramSnapshot {
+            buckets: [0; HIST_BUCKETS],
+            count: 3,
+            sum_us: 12,
+        };
+        h.buckets[2] = 2;
+        h.buckets[HIST_BUCKETS - 1] = 1;
+        let mut s = MetricsSection::new(0);
+        s.push_histogram("lat", &h);
+        assert_eq!(s.get("lat.count"), Some(3));
+        assert_eq!(s.get("lat.sum_us"), Some(12));
+        assert_eq!(s.get("lat.le_4"), Some(2));
+        assert_eq!(s.get("lat.le_inf"), Some(1));
+        assert_eq!(s.get("lat.le_1"), None);
+        assert_eq!(s.hist_mean_us("lat"), Some(4.0));
+        assert_eq!(s.hist_mean_us("nope"), None);
+    }
+
+    #[test]
+    fn network_snapshot_totals_and_ranks() {
+        let mut a = MetricsSection::new(4);
+        a.push("up.pkts.sent", 3);
+        let mut b = MetricsSection::new(1);
+        b.push("up.pkts.sent", 5);
+        b.push("only.b", 7);
+        let snap = NetworkSnapshot { nodes: vec![a, b] };
+        assert_eq!(snap.ranks(), vec![1, 4]);
+        assert_eq!(snap.total("up.pkts.sent"), 8);
+        assert_eq!(snap.total("only.b"), 7);
+        assert_eq!(snap.total("missing"), 0);
+        assert_eq!(snap.node(4).unwrap().get("up.pkts.sent"), Some(3));
+        assert!(snap.node(9).is_none());
+    }
+}

@@ -74,8 +74,7 @@ impl Batcher {
 
     /// True if the policy says the pending batch should be sent now.
     pub fn should_flush(&self) -> bool {
-        self.pending.len() >= self.policy.max_packets
-            || self.pending_bytes >= self.policy.max_bytes
+        self.pending.len() >= self.policy.max_packets || self.pending_bytes >= self.policy.max_bytes
     }
 
     /// Number of packets currently pending.

@@ -268,8 +268,7 @@ mod tests {
 
     #[test]
     fn construction_validates_format() {
-        let err =
-            Packet::with_fmt_str(0, 0, "%d", vec![Value::Float(1.0)]).unwrap_err();
+        let err = Packet::with_fmt_str(0, 0, "%d", vec![Value::Float(1.0)]).unwrap_err();
         assert!(matches!(err, PacketError::TypeMismatch { .. }));
     }
 

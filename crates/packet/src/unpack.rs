@@ -154,9 +154,21 @@ mod tests {
     fn arity_mismatch_detected() {
         let p = PacketBuilder::new(1, 0).push(1i32).push(2i32).build();
         let r: Result<(i32,)> = p.unpack();
-        assert!(matches!(r, Err(PacketError::ArityMismatch { expected: 1, actual: 2 })));
+        assert!(matches!(
+            r,
+            Err(PacketError::ArityMismatch {
+                expected: 1,
+                actual: 2
+            })
+        ));
         let r: Result<(i32, i32, i32)> = p.unpack();
-        assert!(matches!(r, Err(PacketError::ArityMismatch { expected: 3, actual: 2 })));
+        assert!(matches!(
+            r,
+            Err(PacketError::ArityMismatch {
+                expected: 3,
+                actual: 2
+            })
+        ));
     }
 
     #[test]

@@ -34,9 +34,7 @@ impl AlignOp {
     fn reduce(self, contributions: &[f64]) -> f64 {
         match self {
             AlignOp::Sum => contributions.iter().sum(),
-            AlignOp::Avg => {
-                contributions.iter().sum::<f64>() / contributions.len() as f64
-            }
+            AlignOp::Avg => contributions.iter().sum::<f64>() / contributions.len() as f64,
             AlignOp::Min => contributions.iter().copied().fold(f64::INFINITY, f64::min),
             AlignOp::Max => contributions
                 .iter()
@@ -62,7 +60,10 @@ impl TimeAlignedAggregator {
     /// output samples of length `interval_len`.
     pub fn new(num_inputs: usize, interval_len: f64, op: AlignOp) -> TimeAlignedAggregator {
         assert!(num_inputs > 0, "aggregator needs at least one input");
-        assert!(interval_len > 0.0, "output interval must have positive length");
+        assert!(
+            interval_len > 0.0,
+            "output interval must have positive length"
+        );
         TimeAlignedAggregator {
             queues: (0..num_inputs).map(|_| VecDeque::new()).collect(),
             interval_len,
@@ -249,8 +250,8 @@ impl Transform for TimeAlignedFilter {
             .get_or_insert_with(|| TimeAlignedAggregator::new(n, self.interval_len, self.op));
         let mut out = Vec::new();
         for packet in inputs {
-            let sample = Sample::from_packet(&packet)
-                .map_err(|e| FilterError::Custom(e.to_string()))?;
+            let sample =
+                Sample::from_packet(&packet).map_err(|e| FilterError::Custom(e.to_string()))?;
             let next_idx = self.input_of_src.len();
             let idx = *self.input_of_src.entry(packet.src()).or_insert(next_idx);
             if idx >= agg.num_inputs() {

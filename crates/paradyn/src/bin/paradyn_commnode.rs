@@ -12,6 +12,7 @@
 use std::process::ExitCode;
 
 use mrnet::commnode;
+use mrnet_obs::log_error;
 use paradyn::paradyn_registry;
 
 fn main() -> ExitCode {
@@ -22,7 +23,7 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
-            eprintln!("paradyn_commnode: {msg}");
+            log_error!("paradyn-commnode", "{msg}");
             ExitCode::FAILURE
         }
     }

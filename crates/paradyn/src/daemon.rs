@@ -68,7 +68,12 @@ impl Daemon {
         self.epoch.elapsed().as_secs_f64()
     }
 
-    fn handle_startup_request(&self, sid: StreamId, tag: i32, payload: &mrnet::Packet) -> Result<bool> {
+    fn handle_startup_request(
+        &self,
+        sid: StreamId,
+        tag: i32,
+        payload: &mrnet::Packet,
+    ) -> Result<bool> {
         let rank = self.backend.rank();
         match tag {
             tags::REPORT_SELF => {
@@ -90,10 +95,8 @@ impl Daemon {
                     .get(0)
                     .and_then(Value::as_str)
                     .ok_or(ParadynError::Malformed("MDL broadcast"))?;
-                let mut names: Vec<String> = mdl::parse_mdl(doc)?
-                    .into_iter()
-                    .map(|d| d.name)
-                    .collect();
+                let mut names: Vec<String> =
+                    mdl::parse_mdl(doc)?.into_iter().map(|d| d.name).collect();
                 names.push("internal_sampling".to_owned());
                 names.push("internal_observed_cost".to_owned());
                 let class = EqClass::singleton(metric_set_checksum(&names), rank);
@@ -210,7 +213,8 @@ impl Daemon {
                     let idx = pkt
                         .get(0)
                         .and_then(Value::as_u32)
-                        .ok_or(ParadynError::Malformed("sample request"))? as usize;
+                        .ok_or(ParadynError::Malformed("sample request"))?
+                        as usize;
                     if idx >= num_metrics {
                         return Err(ParadynError::Protocol(format!(
                             "metric index {idx} out of range"
@@ -229,15 +233,7 @@ impl Daemon {
         // Fixed-rate sampling loop, phase-locked to wall time.
         let rank = self.backend.rank();
         let mut gens: Vec<SampleGenerator> = (0..num_metrics)
-            .map(|m| {
-                SampleGenerator::new(
-                    rate,
-                    0.0,
-                    0.05,
-                    1.0,
-                    u64::from(rank) * 1000 + m as u64,
-                )
-            })
+            .map(|m| SampleGenerator::new(rate, 0.0, 0.05, 1.0, u64::from(rank) * 1000 + m as u64))
             .collect();
         let start = Instant::now();
         let mut sent = 0usize;
@@ -270,12 +266,7 @@ impl Daemon {
     }
 
     /// One-shot convenience for tests: serve start-up then sampling.
-    pub fn serve(
-        &self,
-        num_metrics: usize,
-        rate: f64,
-        sampling: Duration,
-    ) -> Result<usize> {
+    pub fn serve(&self, num_metrics: usize, rate: f64, sampling: Duration) -> Result<usize> {
         self.serve_startup()?;
         self.serve_sampling(num_metrics, rate, sampling)
     }

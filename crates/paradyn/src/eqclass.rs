@@ -48,7 +48,10 @@ pub const CLASSES_FORMAT: &str = "%auld %aud %aud";
 pub fn encode_classes(stream: StreamId, tag: i32, classes: &[EqClass]) -> Packet {
     let checksums: Vec<u64> = classes.iter().map(|c| c.checksum).collect();
     let sizes: Vec<u32> = classes.iter().map(|c| c.members.len() as u32).collect();
-    let members: Vec<u32> = classes.iter().flat_map(|c| c.members.iter().copied()).collect();
+    let members: Vec<u32> = classes
+        .iter()
+        .flat_map(|c| c.members.iter().copied())
+        .collect();
     PacketBuilder::new(stream, tag)
         .push(checksums)
         .push(sizes)
@@ -99,7 +102,10 @@ pub fn decode_classes(packet: &Packet) -> Result<Vec<EqClass>> {
 pub fn merge_classes(sets: impl IntoIterator<Item = EqClass>) -> Vec<EqClass> {
     let mut by_sum: BTreeMap<u64, Vec<Rank>> = BTreeMap::new();
     for class in sets {
-        by_sum.entry(class.checksum).or_default().extend(class.members);
+        by_sum
+            .entry(class.checksum)
+            .or_default()
+            .extend(class.members);
     }
     by_sum
         .into_iter()
@@ -156,14 +162,16 @@ impl Transform for EqClassFilter {
         }
         let mut all = Vec::new();
         for packet in &inputs {
-            all.extend(
-                decode_classes(packet).map_err(|e| FilterError::Custom(e.to_string()))?,
-            );
+            all.extend(decode_classes(packet).map_err(|e| FilterError::Custom(e.to_string()))?);
         }
         let merged = merge_classes(all);
         let first = &inputs[0];
-        Ok(vec![encode_classes(first.stream_id(), first.tag(), &merged)
-            .with_src(ctx.local_rank)])
+        Ok(vec![encode_classes(
+            first.stream_id(),
+            first.tag(),
+            &merged,
+        )
+        .with_src(ctx.local_rank)])
     }
 }
 
@@ -232,10 +240,11 @@ mod tests {
         let mut f = EqClassFilter::new();
         let ctx = FilterContext::new(3, 42, 2);
         let a = encode_classes(3, 0, &[EqClass::singleton(100, 1)]);
-        let b = encode_classes(3, 0, &[
-            EqClass::singleton(100, 2),
-            EqClass::singleton(200, 3),
-        ]);
+        let b = encode_classes(
+            3,
+            0,
+            &[EqClass::singleton(100, 2), EqClass::singleton(200, 3)],
+        );
         let out = f.transform(vec![a, b], &ctx).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].src(), 42);

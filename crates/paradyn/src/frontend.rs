@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use mrnet::{
-    Communicator, FilterRegistry, MrnetError, Network, Stream, SyncMode, Value,
+    Communicator, FilterRegistry, MrnetError, Network, NetworkSnapshot, Stream, SyncMode, Value,
 };
 use mrnet_packet::Rank;
 
@@ -119,11 +119,7 @@ fn eqclass_round(
 /// pairs; each round concatenates `(rank, clock sample)` pairs from
 /// all daemons, and the minimum-round-trip round provides each
 /// daemon's estimate.
-fn skew_rounds(
-    net: &Network,
-    comm: &Communicator,
-    rounds: usize,
-) -> Result<HashMap<Rank, f64>> {
+fn skew_rounds(net: &Network, comm: &Communicator, rounds: usize) -> Result<HashMap<Rank, f64>> {
     let concat = net.registry().id_of("concat_lf")?;
     let stream = net.new_stream(comm, concat, SyncMode::WaitForAll)?;
     let epoch = Instant::now();
@@ -158,11 +154,7 @@ fn skew_rounds(
 
 /// Requests full data from each class representative over subset
 /// streams; returns the replies' string arrays flattened.
-fn representative_round(
-    net: &Network,
-    classes: &[EqClass],
-    tag: i32,
-) -> Result<Vec<Vec<String>>> {
+fn representative_round(net: &Network, classes: &[EqClass], tag: i32) -> Result<Vec<Vec<String>>> {
     let null = net.registry().id_of("null")?;
     let mut replies = Vec::new();
     for class in classes {
@@ -203,7 +195,11 @@ fn callgraph_round(net: &Network, classes: &[EqClass], tag: i32) -> Result<usize
 
 /// Runs the complete §3.1 start-up protocol against live daemons,
 /// timing each Figure 8b activity.
-pub fn run_startup(net: &Network, mdl_doc: &str, skew_probe_rounds: usize) -> Result<StartupOutcome> {
+pub fn run_startup(
+    net: &Network,
+    mdl_doc: &str,
+    skew_probe_rounds: usize,
+) -> Result<StartupOutcome> {
     let comm = net.broadcast_communicator();
     let n = comm.len();
     let mut timings = Vec::new();
@@ -269,6 +265,40 @@ pub fn run_startup(net: &Network, mdl_doc: &str, skew_probe_rounds: usize) -> Re
         code_resources,
         callgraph_classes,
         callgraph_edges,
+    })
+}
+
+/// A condensed view of the overlay's internal health, distilled from
+/// an in-band metrics snapshot — what a Paradyn operator checks when
+/// sampling stalls: is every node alive, is data flowing, is anything
+/// backed up.
+#[derive(Debug, Clone)]
+pub struct OverlayHealth {
+    /// Nodes that answered the introspection request (front-end,
+    /// internal processes, and back-ends).
+    pub nodes: usize,
+    /// Total packets forwarded upstream across all nodes.
+    pub up_pkts: u64,
+    /// Total packets forwarded downstream across all nodes.
+    pub down_pkts: u64,
+    /// Total inbox backlog across all nodes at snapshot time.
+    pub queued: u64,
+    /// The full per-node snapshot for deeper inspection.
+    pub snapshot: NetworkSnapshot,
+}
+
+/// Collects an [`OverlayHealth`] summary via the in-band introspection
+/// stream. `timeout` bounds how long slow subtrees are waited for;
+/// nodes past the deadline are missing from `nodes`, which is itself
+/// the health signal.
+pub fn overlay_health(net: &Network, timeout: Duration) -> Result<OverlayHealth> {
+    let snapshot = net.metrics_snapshot(timeout)?;
+    Ok(OverlayHealth {
+        nodes: snapshot.nodes.len(),
+        up_pkts: snapshot.total("up.pkts.sent"),
+        down_pkts: snapshot.total("down.pkts.sent"),
+        queued: snapshot.total("queue.depth"),
+        snapshot,
     })
 }
 

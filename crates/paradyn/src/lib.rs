@@ -16,8 +16,8 @@
 pub mod aggregation;
 pub mod app;
 mod daemon;
-mod error;
 pub mod eqclass;
+mod error;
 mod frontend;
 pub mod mdl;
 pub mod model;
@@ -30,7 +30,7 @@ pub mod stacktree;
 pub use daemon::Daemon;
 pub use error::{ParadynError, Result};
 pub use frontend::{
-    paradyn_registry, run_sampling, run_startup, SamplingStats, StartupOutcome,
-    DEFAULT_INTERVAL,
+    overlay_health, paradyn_registry, run_sampling, run_startup, OverlayHealth, SamplingStats,
+    StartupOutcome, DEFAULT_INTERVAL,
 };
 pub use proto::Activity;

@@ -134,7 +134,10 @@ pub fn parse_mdl(input: &str) -> Result<Vec<MetricDef>> {
             }
             let name = rest.trim_end_matches('{').trim();
             if name.is_empty() || !rest.trim_end().ends_with('{') {
-                return Err(err(line, format!("expected `metric <name> {{`, got `{text}`")));
+                return Err(err(
+                    line,
+                    format!("expected `metric <name> {{`, got `{text}`"),
+                ));
             }
             current = Some(Partial {
                 name: name.to_owned(),
@@ -149,9 +152,9 @@ pub fn parse_mdl(input: &str) -> Result<Vec<MetricDef>> {
                 units: p
                     .units
                     .ok_or_else(|| err(p.line, format!("metric {} missing units", p.name)))?,
-                aggregate: p.aggregate.ok_or_else(|| {
-                    err(p.line, format!("metric {} missing aggregate", p.name))
-                })?,
+                aggregate: p
+                    .aggregate
+                    .ok_or_else(|| err(p.line, format!("metric {} missing aggregate", p.name)))?,
                 style: p
                     .style
                     .ok_or_else(|| err(p.line, format!("metric {} missing style", p.name)))?,
@@ -183,7 +186,10 @@ pub fn parse_mdl(input: &str) -> Result<Vec<MetricDef>> {
         }
     }
     if current.is_some() {
-        return Err(err(input.lines().count(), "unterminated metric block".into()));
+        return Err(err(
+            input.lines().count(),
+            "unterminated metric block".into(),
+        ));
     }
     Ok(defs)
 }
@@ -194,20 +200,75 @@ pub fn parse_mdl(input: &str) -> Result<Vec<MetricDef>> {
 pub fn standard_metrics(n: usize) -> Vec<MetricDef> {
     const NAMED: &[(&str, &str, MetricAgg, MetricStyle)] = &[
         ("cpu", "CPUs", MetricAgg::Sum, MetricStyle::Sampled),
-        ("cpu_inclusive", "CPUs", MetricAgg::Sum, MetricStyle::Sampled),
+        (
+            "cpu_inclusive",
+            "CPUs",
+            MetricAgg::Sum,
+            MetricStyle::Sampled,
+        ),
         ("exec_time", "seconds", MetricAgg::Sum, MetricStyle::Sampled),
         ("io_wait", "seconds", MetricAgg::Sum, MetricStyle::Sampled),
-        ("io_bytes", "bytes", MetricAgg::Sum, MetricStyle::EventCounter),
-        ("msgs", "operations", MetricAgg::Sum, MetricStyle::EventCounter),
-        ("msg_bytes", "bytes", MetricAgg::Sum, MetricStyle::EventCounter),
-        ("msg_bytes_sent", "bytes", MetricAgg::Sum, MetricStyle::EventCounter),
-        ("msg_bytes_recv", "bytes", MetricAgg::Sum, MetricStyle::EventCounter),
-        ("sync_ops", "operations", MetricAgg::Sum, MetricStyle::EventCounter),
+        (
+            "io_bytes",
+            "bytes",
+            MetricAgg::Sum,
+            MetricStyle::EventCounter,
+        ),
+        (
+            "msgs",
+            "operations",
+            MetricAgg::Sum,
+            MetricStyle::EventCounter,
+        ),
+        (
+            "msg_bytes",
+            "bytes",
+            MetricAgg::Sum,
+            MetricStyle::EventCounter,
+        ),
+        (
+            "msg_bytes_sent",
+            "bytes",
+            MetricAgg::Sum,
+            MetricStyle::EventCounter,
+        ),
+        (
+            "msg_bytes_recv",
+            "bytes",
+            MetricAgg::Sum,
+            MetricStyle::EventCounter,
+        ),
+        (
+            "sync_ops",
+            "operations",
+            MetricAgg::Sum,
+            MetricStyle::EventCounter,
+        ),
         ("sync_wait", "seconds", MetricAgg::Sum, MetricStyle::Sampled),
-        ("active_processes", "processes", MetricAgg::Sum, MetricStyle::Sampled),
-        ("procedure_calls", "operations", MetricAgg::Sum, MetricStyle::EventCounter),
-        ("pause_time", "seconds", MetricAgg::Sum, MetricStyle::Sampled),
-        ("observed_cost", "CPUs", MetricAgg::Sum, MetricStyle::Sampled),
+        (
+            "active_processes",
+            "processes",
+            MetricAgg::Sum,
+            MetricStyle::Sampled,
+        ),
+        (
+            "procedure_calls",
+            "operations",
+            MetricAgg::Sum,
+            MetricStyle::EventCounter,
+        ),
+        (
+            "pause_time",
+            "seconds",
+            MetricAgg::Sum,
+            MetricStyle::Sampled,
+        ),
+        (
+            "observed_cost",
+            "CPUs",
+            MetricAgg::Sum,
+            MetricStyle::Sampled,
+        ),
         ("mem_usage", "bytes", MetricAgg::Max, MetricStyle::Sampled),
     ];
     let mut out = Vec::with_capacity(n);

@@ -245,25 +245,24 @@ pub fn startup_latencies(topology: &Topology, model: &StartupModel) -> Vec<(Acti
                 model.fe_item_machine,
                 model.internal_cost,
             ),
-            Activity::ReportCodeEqClasses | Activity::ReportCallgraphEqClasses => {
-                collective_round(
-                    topology,
-                    &mut net,
-                    0.0,
-                    model.request_bytes,
-                    model.eqclass_bytes,
-                    model.fe_msg_eqclass,
-                    0.0,
-                    model.internal_cost,
-                )
-            }
+            Activity::ReportCodeEqClasses | Activity::ReportCallgraphEqClasses => collective_round(
+                topology,
+                &mut net,
+                0.0,
+                model.request_bytes,
+                model.eqclass_bytes,
+                model.fe_msg_eqclass,
+                0.0,
+                model.internal_cost,
+            ),
             Activity::ReportCodeResources => {
                 // Point-to-point from each class representative; "the
                 // additional overhead of passing through intermediate
                 // MRNet processes was observed to be negligible".
                 num_classes as f64
                     * (model.logp.wire_time(model.code_resources_bytes)
-                        + model.fe_msg_metrics + 1.2)
+                        + model.fe_msg_metrics
+                        + 1.2)
             }
             Activity::ReportCallgraph => {
                 num_classes as f64
@@ -287,7 +286,10 @@ pub fn startup_latencies(topology: &Topology, model: &StartupModel) -> Vec<(Acti
 
 /// Total simulated start-up latency (Figure 8a).
 pub fn startup_total(topology: &Topology, model: &StartupModel) -> f64 {
-    startup_latencies(topology, model).iter().map(|(_, l)| l).sum()
+    startup_latencies(topology, model)
+        .iter()
+        .map(|(_, l)| l)
+        .sum()
 }
 
 /// Cost parameters for the Figure 9 data-processing model.
@@ -423,12 +425,10 @@ mod tests {
     #[test]
     fn fig8b_activity_breakdown() {
         let m = StartupModel::default();
-        let no: std::collections::HashMap<_, _> = startup_latencies(&flat(512), &m)
-            .into_iter()
-            .collect();
-        let yes: std::collections::HashMap<_, _> = startup_latencies(&tree(8, 512), &m)
-            .into_iter()
-            .collect();
+        let no: std::collections::HashMap<_, _> =
+            startup_latencies(&flat(512), &m).into_iter().collect();
+        let yes: std::collections::HashMap<_, _> =
+            startup_latencies(&tree(8, 512), &m).into_iter().collect();
         // Aggregation-using activities improve a lot.
         for act in Activity::ALL {
             if act.uses_aggregation() {
@@ -472,8 +472,7 @@ mod tests {
             prev = f;
         }
         assert!(
-            m.fraction_of_offered_load(256, 8, None)
-                > m.fraction_of_offered_load(256, 32, None)
+            m.fraction_of_offered_load(256, 8, None) > m.fraction_of_offered_load(256, 32, None)
         );
     }
 

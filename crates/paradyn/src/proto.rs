@@ -96,9 +96,7 @@ impl Activity {
     pub fn uses_aggregation(self) -> bool {
         !matches!(
             self,
-            Activity::ParseExecutable
-                | Activity::ReportCodeResources
-                | Activity::ReportCallgraph
+            Activity::ParseExecutable | Activity::ReportCodeResources | Activity::ReportCallgraph
         )
     }
 }

@@ -51,7 +51,10 @@ impl Sample {
     /// round-off issues"). Returns `(left, right)`; `t` must lie
     /// strictly inside the interval.
     pub fn split_at(&self, t: f64) -> (Sample, Sample) {
-        assert!(t > self.start && t < self.end, "split point outside interval");
+        assert!(
+            t > self.start && t < self.end,
+            "split point outside interval"
+        );
         let frac = (t - self.start) / self.len();
         (
             Sample::new(self.value * frac, self.start, t),

@@ -10,7 +10,6 @@
 //! and [`StackMergeFilter`], a custom transformation filter usable on
 //! any MRNet stream.
 
-
 use mrnet_filters::{FilterContext, FilterError, Transform};
 use mrnet_packet::{FormatString, Packet, PacketBuilder, Rank, StreamId, Value};
 
@@ -127,7 +126,11 @@ impl StackTree {
 
     /// All ranks represented anywhere in the tree, sorted.
     pub fn all_ranks(&self) -> Vec<Rank> {
-        let mut v: Vec<Rank> = self.nodes.iter().flat_map(|n| n.ranks.iter().copied()).collect();
+        let mut v: Vec<Rank> = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.ranks.iter().copied())
+            .collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -298,8 +301,7 @@ impl Transform for StackMergeFilter {
         }
         let mut merged = StackTree::new();
         for p in &inputs {
-            let tree =
-                StackTree::from_packet(p).map_err(|e| FilterError::Custom(e.to_string()))?;
+            let tree = StackTree::from_packet(p).map_err(|e| FilterError::Custom(e.to_string()))?;
             merged.merge(&tree);
         }
         let first = &inputs[0];

@@ -125,11 +125,7 @@ fn startup_with_heterogeneous_executables_yields_two_classes() {
     let doc = mdl::to_mdl(&mdl::standard_metrics(4));
     let outcome = run_startup(&net, &doc, 2).unwrap();
     assert_eq!(outcome.code_classes.len(), 2);
-    let total_members: usize = outcome
-        .code_classes
-        .iter()
-        .map(|c| c.members.len())
-        .sum();
+    let total_members: usize = outcome.code_classes.iter().map(|c| c.members.len()).sum();
     assert_eq!(total_members, 4);
     // Full code resources fetched once per class: 2 × (50 + 4).
     assert_eq!(outcome.code_resources.len(), 2 * 54);

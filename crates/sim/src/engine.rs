@@ -163,7 +163,10 @@ impl<W> Sim<W> {
             }
             self.step();
         }
-        self.sched.now = self.sched.now.max(deadline.min(self.sched.now.max(deadline)));
+        self.sched.now = self
+            .sched
+            .now
+            .max(deadline.min(self.sched.now.max(deadline)));
         self.sched.now
     }
 }

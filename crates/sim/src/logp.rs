@@ -53,10 +53,7 @@ impl LogGpParams {
     /// Pure wire time of one message of `bytes` bytes (no send-side
     /// serialization): `o + L + (bytes-1)·G + o`.
     pub fn wire_time(&self, bytes: usize) -> f64 {
-        self.overhead
-            + self.latency
-            + self.big_gap * bytes.saturating_sub(1) as f64
-            + self.overhead
+        self.overhead + self.latency + self.big_gap * bytes.saturating_sub(1) as f64 + self.overhead
     }
 }
 

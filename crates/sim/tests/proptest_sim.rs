@@ -6,14 +6,18 @@ use mrnet_sim::{ClockWorld, LogGpParams, NetModel, Sim};
 use proptest::prelude::*;
 
 fn arb_params() -> impl Strategy<Value = LogGpParams> {
-    (0.0001f64..1.0, 0.0001f64..1.0, 0.0001f64..1.0, 0.0f64..0.001).prop_map(
-        |(l, o, g, big)| LogGpParams {
+    (
+        0.0001f64..1.0,
+        0.0001f64..1.0,
+        0.0001f64..1.0,
+        0.0f64..0.001,
+    )
+        .prop_map(|(l, o, g, big)| LogGpParams {
             latency: l,
             overhead: o,
             gap: g,
             big_gap: big,
-        },
-    )
+        })
 }
 
 proptest! {

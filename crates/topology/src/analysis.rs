@@ -259,7 +259,7 @@ mod tests {
         let mut pool = HostPool::synthetic(2048);
         let d2 = broadcast_latency(&balanced(8, 2, &mut pool).unwrap(), &p); // 64 BEs
         let d3 = broadcast_latency(&balanced(8, 3, &mut pool).unwrap(), &p); // 512 BEs
-        // One extra level adds one level cost, not 8x.
+                                                                             // One extra level adds one level cost, not 8x.
         let level_cost = 8.0 * p.gap + 2.0 * p.overhead + p.latency;
         assert!((d3 - d2 - level_cost).abs() < 1e-9);
     }
@@ -283,10 +283,8 @@ mod tests {
         let p = LogP::unit();
         let t = balanced(4, 2, &mut pool()).unwrap();
         assert!(
-            (roundtrip_latency(&t, &p)
-                - broadcast_latency(&t, &p)
-                - reduction_latency(&t, &p))
-            .abs()
+            (roundtrip_latency(&t, &p) - broadcast_latency(&t, &p) - reduction_latency(&t, &p))
+                .abs()
                 < 1e-12
         );
     }
@@ -309,9 +307,7 @@ mod tests {
         let p = LogP::unit();
         let flat512 = flat(512, &mut HostPool::synthetic(600)).unwrap();
         let tree512 = balanced(8, 3, &mut HostPool::synthetic(600)).unwrap();
-        assert!(
-            pipeline_throughput(&tree512, &p) > 50.0 * pipeline_throughput(&flat512, &p)
-        );
+        assert!(pipeline_throughput(&tree512, &p) > 50.0 * pipeline_throughput(&flat512, &p));
     }
 
     #[test]

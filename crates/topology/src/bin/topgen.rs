@@ -17,6 +17,7 @@
 
 use std::process::ExitCode;
 
+use mrnet_obs::log_error;
 use mrnet_topology::{
     broadcast_latency, generator, pipeline_throughput, write_config, HostPool, LogP, Topology,
     TreeStats,
@@ -62,9 +63,7 @@ fn parse_args() -> Result<Args, String> {
                 ))
             }
             "--flat" => mode = Some(Mode::Flat),
-            "--shape" => {
-                mode = Some(Mode::Shape(args.next().ok_or("--shape needs AxBxC")?))
-            }
+            "--shape" => mode = Some(Mode::Shape(args.next().ok_or("--shape needs AxBxC")?)),
             "--hosts" => {
                 hosts = Some(
                     args.next()
@@ -85,9 +84,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--stats" => stats = true,
             "--help" | "-h" => {
-                return Err("usage: topgen --backends N [--fanout K | --flat | --shape AxBxC] \
+                return Err(
+                    "usage: topgen --backends N [--fanout K | --flat | --shape AxBxC] \
                             [--hosts h1,h2,... | --synthetic-hosts M] [--stats]"
-                    .into())
+                        .into(),
+                )
             }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
         }
@@ -127,14 +128,14 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {
-            eprintln!("topgen: {msg}");
+            log_error!("topgen", "{msg}");
             return ExitCode::FAILURE;
         }
     };
     let topo = match build(&args) {
         Ok(t) => t,
         Err(msg) => {
-            eprintln!("topgen: {msg}");
+            log_error!("topgen", "{msg}");
             return ExitCode::FAILURE;
         }
     };

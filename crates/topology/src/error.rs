@@ -68,7 +68,9 @@ mod tests {
         }
         .to_string()
         .contains("line 3"));
-        assert!(TopologyError::BadRoot { roots: 0 }.to_string().contains("0"));
+        assert!(TopologyError::BadRoot { roots: 0 }
+            .to_string()
+            .contains("0"));
         assert!(TopologyError::NoBackEnds.to_string().contains("back-end"));
     }
 }

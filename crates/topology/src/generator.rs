@@ -388,10 +388,7 @@ mod tests {
         let t = balanced(2, 3, &mut pool()).unwrap();
         assert_eq!(t.role(t.root()), Role::FrontEnd);
         assert_eq!(t.backends().len(), 8);
-        assert!(t
-            .backends()
-            .iter()
-            .all(|&b| t.role(b) == Role::BackEnd));
+        assert!(t.backends().iter().all(|&b| t.role(b) == Role::BackEnd));
     }
 
     #[test]
@@ -434,8 +431,7 @@ mod tests {
         // With only four hosts, sharing is unavoidable and intended.
         assert!(!interior_hosts.is_disjoint(&backend_hosts));
         // Local ranks disambiguate processes sharing a host.
-        let mut labels: Vec<String> =
-            t.bfs().into_iter().map(|id| t.label(id)).collect();
+        let mut labels: Vec<String> = t.bfs().into_iter().map(|id| t.label(id)).collect();
         let before = labels.len();
         labels.sort();
         labels.dedup();

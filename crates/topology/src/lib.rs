@@ -28,8 +28,8 @@ mod parser;
 mod spec;
 
 pub use analysis::{
-    broadcast_latency, fig4_comparison, pipeline_interval, pipeline_throughput,
-    reduction_latency, roundtrip_latency, Fig4Row, LogP, TreeStats,
+    broadcast_latency, fig4_comparison, pipeline_interval, pipeline_throughput, reduction_latency,
+    roundtrip_latency, Fig4Row, LogP, TreeStats,
 };
 pub use error::{Result, TopologyError};
 pub use hosts::{HostPool, PlacementPolicy};

@@ -127,7 +127,8 @@ pub fn parse_config(input: &str) -> Result<Topology> {
     let mut index: HashMap<String, usize> = HashMap::new();
     let mut placements: Vec<Placement> = Vec::new();
     let mut parents: Vec<Option<usize>> = Vec::new();
-    let mut intern = |label: &str, line: usize,
+    let mut intern = |label: &str,
+                      line: usize,
                       placements: &mut Vec<Placement>,
                       parents: &mut Vec<Option<usize>>|
      -> Result<usize> {
@@ -294,8 +295,7 @@ int1:0 =>
         assert_eq!(t.num_backends(), t2.num_backends());
         assert_eq!(t.depth(), t2.depth());
         // Same labels in same BFS order.
-        let labels =
-            |t: &Topology| t.bfs().into_iter().map(|i| t.label(i)).collect::<Vec<_>>();
+        let labels = |t: &Topology| t.bfs().into_iter().map(|i| t.label(i)).collect::<Vec<_>>();
         assert_eq!(labels(&t), labels(&t2));
     }
 }

@@ -12,9 +12,7 @@ use serde::{Deserialize, Serialize};
 use crate::error::{Result, TopologyError};
 
 /// Index of a process node within a [`Topology`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(pub usize);
 
 /// The role a process plays in the tool system.
@@ -120,10 +118,7 @@ impl TopologyBuilder {
 impl Topology {
     /// Builds a topology from raw parts (used by the parser).
     /// `parents[i]` is the parent of node `i`, or `None` for the root.
-    pub fn from_parts(
-        placements: Vec<Placement>,
-        parents: Vec<Option<usize>>,
-    ) -> Result<Topology> {
+    pub fn from_parts(placements: Vec<Placement>, parents: Vec<Option<usize>>) -> Result<Topology> {
         if placements.len() != parents.len() {
             return Err(TopologyError::InvalidShape(
                 "placements/parents length mismatch".into(),
@@ -297,7 +292,11 @@ impl Topology {
 
     /// Maximum fan-out over all nodes.
     pub fn max_fanout(&self) -> usize {
-        self.nodes.iter().map(|n| n.children.len()).max().unwrap_or(0)
+        self.nodes
+            .iter()
+            .map(|n| n.children.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Fan-out of the root.
@@ -507,7 +506,10 @@ mod tests {
             vec![None, Some(2), Some(1)],
         )
         .unwrap_err();
-        assert!(matches!(err, TopologyError::Cycle(_) | TopologyError::NoBackEnds));
+        assert!(matches!(
+            err,
+            TopologyError::Cycle(_) | TopologyError::NoBackEnds
+        ));
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! LogP analysis.
 
 use mrnet_topology::{
-    broadcast_latency, generator, parse_config, pipeline_interval, reduction_latency,
-    write_config, HostPool, LogP, Topology, TreeStats,
+    broadcast_latency, generator, parse_config, pipeline_interval, reduction_latency, write_config,
+    HostPool, LogP, Topology, TreeStats,
 };
 use proptest::prelude::*;
 
@@ -18,9 +18,7 @@ fn arb_logp() -> impl Strategy<Value = LogP> {
 
 fn arb_tree() -> impl Strategy<Value = Topology> {
     prop_oneof![
-        (1usize..200).prop_map(|n| {
-            generator::flat(n, &mut HostPool::synthetic(512)).unwrap()
-        }),
+        (1usize..200).prop_map(|n| { generator::flat(n, &mut HostPool::synthetic(512)).unwrap() }),
         (2usize..9, 1usize..4).prop_map(|(f, d)| {
             generator::balanced(f, d, &mut HostPool::synthetic(2048)).unwrap()
         }),

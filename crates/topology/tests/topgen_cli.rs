@@ -40,7 +40,11 @@ fn generates_flat_config_with_named_hosts() {
 #[test]
 fn shape_shorthand_works() {
     let (ok, stdout, _) = topgen(&["--backends", "16", "--shape", "4x4"]);
-    assert!(ok, "stderr: {}", topgen(&["--backends", "16", "--shape", "4x4"]).2);
+    assert!(
+        ok,
+        "stderr: {}",
+        topgen(&["--backends", "16", "--shape", "4x4"]).2
+    );
     let topo = parse_config(&stdout).unwrap();
     assert_eq!(topo.num_backends(), 16);
     assert_eq!(topo.depth(), 2);

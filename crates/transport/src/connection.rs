@@ -7,11 +7,57 @@
 //! (in-process) and TCP transports both implement this trait, so the
 //! core's internal-process event loop is transport-agnostic.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use bytes::Bytes;
 
 use crate::error::Result;
+
+/// Point-in-time traffic totals for one connection, in frames and
+/// payload bytes, from this endpoint's perspective.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnStats {
+    /// Frames this endpoint sent.
+    pub frames_sent: u64,
+    /// Payload bytes this endpoint sent.
+    pub bytes_sent: u64,
+    /// Frames this endpoint received.
+    pub frames_recv: u64,
+    /// Payload bytes this endpoint received.
+    pub bytes_recv: u64,
+}
+
+/// Relaxed atomic traffic counters backing [`ConnStats`]; transports
+/// embed one and bump it on every frame.
+#[derive(Debug, Default)]
+pub(crate) struct ConnCounters {
+    frames_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    frames_recv: AtomicU64,
+    bytes_recv: AtomicU64,
+}
+
+impl ConnCounters {
+    pub(crate) fn note_sent(&self, bytes: usize) {
+        self.frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_recv(&self, bytes: usize) {
+        self.frames_recv.fetch_add(1, Ordering::Relaxed);
+        self.bytes_recv.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> ConnStats {
+        ConnStats {
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            frames_recv: self.frames_recv.load(Ordering::Relaxed),
+            bytes_recv: self.bytes_recv.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// A bidirectional, ordered, reliable frame pipe between two processes.
 ///
@@ -39,6 +85,12 @@ pub trait Connection: Send + Sync {
 
     /// Human-readable description of the peer, for diagnostics.
     fn peer(&self) -> String;
+
+    /// Traffic totals for this endpoint. Transports that do not count
+    /// report all-zero stats (the default).
+    fn stats(&self) -> ConnStats {
+        ConnStats::default()
+    }
 }
 
 /// A boxed connection, the form the core library passes around.

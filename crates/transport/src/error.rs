@@ -48,8 +48,13 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert_eq!(TransportError::Closed.to_string(), "connection closed by peer");
-        assert!(TransportError::Io("boom".into()).to_string().contains("boom"));
+        assert_eq!(
+            TransportError::Closed.to_string(),
+            "connection closed by peer"
+        );
+        assert!(TransportError::Io("boom".into())
+            .to_string()
+            .contains("boom"));
         assert!(TransportError::UnknownEndpoint("leaf3".into())
             .to_string()
             .contains("leaf3"));

@@ -14,7 +14,9 @@ mod error;
 mod local;
 mod tcp;
 
-pub use connection::{BoxedConnection, BoxedListener, Connection, Listener, SharedConnection};
+pub use connection::{
+    BoxedConnection, BoxedListener, ConnStats, Connection, Listener, SharedConnection,
+};
 pub use error::{Result, TransportError};
 pub use local::{LocalConnection, LocalFabric, LocalListener};
 pub use tcp::{TcpConnection, TcpTransportListener, MAX_FRAME};

@@ -16,7 +16,9 @@ use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
 
-use crate::connection::{BoxedConnection, BoxedListener, Connection, Listener};
+use crate::connection::{
+    BoxedConnection, BoxedListener, ConnCounters, ConnStats, Connection, Listener,
+};
 use crate::error::{Result, TransportError};
 
 /// One end of an in-process connection.
@@ -24,6 +26,7 @@ pub struct LocalConnection {
     tx: Sender<Bytes>,
     rx: Receiver<Bytes>,
     peer: String,
+    counters: ConnCounters,
 }
 
 impl LocalConnection {
@@ -40,11 +43,13 @@ impl LocalConnection {
                 tx: a_tx,
                 rx: a_rx,
                 peer: b_name.to_owned(),
+                counters: ConnCounters::default(),
             },
             LocalConnection {
                 tx: b_tx,
                 rx: b_rx,
                 peer: a_name.to_owned(),
+                counters: ConnCounters::default(),
             },
         )
     }
@@ -52,16 +57,24 @@ impl LocalConnection {
 
 impl Connection for LocalConnection {
     fn send(&self, frame: Bytes) -> Result<()> {
-        self.tx.send(frame).map_err(|_| TransportError::Closed)
+        let len = frame.len();
+        self.tx.send(frame).map_err(|_| TransportError::Closed)?;
+        self.counters.note_sent(len);
+        Ok(())
     }
 
     fn recv(&self) -> Result<Bytes> {
-        self.rx.recv().map_err(|_| TransportError::Closed)
+        let frame = self.rx.recv().map_err(|_| TransportError::Closed)?;
+        self.counters.note_recv(frame.len());
+        Ok(frame)
     }
 
     fn try_recv(&self) -> Result<Option<Bytes>> {
         match self.rx.try_recv() {
-            Ok(frame) => Ok(Some(frame)),
+            Ok(frame) => {
+                self.counters.note_recv(frame.len());
+                Ok(Some(frame))
+            }
             Err(TryRecvError::Empty) => Ok(None),
             Err(TryRecvError::Disconnected) => Err(TransportError::Closed),
         }
@@ -69,7 +82,10 @@ impl Connection for LocalConnection {
 
     fn recv_timeout(&self, timeout: Duration) -> Result<Option<Bytes>> {
         match self.rx.recv_timeout(timeout) {
-            Ok(frame) => Ok(Some(frame)),
+            Ok(frame) => {
+                self.counters.note_recv(frame.len());
+                Ok(Some(frame))
+            }
             Err(RecvTimeoutError::Timeout) => Ok(None),
             Err(RecvTimeoutError::Disconnected) => Err(TransportError::Closed),
         }
@@ -77,6 +93,10 @@ impl Connection for LocalConnection {
 
     fn peer(&self) -> String {
         self.peer.clone()
+    }
+
+    fn stats(&self) -> ConnStats {
+        self.counters.snapshot()
     }
 }
 
@@ -224,6 +244,23 @@ mod tests {
         drop(a);
         assert_eq!(b.recv().unwrap(), Bytes::from_static(b"last"));
         assert_eq!(b.recv().unwrap_err(), TransportError::Closed);
+    }
+
+    #[test]
+    fn stats_count_frames_and_bytes() {
+        let (a, b) = LocalConnection::pair("x", "y");
+        a.send(Bytes::from_static(b"12345")).unwrap();
+        a.send(Bytes::from_static(b"678")).unwrap();
+        assert_eq!(b.recv().unwrap().len(), 5);
+        assert_eq!(b.try_recv().unwrap().unwrap().len(), 3);
+        let sa = a.stats();
+        assert_eq!(sa.frames_sent, 2);
+        assert_eq!(sa.bytes_sent, 8);
+        assert_eq!(sa.frames_recv, 0);
+        let sb = b.stats();
+        assert_eq!(sb.frames_recv, 2);
+        assert_eq!(sb.bytes_recv, 8);
+        assert_eq!(sb.bytes_sent, 0);
     }
 
     #[test]

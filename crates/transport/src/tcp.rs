@@ -16,7 +16,9 @@ use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
 
-use crate::connection::{BoxedConnection, BoxedListener, Connection, Listener};
+use crate::connection::{
+    BoxedConnection, BoxedListener, ConnCounters, ConnStats, Connection, Listener,
+};
 use crate::error::{Result, TransportError};
 
 /// Maximum accepted frame size; protects against corrupt length
@@ -32,6 +34,7 @@ pub struct TcpConnection {
     writer: Mutex<BufWriter<TcpStream>>,
     inbound: Receiver<Bytes>,
     peer: String,
+    counters: ConnCounters,
 }
 
 fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Bytes>> {
@@ -84,6 +87,7 @@ impl TcpConnection {
             writer: Mutex::new(BufWriter::new(stream)),
             inbound: rx,
             peer,
+            counters: ConnCounters::default(),
         })
     }
 
@@ -111,16 +115,22 @@ impl Connection for TcpConnection {
         writer.write_all(&(frame.len() as u32).to_le_bytes())?;
         writer.write_all(&frame)?;
         writer.flush()?;
+        self.counters.note_sent(frame.len());
         Ok(())
     }
 
     fn recv(&self) -> Result<Bytes> {
-        self.inbound.recv().map_err(|_| TransportError::Closed)
+        let frame = self.inbound.recv().map_err(|_| TransportError::Closed)?;
+        self.counters.note_recv(frame.len());
+        Ok(frame)
     }
 
     fn try_recv(&self) -> Result<Option<Bytes>> {
         match self.inbound.try_recv() {
-            Ok(frame) => Ok(Some(frame)),
+            Ok(frame) => {
+                self.counters.note_recv(frame.len());
+                Ok(Some(frame))
+            }
             Err(TryRecvError::Empty) => Ok(None),
             Err(TryRecvError::Disconnected) => Err(TransportError::Closed),
         }
@@ -128,7 +138,10 @@ impl Connection for TcpConnection {
 
     fn recv_timeout(&self, timeout: Duration) -> Result<Option<Bytes>> {
         match self.inbound.recv_timeout(timeout) {
-            Ok(frame) => Ok(Some(frame)),
+            Ok(frame) => {
+                self.counters.note_recv(frame.len());
+                Ok(Some(frame))
+            }
             Err(RecvTimeoutError::Timeout) => Ok(None),
             Err(RecvTimeoutError::Disconnected) => Err(TransportError::Closed),
         }
@@ -136,6 +149,10 @@ impl Connection for TcpConnection {
 
     fn peer(&self) -> String {
         self.peer.clone()
+    }
+
+    fn stats(&self) -> ConnStats {
+        self.counters.snapshot()
     }
 }
 
@@ -221,6 +238,19 @@ mod tests {
             let f = server.recv().unwrap();
             assert_eq!(u32::from_le_bytes(f[..].try_into().unwrap()), i);
         }
+    }
+
+    #[test]
+    fn stats_count_payload_bytes() {
+        let (client, server) = pair();
+        client.send(Bytes::from_static(b"abcd")).unwrap();
+        assert_eq!(server.recv().unwrap().len(), 4);
+        let cs = client.stats();
+        assert_eq!(cs.frames_sent, 1);
+        assert_eq!(cs.bytes_sent, 4); // payload only, not the length prefix
+        let ss = server.stats();
+        assert_eq!(ss.frames_recv, 1);
+        assert_eq!(ss.bytes_recv, 4);
     }
 
     #[test]

@@ -31,11 +31,14 @@ fn main() {
     let nodes: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(32);
     let rounds: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
 
-    let topo = generator::balanced_for(8, nodes, &mut HostPool::synthetic(4096))
-        .expect("topology");
+    let topo = generator::balanced_for(8, nodes, &mut HostPool::synthetic(4096)).expect("topology");
     let deployment = NetworkBuilder::new(topo).launch().expect("instantiate");
     let net = deployment.network.clone();
-    println!("monitoring {} nodes, {} rounds\n", net.num_backends(), rounds);
+    println!(
+        "monitoring {} nodes, {} rounds\n",
+        net.num_backends(),
+        rounds
+    );
 
     // Monitor agents: answer each poll with the requested statistic.
     let agents: Vec<_> = deployment
@@ -52,10 +55,8 @@ fn main() {
                             2 => Value::Double(stats.free_mem_mb),
                             // Mean pair contribution: (sum, count).
                             3 => {
-                                be.send_packet(MeanPairFilter::contribution(
-                                    sid, 3, stats.load,
-                                ))
-                                .ok();
+                                be.send_packet(MeanPairFilter::contribution(sid, 3, stats.load))
+                                    .ok();
                                 continue;
                             }
                             _ => continue,
@@ -85,7 +86,9 @@ fn main() {
         // collective operations on separate streams (§1).
         max_load.send(1, "%ud", vec![Value::UInt32(round)]).unwrap();
         min_mem.send(2, "%ud", vec![Value::UInt32(round)]).unwrap();
-        mean_load.send(3, "%ud", vec![Value::UInt32(round)]).unwrap();
+        mean_load
+            .send(3, "%ud", vec![Value::UInt32(round)])
+            .unwrap();
 
         let max = max_load
             .recv_timeout(Duration::from_secs(10))
@@ -102,9 +105,7 @@ fn main() {
         let mean_pkt = mean_load.recv_timeout(Duration::from_secs(10)).unwrap();
         let mean = MeanPairFilter::finish(&mean_pkt).unwrap();
 
-        println!(
-            "round {round}: max load {max:.2}, mean load {mean:.2}, min free mem {min:.0} MB"
-        );
+        println!("round {round}: max load {max:.2}, mean load {mean:.2}, min free mem {min:.0} MB");
     }
 
     net.shutdown();

@@ -23,29 +23,31 @@ fn register_histogram(registry: &FilterRegistry) {
     registry
         .register("histogram8", || {
             let fmt = FormatString::parse("%alf").expect("static format");
-            Box::new(FnFilter::new("histogram8", Some(fmt), (), |_, inputs, _ctx| {
-                let mut counts = [0.0f64; BUCKETS];
-                for pkt in &inputs {
-                    let data = pkt
-                        .get(0)
-                        .and_then(Value::as_f64_slice)
-                        .unwrap_or_default();
-                    if data.len() == BUCKETS {
-                        for (c, d) in counts.iter_mut().zip(data) {
-                            *c += d;
-                        }
-                    } else {
-                        for &v in data {
-                            let bucket = ((v / BUCKET_WIDTH) as usize).min(BUCKETS - 1);
-                            counts[bucket] += 1.0;
+            Box::new(FnFilter::new(
+                "histogram8",
+                Some(fmt),
+                (),
+                |_, inputs, _ctx| {
+                    let mut counts = [0.0f64; BUCKETS];
+                    for pkt in &inputs {
+                        let data = pkt.get(0).and_then(Value::as_f64_slice).unwrap_or_default();
+                        if data.len() == BUCKETS {
+                            for (c, d) in counts.iter_mut().zip(data) {
+                                *c += d;
+                            }
+                        } else {
+                            for &v in data {
+                                let bucket = ((v / BUCKET_WIDTH) as usize).min(BUCKETS - 1);
+                                counts[bucket] += 1.0;
+                            }
                         }
                     }
-                }
-                let first = &inputs[0];
-                Ok(vec![PacketBuilder::new(first.stream_id(), first.tag())
-                    .push(counts.to_vec())
-                    .build()])
-            }))
+                    let first = &inputs[0];
+                    Ok(vec![PacketBuilder::new(first.stream_id(), first.tag())
+                        .push(counts.to_vec())
+                        .build()])
+                },
+            ))
         })
         .expect("register histogram");
 }
@@ -59,8 +61,8 @@ fn main() {
     let registry = FilterRegistry::with_builtins();
     register_histogram(&registry); // load_filterFunc("histogram8", ...)
 
-    let topo = generator::balanced_for(3, backends, &mut HostPool::synthetic(1024))
-        .expect("topology");
+    let topo =
+        generator::balanced_for(3, backends, &mut HostPool::synthetic(1024)).expect("topology");
     let deployment = NetworkBuilder::new(topo)
         .registry(registry)
         .launch()
@@ -102,7 +104,10 @@ fn main() {
         let bar = "#".repeat(c as usize);
         println!("  [{:.3}..{:.3})  {:>3}  {}", lo, lo + BUCKET_WIDTH, c, bar);
     }
-    assert_eq!(total as usize, backends, "every measurement lands in a bucket");
+    assert_eq!(
+        total as usize, backends,
+        "every measurement lands in a bucket"
+    );
 
     net.shutdown();
     for t in agent_threads {

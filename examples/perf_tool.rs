@@ -9,9 +9,7 @@ use std::time::Duration;
 
 use mrnet::NetworkBuilder;
 use mrnet_topology::{generator, HostPool, TreeStats};
-use paradyn::{
-    app::Executable, mdl, paradyn_registry, run_sampling, run_startup, Daemon,
-};
+use paradyn::{app::Executable, mdl, paradyn_registry, run_sampling, run_startup, Daemon};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -19,8 +17,8 @@ fn main() {
     let fanout: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
     let metrics = 4usize;
 
-    let topo = generator::balanced_for(fanout, daemons, &mut HostPool::synthetic(4096))
-        .expect("topology");
+    let topo =
+        generator::balanced_for(fanout, daemons, &mut HostPool::synthetic(4096)).expect("topology");
     let stats = TreeStats::of(&topo);
     println!(
         "tool topology: {} daemons, {} internal processes, depth {}, fan-out {}",
@@ -71,11 +69,11 @@ fn main() {
         daemons,
         outcome.code_resources.len()
     );
-    let max_skew = outcome
-        .skews
-        .values()
-        .fold(0.0f64, |m, s| m.max(s.abs()));
-    println!("clock skew estimates: {} daemons, max |skew| {max_skew:.6} s", outcome.skews.len());
+    let max_skew = outcome.skews.values().fold(0.0f64, |m, s| m.max(s.abs()));
+    println!(
+        "clock skew estimates: {} daemons, max |skew| {max_skew:.6} s",
+        outcome.skews.len()
+    );
 
     // Performance-data phase: 5 samples/s/metric/daemon, aggregated
     // through the tree by the custom time-aligned filter.

@@ -57,12 +57,19 @@ fn main() {
         .collect();
 
     let net = pending.wait(Duration::from_secs(20)).expect("tree ready");
-    println!("network ready: {} back-ends over OS processes", net.num_backends());
+    println!(
+        "network ready: {} back-ends over OS processes",
+        net.num_backends()
+    );
 
     let comm = net.broadcast_communicator();
     let sum = net.registry().id_of("d_sum").expect("built-in");
-    let stream = net.new_stream(&comm, sum, SyncMode::WaitForAll).expect("stream");
-    stream.send(0, "%d", vec![Value::Int32(3)]).expect("broadcast");
+    let stream = net
+        .new_stream(&comm, sum, SyncMode::WaitForAll)
+        .expect("stream");
+    stream
+        .send(0, "%d", vec![Value::Int32(3)])
+        .expect("broadcast");
     let result = stream
         .recv_timeout(Duration::from_secs(20))
         .expect("reduction");

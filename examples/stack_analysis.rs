@@ -33,8 +33,8 @@ fn main() {
         .register(StackMergeFilter::NAME, || Box::new(StackMergeFilter::new()))
         .expect("register stack merge filter");
 
-    let topo = generator::balanced_for(4, processes, &mut HostPool::synthetic(4096))
-        .expect("topology");
+    let topo =
+        generator::balanced_for(4, processes, &mut HostPool::synthetic(4096)).expect("topology");
     let deployment = NetworkBuilder::new(topo)
         .registry(registry)
         .launch()
@@ -62,8 +62,7 @@ fn main() {
     let stream = net.new_stream(&comm, merge, SyncMode::WaitForAll).unwrap();
     stream.send(0, "%d", vec![Value::Int32(0)]).unwrap();
 
-    let merged = StackTree::from_packet(&stream.recv().expect("merged tree"))
-        .expect("decode tree");
+    let merged = StackTree::from_packet(&stream.recv().expect("merged tree")).expect("decode tree");
     println!(
         "merged {} process stacks into {} tree nodes\n",
         merged.all_ranks().len(),
@@ -72,11 +71,7 @@ fn main() {
     print!("{}", merged.render());
     println!("\nbehavioral equivalence classes:");
     for (path, ranks) in merged.classes() {
-        println!(
-            "  {:>4} rank(s) at {}",
-            ranks.len(),
-            path.join(" > ")
-        );
+        println!("  {:>4} rank(s) at {}", ranks.len(), path.join(" > "));
     }
 
     net.shutdown();

@@ -48,7 +48,10 @@ fn claim_fig7a_flat_instantiation_800s_trees_flat() {
 fn claim_fig7b_flat_roundtrip_1_4s_trees_far_below() {
     let logp = LogGpParams::blue_pacific();
     let f = simulate::roundtrip_latency(&flat(512), logp, simulate::SMALL_PACKET);
-    assert!((1.0..1.8).contains(&f), "flat-512 round trip {f} (paper ~1.4 s)");
+    assert!(
+        (1.0..1.8).contains(&f),
+        "flat-512 round trip {f} (paper ~1.4 s)"
+    );
     let t = simulate::roundtrip_latency(&tree(8, 512), logp, simulate::SMALL_PACKET);
     assert!(f > 10.0 * t, "trees must be an order faster ({f} vs {t})");
 }
@@ -57,7 +60,10 @@ fn claim_fig7b_flat_roundtrip_1_4s_trees_far_below() {
 fn claim_fig7c_tree_throughput_tens_of_ops_flat_collapses() {
     let logp = LogGpParams::blue_pacific();
     let t8 = simulate::reduction_throughput(&tree(8, 512), logp, simulate::SMALL_PACKET, 40);
-    assert!((40.0..160.0).contains(&t8), "8-way-512 throughput {t8} (paper ~70)");
+    assert!(
+        (40.0..160.0).contains(&t8),
+        "8-way-512 throughput {t8} (paper ~70)"
+    );
     let f = simulate::reduction_throughput(&flat(512), logp, simulate::SMALL_PACKET, 40);
     assert!(f < 5.0, "flat-512 throughput {f} (paper: single digits)");
     // Throughput of trees stays roughly constant with scale.
@@ -75,7 +81,10 @@ fn claim_fig8a_startup_3_4x_faster_with_8way_at_512() {
         (2.8..4.2).contains(&speedup),
         "start-up speedup {speedup} (paper: 3.4x)"
     );
-    assert!((55.0..95.0).contains(&no), "no-MRNet total {no} (paper ~70 s)");
+    assert!(
+        (55.0..95.0).contains(&no),
+        "no-MRNet total {no} (paper ~70 s)"
+    );
 }
 
 #[test]
@@ -85,8 +94,9 @@ fn claim_fig8b_aggregation_activities_improve_others_do_not() {
     let model = StartupModel::default();
     let no: std::collections::HashMap<_, _> =
         startup_latencies(&flat(512), &model).into_iter().collect();
-    let yes: std::collections::HashMap<_, _> =
-        startup_latencies(&tree(8, 512), &model).into_iter().collect();
+    let yes: std::collections::HashMap<_, _> = startup_latencies(&tree(8, 512), &model)
+        .into_iter()
+        .collect();
     for act in Activity::ALL {
         if act.uses_aggregation() {
             assert!(yes[&act] < no[&act] / 2.0, "{}", act.name());
