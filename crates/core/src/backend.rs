@@ -5,7 +5,7 @@
 //! receives that yield both the data and the stream it arrived on, and
 //! sends scalar values upstream on those streams.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -13,9 +13,10 @@ use parking_lot::Mutex;
 
 use mrnet_obs::{log_warn, NodeMetrics};
 use mrnet_packet::{Packet, PacketBuilder, Rank, StreamId, Value};
-use mrnet_transport::{LocalFabric, SharedConnection, TcpConnection};
+use mrnet_transport::{LocalFabric, RetryPolicy, SharedConnection};
 
 use crate::error::{MrnetError, Result};
+use crate::event::TopologyEvent;
 use crate::introspect::{self, METRICS_REQUEST, METRICS_STREAM};
 use crate::proto::{decode_frame, encode_data_frame, Control, Frame};
 use crate::streams::StreamDef;
@@ -28,6 +29,11 @@ pub struct Backend {
     pending: Mutex<VecDeque<Packet>>,
     down: Mutex<bool>,
     metrics: Arc<NodeMetrics>,
+    /// Topology events relayed down the tree, queued until the tool
+    /// polls [`Backend::try_next_event`].
+    events: Mutex<VecDeque<TopologyEvent>>,
+    /// Cumulative set of ranks reported failed.
+    failed: Mutex<BTreeSet<Rank>>,
 }
 
 impl Backend {
@@ -48,6 +54,8 @@ impl Backend {
             pending: Mutex::new(VecDeque::new()),
             down: Mutex::new(false),
             metrics: Arc::new(NodeMetrics::new()),
+            events: Mutex::new(VecDeque::new()),
+            failed: Mutex::new(BTreeSet::new()),
         })
     }
 
@@ -63,12 +71,17 @@ impl Backend {
     }
 
     /// Mode-2 instantiation over TCP: connect to a leaf process's
-    /// published address.
+    /// published address, retrying transient refusals (the §2.5
+    /// connect-back race) per `MRNET_CONNECT_RETRIES`.
     pub fn attach_tcp(addr: &str, rank: Rank) -> Result<Backend> {
-        let conn = TcpConnection::connect(addr).map_err(MrnetError::Transport)?;
+        let (conn, retries) = RetryPolicy::from_env()
+            .connect(addr)
+            .map_err(MrnetError::Transport)?;
         let conn: SharedConnection = std::sync::Arc::new(conn);
         conn.send(Control::Attach { rank }.to_frame())?;
-        Backend::new(rank, conn)
+        let be = Backend::new(rank, conn)?;
+        be.metrics.connect_retries.add(u64::from(retries));
+        Ok(be)
     }
 
     /// This back-end's rank (its end-point identity).
@@ -133,6 +146,19 @@ impl Backend {
                     }
                     Control::DeleteStream { stream_id } => {
                         self.streams.lock().remove(&stream_id);
+                    }
+                    Control::RankFailed { rank, subtree } => {
+                        // A failure elsewhere in the tree, relayed down
+                        // so this back-end can adapt (e.g. note that a
+                        // sibling will never contribute again).
+                        self.metrics.events_delivered.inc();
+                        let mut failed = self.failed.lock();
+                        failed.insert(rank);
+                        failed.extend(subtree.iter().copied());
+                        drop(failed);
+                        self.events
+                            .lock()
+                            .push_back(TopologyEvent::RankFailed { rank, subtree });
                     }
                     Control::Shutdown => {
                         self.note_shutdown();
@@ -252,5 +278,18 @@ impl Backend {
     /// True once the network has shut down.
     pub fn is_down(&self) -> bool {
         *self.down.lock()
+    }
+
+    /// The next queued topology event, if any. Events are enqueued as
+    /// the tool thread pumps the connection (via [`Backend::recv`] /
+    /// [`Backend::recv_timeout`]); a back-end that never receives will
+    /// not observe events.
+    pub fn try_next_event(&self) -> Option<TopologyEvent> {
+        self.events.lock().pop_front()
+    }
+
+    /// Every rank this back-end has heard reported failed, sorted.
+    pub fn failed_ranks(&self) -> Vec<Rank> {
+        self.failed.lock().iter().copied().collect()
     }
 }

@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use mrnet_filters::FilterRegistry;
 use mrnet_packet::BatchPolicy;
-use mrnet_transport::{Listener, SharedConnection, TcpConnection, TcpTransportListener};
+use mrnet_transport::{Listener, RetryPolicy, SharedConnection, TcpTransportListener};
 
 use crate::internal::process::NodeLoop;
 use crate::procspawn::{accept_children, plan_children, spawn_internal_children};
@@ -47,10 +47,13 @@ pub fn run(
     registry: FilterRegistry,
     commnode_exe: &std::path::Path,
 ) -> Result<(), String> {
-    let parent: SharedConnection = Arc::new(
-        TcpConnection::connect(parent_addr)
-            .map_err(|e| format!("cannot reach parent {parent_addr}: {e}"))?,
-    );
+    // The connect-back race (§2.5): the parent may not be accepting
+    // yet when this child starts dialing; retry with backoff per
+    // `MRNET_CONNECT_RETRIES` before declaring the parent unreachable.
+    let (conn, retries) = RetryPolicy::from_env()
+        .connect(parent_addr)
+        .map_err(|e| format!("cannot reach parent {parent_addr}: {e}"))?;
+    let parent: SharedConnection = Arc::new(conn);
     parent
         .send(Control::Attach { rank }.to_frame())
         .map_err(|e| format!("attach handshake failed: {e}"))?;
@@ -96,6 +99,8 @@ pub fn run(
         None,
         NodeLoop::inbox(),
     );
+    node.set_child_ranks(plan.order.clone());
+    node.metrics().connect_retries.add(u64::from(retries));
     node.setup().map_err(|e| format!("setup failed: {e}"))?;
     node.run();
 

@@ -6,7 +6,7 @@
 //! receive). Supports multiple concurrent receivers via condvar
 //! wake-ups.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
@@ -25,6 +25,10 @@ struct State {
     /// Lifetime count of packets delivered per stream (not reduced by
     /// consumption) — the front-end's receive counters.
     received: HashMap<StreamId, u64>,
+    /// Streams whose every end-point has failed: once drained, receives
+    /// on them return [`MrnetError::AllEndpointsFailed`] instead of
+    /// blocking forever for packets that can never come.
+    failed: HashSet<StreamId>,
     closed: bool,
 }
 
@@ -91,6 +95,20 @@ impl Delivery {
         self.state.lock().closed
     }
 
+    /// Marks `stream` as having lost its every end-point. Queued
+    /// packets remain receivable; once the queue drains, blocked and
+    /// future receives on the stream return
+    /// [`MrnetError::AllEndpointsFailed`].
+    pub fn fail_stream(&self, stream: StreamId) {
+        self.state.lock().failed.insert(stream);
+        self.cv.notify_all();
+    }
+
+    /// True once [`Delivery::fail_stream`] was called for `stream`.
+    pub fn is_failed(&self, stream: StreamId) -> bool {
+        self.state.lock().failed.contains(&stream)
+    }
+
     /// One stream's mailbox standing. An all-default result with
     /// `seen == false` means the stream has never delivered a packet —
     /// distinct from a drained stream (`seen`, zero `queued`) and from
@@ -137,6 +155,9 @@ impl Delivery {
                 if let Some(p) = q.pop_front() {
                     return Ok(p);
                 }
+            }
+            if st.failed.contains(&stream) {
+                return Err(MrnetError::AllEndpointsFailed);
             }
             if st.closed {
                 return Err(MrnetError::Shutdown);
@@ -329,6 +350,31 @@ mod tests {
         let st = d.stream_stats(4);
         assert!(st.closed);
         assert!(!st.seen);
+    }
+
+    #[test]
+    fn failed_stream_drains_then_errors() {
+        let d = Delivery::new();
+        d.push(pkt(1, 5));
+        d.fail_stream(1);
+        assert!(d.is_failed(1));
+        // The survivor-produced packet is still receivable...
+        assert!(d.recv_on(1, None).is_ok());
+        // ...then the failure surfaces, distinct from Shutdown/Timeout.
+        assert_eq!(d.recv_on(1, None), Err(MrnetError::AllEndpointsFailed));
+        // Other streams are unaffected.
+        d.push(pkt(2, 1));
+        assert!(d.recv_on(2, None).is_ok());
+    }
+
+    #[test]
+    fn fail_stream_wakes_blocked_receiver() {
+        let d = Arc::new(Delivery::new());
+        let d2 = d.clone();
+        let h = std::thread::spawn(move || d2.recv_on(9, None));
+        std::thread::sleep(Duration::from_millis(20));
+        d.fail_stream(9);
+        assert_eq!(h.join().unwrap(), Err(MrnetError::AllEndpointsFailed));
     }
 
     #[test]

@@ -32,6 +32,9 @@ pub enum MrnetError {
     Timeout,
     /// Instantiation failed.
     Instantiation(String),
+    /// Every end-point of the stream being received from has failed;
+    /// no further packets can ever arrive on it.
+    AllEndpointsFailed,
 }
 
 impl fmt::Display for MrnetError {
@@ -48,6 +51,9 @@ impl fmt::Display for MrnetError {
             MrnetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
             MrnetError::Timeout => write!(f, "receive timed out"),
             MrnetError::Instantiation(msg) => write!(f, "instantiation failed: {msg}"),
+            MrnetError::AllEndpointsFailed => {
+                write!(f, "every end-point of the stream has failed")
+            }
         }
     }
 }

@@ -1,0 +1,141 @@
+//! Topology events: how a tool learns that part of its tree died.
+//!
+//! MRNet delivers failures as *events*, not errors: the front-end (and
+//! each back-end) owns an event queue that the node loops feed as
+//! rank-death reports propagate through the tree. Tools poll or block
+//! on the queue ([`crate::Network::next_event_timeout`],
+//! [`crate::Backend::try_next_event`]) and adapt — typically by
+//! noting which streams shrank and continuing with the survivors.
+
+use std::collections::BTreeSet;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use mrnet_packet::Rank;
+
+/// A change in the shape of the overlay tree, observed from one
+/// process's vantage point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyEvent {
+    /// A tree node died. `rank` is the process whose connection was
+    /// lost; `subtree` is every back-end end-point that became
+    /// unreachable as a result (for a back-end death, just itself; for
+    /// an internal node, its whole leaf set). Sorted, deduplicated.
+    RankFailed {
+        /// The rank whose connection died.
+        rank: Rank,
+        /// Every back-end rank lost with it (including `rank` itself
+        /// when it is a back-end).
+        subtree: Vec<Rank>,
+    },
+}
+
+impl TopologyEvent {
+    /// The back-end ranks this event removes from the tree.
+    pub fn lost_ranks(&self) -> &[Rank] {
+        match self {
+            TopologyEvent::RankFailed { subtree, .. } => subtree,
+        }
+    }
+}
+
+/// The root node loop's record of confirmed failures, shared with the
+/// [`crate::Network`] handle: an event queue tools consume plus the
+/// cumulative set of failed back-end ranks (so late readers see deaths
+/// that happened before they first asked).
+#[derive(Debug)]
+pub struct FailureLedger {
+    tx: Sender<TopologyEvent>,
+    rx: Receiver<TopologyEvent>,
+    failed: Mutex<BTreeSet<Rank>>,
+}
+
+impl Default for FailureLedger {
+    fn default() -> FailureLedger {
+        FailureLedger::new()
+    }
+}
+
+impl FailureLedger {
+    /// An empty ledger.
+    pub fn new() -> FailureLedger {
+        let (tx, rx) = unbounded();
+        FailureLedger {
+            tx,
+            rx,
+            failed: Mutex::new(BTreeSet::new()),
+        }
+    }
+
+    /// Records a confirmed failure and queues the event for the tool.
+    /// Ranks already recorded are still re-announced (the event carries
+    /// the reporter's view); the cumulative set deduplicates.
+    pub fn report(&self, rank: Rank, subtree: Vec<Rank>) {
+        {
+            let mut failed = self.failed.lock();
+            failed.insert(rank);
+            failed.extend(subtree.iter().copied());
+        }
+        // Send can only fail if the receiver half is gone, which cannot
+        // happen while `self` holds it.
+        let _ = self.tx.send(TopologyEvent::RankFailed { rank, subtree });
+    }
+
+    /// The event queue's receiving half, for blocking/timeout reads.
+    pub fn events(&self) -> &Receiver<TopologyEvent> {
+        &self.rx
+    }
+
+    /// Every rank ever reported failed, sorted.
+    pub fn failed_ranks(&self) -> Vec<Rank> {
+        self.failed.lock().iter().copied().collect()
+    }
+
+    /// True if `rank` has been reported failed.
+    pub fn is_failed(&self, rank: Rank) -> bool {
+        self.failed.lock().contains(&rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn report_queues_event_and_accumulates() {
+        let ledger = FailureLedger::new();
+        assert!(ledger.failed_ranks().is_empty());
+        ledger.report(3, vec![5, 6]);
+        ledger.report(7, vec![7]);
+        assert_eq!(ledger.failed_ranks(), vec![3, 5, 6, 7]);
+        assert!(ledger.is_failed(5));
+        assert!(!ledger.is_failed(4));
+        let ev = ledger.events().try_recv().unwrap();
+        assert_eq!(
+            ev,
+            TopologyEvent::RankFailed {
+                rank: 3,
+                subtree: vec![5, 6]
+            }
+        );
+        assert_eq!(ev.lost_ranks(), &[5, 6]);
+        assert!(ledger.events().try_recv().is_ok());
+        assert!(ledger.events().try_recv().is_err());
+    }
+
+    #[test]
+    fn events_support_timeout_reads() {
+        let ledger = FailureLedger::new();
+        assert!(ledger
+            .events()
+            .recv_timeout(Duration::from_millis(10))
+            .is_err());
+        ledger.report(1, vec![1]);
+        assert!(ledger
+            .events()
+            .recv_timeout(Duration::from_millis(10))
+            .is_ok());
+    }
+}

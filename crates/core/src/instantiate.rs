@@ -29,12 +29,13 @@ use mrnet_obs::log_error;
 use mrnet_packet::{BatchPolicy, Rank};
 use mrnet_topology::{Role, Topology};
 use mrnet_transport::{
-    Listener, LocalConnection, LocalFabric, SharedConnection, TcpConnection, TcpTransportListener,
+    Listener, LocalConnection, LocalFabric, RetryPolicy, SharedConnection, TcpTransportListener,
 };
 
 use crate::backend::Backend;
 use crate::delivery::Delivery;
 use crate::error::{MrnetError, Result};
+use crate::event::FailureLedger;
 use crate::internal::process::{Inbound, NodeLoop};
 use crate::network::Network;
 use crate::proto::{decode_frame, Control, Frame};
@@ -76,9 +77,14 @@ pub struct PendingNetwork {
     cmd_tx: Sender<Inbound>,
     delivery: Arc<Delivery>,
     registry: FilterRegistry,
+    ledger: Arc<FailureLedger>,
     joins: Vec<JoinHandle<()>>,
     attach_points: Vec<AttachPoint>,
     fabric: LocalFabric,
+    /// OS pids of the commnode processes spawned directly by the
+    /// front-end ([`launch_processes`] deployments only), for tools and
+    /// tests that exercise failure injection.
+    commnode_pids: Vec<u32>,
     /// Rendezvous advertisements harvested from the tree during
     /// process instantiation ([`launch_processes`]); thread-based
     /// instantiation fills `attach_points` statically instead.
@@ -144,6 +150,14 @@ impl PendingNetwork {
         &self.fabric
     }
 
+    /// OS pids of the commnode processes the front-end spawned
+    /// directly ([`launch_processes`] deployments; empty otherwise).
+    /// Deeper commnodes are spawned by their own parents and are not
+    /// listed. Intended for failure-injection tests and supervisors.
+    pub fn commnode_pids(&self) -> &[u32] {
+        &self.commnode_pids
+    }
+
     /// Waits until every back-end has attached and subtree reports have
     /// propagated, then returns the operational network.
     pub fn wait(self, timeout: Duration) -> Result<Network> {
@@ -156,6 +170,7 @@ impl PendingNetwork {
             self.delivery,
             endpoints,
             self.registry,
+            self.ledger,
             self.joins,
         ))
     }
@@ -256,7 +271,11 @@ impl NetworkBuilder {
                 let listener =
                     TcpTransportListener::bind("127.0.0.1:0").map_err(MrnetError::Transport)?;
                 let addr = listener.addr();
-                let child = TcpConnection::connect(&addr).map_err(MrnetError::Transport)?;
+                // Backoff-retried connect: tolerates the transient
+                // refusals of a loaded host mid-instantiation.
+                let (child, _retries) = RetryPolicy::from_env()
+                    .connect(&addr)
+                    .map_err(MrnetError::Transport)?;
                 let parent = listener.accept().map_err(MrnetError::Transport)?;
                 Ok((Arc::from(parent), Arc::new(child) as SharedConnection))
             }
@@ -306,6 +325,7 @@ impl NetworkBuilder {
 
         let mut joins = Vec::new();
         let delivery = Arc::new(Delivery::new());
+        let ledger = Arc::new(FailureLedger::new());
         let (ready_tx, ready_rx) = bounded(1);
         let root_inbox = NodeLoop::inbox();
         let cmd_tx = root_inbox.0.clone();
@@ -318,6 +338,8 @@ impl NetworkBuilder {
             let rank = id.0 as Rank;
             let registry = self.registry.clone();
             let batch = self.batch_policy;
+            let child_ranks: Vec<Rank> = topo.children(id).iter().map(|c| c.0 as Rank).collect();
+            let ledger_opt = (role == Role::FrontEnd).then(|| ledger.clone());
             let parent = if role == Role::FrontEnd {
                 None
             } else {
@@ -366,6 +388,10 @@ impl NetworkBuilder {
                             ready_opt,
                             inbox,
                         );
+                        node.set_child_ranks(child_ranks);
+                        if let Some(ledger) = ledger_opt {
+                            node.set_failure_ledger(ledger);
+                        }
                         if let Err(e) = node.setup() {
                             log_error!(rank, "setup failed: {e}");
                             return;
@@ -382,9 +408,11 @@ impl NetworkBuilder {
                 cmd_tx,
                 delivery,
                 registry: self.registry,
+                ledger,
                 joins,
                 attach_points,
                 fabric,
+                commnode_pids: Vec::new(),
                 attach_rx: None,
                 expected_backends: 0,
             }));
@@ -404,7 +432,8 @@ impl NetworkBuilder {
         let endpoints = ready_rx
             .recv_timeout(self.ready_timeout)
             .map_err(|_| MrnetError::Instantiation("instantiation timed out".into()))?;
-        let network = Network::from_parts(cmd_tx, delivery, endpoints, self.registry, joins);
+        let network =
+            Network::from_parts(cmd_tx, delivery, endpoints, self.registry, ledger, joins);
         Ok(Launched::Full(Deployment { network, backends }))
     }
 }
@@ -490,6 +519,7 @@ pub fn launch_processes_with_registry(
         ));
     }
     let delivery = Arc::new(Delivery::new());
+    let ledger = Arc::new(FailureLedger::new());
     let (ready_tx, ready_rx) = bounded(1);
     let (attach_tx, attach_rx) = crossbeam::channel::unbounded();
     let root_inbox = NodeLoop::inbox();
@@ -503,12 +533,15 @@ pub fn launch_processes_with_registry(
         let _ = attach_tx.send((rank, endpoint));
     }
     let mut spawned = spawn_internal_children(&plan, commnode_exe, &listener.addr())?;
+    let commnode_pids: Vec<u32> = spawned.iter().map(std::process::Child::id).collect();
 
     let reg = registry.clone();
     let deliv = delivery.clone();
+    let root_ledger = ledger.clone();
     let root_join = std::thread::Builder::new()
         .name("mrnet-fe-root".to_owned())
         .spawn(move || {
+            let child_ranks = plan.order.clone();
             let children = match accept_children(&listener, &view, &plan) {
                 Ok(c) => c,
                 Err(e) => {
@@ -527,6 +560,8 @@ pub fn launch_processes_with_registry(
                 root_inbox,
             );
             node.set_attach_sink(attach_tx);
+            node.set_child_ranks(child_ranks);
+            node.set_failure_ledger(root_ledger);
             if let Err(e) = node.setup() {
                 log_error!("fe", "setup failed: {e}");
                 return;
@@ -543,9 +578,11 @@ pub fn launch_processes_with_registry(
         cmd_tx,
         delivery,
         registry,
+        ledger,
         joins: vec![root_join],
         attach_points: Vec::new(),
         fabric: LocalFabric::new(),
+        commnode_pids,
         attach_rx: Some(attach_rx),
         expected_backends,
     })

@@ -14,7 +14,7 @@
 //! commands (stream creation, downstream sends, shutdown) arrive on
 //! the same inbox as network traffic.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -30,6 +30,7 @@ use mrnet_transport::SharedConnection;
 
 use crate::delivery::Delivery;
 use crate::error::{MrnetError, Result};
+use crate::event::FailureLedger;
 use crate::internal::stream_manager::StreamManager;
 use crate::introspect::{self, METRICS_REPLY, METRICS_REQUEST, METRICS_STREAM};
 use crate::proto::{decode_frame, encode_data_frame, Control, Frame};
@@ -117,6 +118,27 @@ pub struct NodeLoop {
     metrics: Arc<NodeMetrics>,
     /// In-flight metrics collections keyed by request id.
     collects: HashMap<u32, MetricsCollect>,
+    /// The tree rank of each direct child, in child order, so a dead
+    /// connection can be named in [`crate::TopologyEvent::RankFailed`].
+    child_ranks: Vec<Rank>,
+    /// Whether each child's death has already been announced —
+    /// EOF and a propagated report can both arrive for the same child.
+    child_death_reported: Vec<bool>,
+    /// Every rank this node has confirmed dead (end-points and
+    /// internal nodes alike).
+    known_dead: BTreeSet<Rank>,
+    /// Root only: the failure record shared with the `Network` handle.
+    ledger: Option<Arc<FailureLedger>>,
+}
+
+/// Where a failure report entered this node, which determines where it
+/// must be forwarded (everywhere except back toward the reporter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FailureOrigin {
+    /// Detected locally or reported by child `usize`.
+    Child(usize),
+    /// Reported by the parent (the failure is in a sibling subtree).
+    Parent,
 }
 
 fn spawn_pump(
@@ -199,6 +221,10 @@ impl NodeLoop {
             registry,
             parent,
             child_alive: vec![true; n],
+            child_ranks: Vec::new(),
+            child_death_reported: vec![false; n],
+            known_dead: BTreeSet::new(),
+            ledger: None,
             children,
             routes: RoutingTable::new(),
             managers: HashMap::new(),
@@ -227,6 +253,18 @@ impl NodeLoop {
     /// [`NodeLoop::setup`].
     pub fn set_attach_sink(&mut self, tx: Sender<(Rank, String)>) {
         self.attach_tx = Some(tx);
+    }
+
+    /// Records the tree rank of each direct child (child order), so a
+    /// dead connection can be attributed to a rank in failure events.
+    pub fn set_child_ranks(&mut self, ranks: Vec<Rank>) {
+        self.child_ranks = ranks;
+    }
+
+    /// Installs the root-side failure ledger shared with the
+    /// [`crate::Network`] handle; confirmed deaths are reported there.
+    pub fn set_failure_ledger(&mut self, ledger: Arc<FailureLedger>) {
+        self.ledger = Some(ledger);
     }
 
     fn now(&self) -> f64 {
@@ -366,8 +404,17 @@ impl NodeLoop {
     fn dispatch(&mut self, msg: Inbound) -> bool {
         match msg {
             Inbound::Child(i, frame) => {
+                if !self.child_alive[i] {
+                    // Late frames from a connection already declared
+                    // dead (e.g. buffered before garbage): drop.
+                    return true;
+                }
                 if let Err(e) = self.on_child_frame(i, frame) {
-                    log_error!(self.rank, "child frame error: {e}");
+                    // A child speaking garbage (undecodable frame,
+                    // protocol violation) is as gone as one that hung
+                    // up: sever it and keep serving the others.
+                    log_error!(self.rank, "child {i} frame error, declaring it failed: {e}");
+                    self.handle_child_death(i);
                 }
                 true
             }
@@ -380,12 +427,123 @@ impl NodeLoop {
             },
             Inbound::Cmd(cmd) => self.on_command(cmd),
             Inbound::ChildClosed(i) => {
-                self.child_alive[i] = false;
-                self.forget_collect_child(i);
+                self.handle_child_death(i);
                 true
             }
             // Parent vanished: treat as shutdown so the subtree exits.
             Inbound::ParentClosed => false,
+        }
+    }
+
+    /// Confirms child `child` dead: computes the lost subtree, prunes
+    /// local state, and announces the failure through the tree.
+    /// Idempotent — EOF, garbage, and a propagated report can all name
+    /// the same child.
+    fn handle_child_death(&mut self, child: usize) {
+        self.child_alive[child] = false;
+        self.forget_collect_child(child);
+        if self.child_death_reported[child] {
+            return;
+        }
+        self.child_death_reported[child] = true;
+        self.metrics.peer_deaths.inc();
+        // Everything only reachable through this child dies with it,
+        // minus ranks already declared dead by earlier reports.
+        let lost: Vec<Rank> = if child < self.routes.num_children() {
+            self.routes
+                .reachable_via(child)
+                .into_iter()
+                .filter(|r| !self.known_dead.contains(r))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let failed_rank = self
+            .child_ranks
+            .get(child)
+            .copied()
+            .unwrap_or_else(|| lost.first().copied().unwrap_or(self.rank));
+        self.on_ranks_failed(failed_rank, lost, FailureOrigin::Child(child));
+    }
+
+    /// Applies a confirmed failure everywhere it matters at this node:
+    /// routing shrinks, every stream prunes its membership (forwarding
+    /// waves the shrinkage released), and the report is forwarded to
+    /// every neighbor except the one it came from. At the root the
+    /// report lands in the failure ledger as a tool-visible event.
+    fn on_ranks_failed(&mut self, failed_rank: Rank, subtree: Vec<Rank>, origin: FailureOrigin) {
+        let fresh: Vec<Rank> = subtree
+            .into_iter()
+            .filter(|r| self.known_dead.insert(*r))
+            .collect();
+        let node_is_new = self.known_dead.insert(failed_rank);
+        if fresh.is_empty() && !node_is_new {
+            return; // Duplicate report: fully processed already.
+        }
+        let now = self.now();
+        self.routes.remove_endpoints(&fresh);
+        // Prune every stream; a wave stuck waiting on the dead subtree
+        // completes from the survivors right here.
+        let sids: Vec<StreamId> = self.managers.keys().copied().collect();
+        for sid in sids {
+            let before = self
+                .managers
+                .get(&sid)
+                .map_or(0, |m| m.live_endpoints().len());
+            let pruned = match self.managers.get_mut(&sid).unwrap().prune(&fresh, now) {
+                Ok(res) => res,
+                Err(e) => {
+                    log_error!(self.rank, "prune error on stream {sid}: {e}");
+                    continue;
+                }
+            };
+            let (packets, all_dead) = pruned;
+            let shrank = self
+                .managers
+                .get(&sid)
+                .map_or(0, |m| m.live_endpoints().len())
+                < before;
+            if shrank {
+                self.metrics.pruned_streams.inc();
+            }
+            for p in packets {
+                self.forward_up(p);
+            }
+            if all_dead {
+                if let Some(delivery) = &self.delivery {
+                    // Root: no packet can ever arrive on this stream
+                    // again; unblock (and fail) its receivers.
+                    delivery.fail_stream(sid);
+                }
+            }
+        }
+        // Forward everywhere except whence it came.
+        let report = Control::RankFailed {
+            rank: failed_rank,
+            subtree: fresh.clone(),
+        }
+        .to_frame();
+        match origin {
+            FailureOrigin::Child(from) => {
+                if let Some(parent) = &self.parent {
+                    let _ = parent.send(report.clone());
+                } else if let Some(ledger) = &self.ledger {
+                    self.metrics.events_delivered.inc();
+                    ledger.report(failed_rank, fresh.clone());
+                }
+                for i in 0..self.children.len() {
+                    if i != from && self.child_alive[i] {
+                        let _ = self.children[i].send(report.clone());
+                    }
+                }
+            }
+            FailureOrigin::Parent => {
+                for i in 0..self.children.len() {
+                    if self.child_alive[i] {
+                        let _ = self.children[i].send(report.clone());
+                    }
+                }
+            }
         }
     }
 
@@ -438,6 +596,11 @@ impl NodeLoop {
                 Control::SubtreeReport { .. }
                 | Control::Attach { .. }
                 | Control::AttachInfo { .. } => {}
+                Control::RankFailed { rank, subtree } => {
+                    // A descendant deeper in this child's subtree died;
+                    // the child itself is alive (it told us).
+                    self.on_ranks_failed(rank, subtree, FailureOrigin::Child(child));
+                }
                 other => {
                     return Err(MrnetError::Protocol(format!(
                         "unexpected upstream control: {other:?}"
@@ -494,6 +657,11 @@ impl NodeLoop {
                         self.delete_stream(*stream_id);
                         Ok(true)
                     }
+                    Control::RankFailed { rank, subtree } => {
+                        // A failure in a sibling subtree, relayed down.
+                        self.on_ranks_failed(*rank, subtree.clone(), FailureOrigin::Parent);
+                        Ok(true)
+                    }
                     Control::Shutdown => Ok(false),
                     other => Err(MrnetError::Protocol(format!(
                         "unexpected downstream control: {other:?}"
@@ -533,7 +701,19 @@ impl NodeLoop {
         }
     }
 
-    fn create_stream(&mut self, def: StreamDef) -> Result<()> {
+    fn create_stream(&mut self, mut def: StreamDef) -> Result<()> {
+        // Streams are born onto the *surviving* tree: ranks that died
+        // before creation never join the membership (otherwise the
+        // first WaitForAll wave would stall on them).
+        if !self.known_dead.is_empty() {
+            def.endpoints.retain(|r| !self.known_dead.contains(r));
+        }
+        if def.endpoints.is_empty() {
+            if let Some(delivery) = &self.delivery {
+                delivery.fail_stream(def.id);
+            }
+            return Ok(());
+        }
         let frame = def.to_control().to_frame();
         let mgr = StreamManager::with_metrics(
             def,

@@ -34,6 +34,10 @@ pub struct StreamManager {
     /// order; the position within this vector is the sync-filter slot.
     participants: Vec<usize>,
     slot_of_child: HashMap<usize, usize>,
+    /// Per-slot stream end-points served through that participant
+    /// child, shrunk as failures are pruned; a slot whose target set
+    /// empties is deactivated in the sync filter.
+    slot_targets: Vec<Vec<Rank>>,
     /// Per-stream packet counters (shared with the node's registry).
     counters: Option<Arc<StreamCounters>>,
     /// Upstream-filter timing; the synchronization-delay histogram
@@ -81,6 +85,10 @@ impl StreamManager {
             .enumerate()
             .map(|(slot, &child)| (child, slot))
             .collect();
+        let slot_targets: Vec<Vec<Rank>> = participants
+            .iter()
+            .map(|&child| routes.targets_via(child, &def.endpoints))
+            .collect();
         let up_id = registry.id_of(&def.up_filter)?;
         let (up, counters, up_stats) = match metrics {
             Some(m) => {
@@ -104,6 +112,7 @@ impl StreamManager {
             down,
             participants,
             slot_of_child,
+            slot_targets,
             counters,
             up_stats,
             first_arrival: None,
@@ -199,6 +208,34 @@ impl StreamManager {
     /// run, if any.
     pub fn deadline(&self) -> Option<f64> {
         self.sync.deadline()
+    }
+
+    /// The stream's surviving end-points.
+    pub fn live_endpoints(&self) -> &[Rank] {
+        &self.def.endpoints
+    }
+
+    /// Shrinks the stream's membership after the ranks in `dead`
+    /// failed: removes them from the end-point set, deactivates
+    /// sync-filter slots whose every target died (so `WaitForAll`
+    /// waves complete with the survivors), and runs any waves the
+    /// shrinkage released through the upstream filter. Returns the
+    /// released aggregate packets and whether the stream now has no
+    /// end-points left at all.
+    pub fn prune(&mut self, dead: &[Rank], now: f64) -> Result<(Vec<Packet>, bool)> {
+        self.def.endpoints.retain(|r| !dead.contains(r));
+        let mut released = Vec::new();
+        for slot in 0..self.slot_targets.len() {
+            let targets = &mut self.slot_targets[slot];
+            let before = targets.len();
+            targets.retain(|r| !dead.contains(r));
+            if before > 0 && targets.is_empty() {
+                released.extend(self.sync.deactivate_slot(slot, now));
+            }
+        }
+        self.note_released(&released, now);
+        let packets = self.run_waves(released)?;
+        Ok((packets, self.def.endpoints.is_empty()))
     }
 }
 
@@ -354,6 +391,72 @@ mod tests {
         let wait = stats.wait_us.snapshot();
         assert_eq!(wait.count, 1);
         assert_eq!(wait.sum_us, 25_000);
+    }
+
+    #[test]
+    fn prune_completes_wait_for_all_wave_with_survivors() {
+        let reg = FilterRegistry::with_builtins();
+        let mut m = StreamManager::new(
+            def(vec![10, 12, 13], "f_sum", SyncMode::WaitForAll),
+            &routes(),
+            &reg,
+            3,
+        )
+        .unwrap();
+        // Two of three participants have reported; the wave is stuck
+        // waiting on child 1 (serving rank 12).
+        assert!(m.up(0, fpkt(1.0), 0.0).unwrap().is_empty());
+        assert!(m.up(2, fpkt(2.0), 0.1).unwrap().is_empty());
+        // Rank 12 dies: the wave must complete from the survivors.
+        let (out, empty) = m.prune(&[12], 0.2).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get(0).unwrap().as_f32(), Some(3.0));
+        assert!(!empty);
+        assert_eq!(m.live_endpoints(), &[10, 13]);
+        // Subsequent waves need only the two survivors.
+        assert!(m.up(0, fpkt(5.0), 0.3).unwrap().is_empty());
+        let out = m.up(2, fpkt(7.0), 0.4).unwrap();
+        assert_eq!(out[0].get(0).unwrap().as_f32(), Some(12.0));
+    }
+
+    #[test]
+    fn prune_partial_slot_keeps_slot_active() {
+        let reg = FilterRegistry::with_builtins();
+        // Child 0 serves both 10 and 11; losing 11 alone must not
+        // deactivate the slot.
+        let mut m = StreamManager::new(
+            def(vec![10, 11, 12], "f_sum", SyncMode::WaitForAll),
+            &routes(),
+            &reg,
+            3,
+        )
+        .unwrap();
+        assert!(m.up(1, fpkt(4.0), 0.0).unwrap().is_empty());
+        let (out, empty) = m.prune(&[11], 0.1).unwrap();
+        assert!(out.is_empty());
+        assert!(!empty);
+        // Child 0 still participates (rank 10 lives there); once it
+        // reports, the wave held since before the prune completes.
+        let waves = m.up(0, fpkt(1.0), 0.2).unwrap();
+        assert_eq!(waves.len(), 1);
+        assert_eq!(waves[0].get(0).unwrap().as_f32(), Some(5.0));
+    }
+
+    #[test]
+    fn prune_to_empty_reports_dead_stream() {
+        let reg = FilterRegistry::with_builtins();
+        let mut m = StreamManager::new(
+            def(vec![10, 12], "f_sum", SyncMode::WaitForAll),
+            &routes(),
+            &reg,
+            3,
+        )
+        .unwrap();
+        let (_, empty) = m.prune(&[10], 0.0).unwrap();
+        assert!(!empty);
+        let (_, empty) = m.prune(&[12], 0.1).unwrap();
+        assert!(empty);
+        assert!(m.live_endpoints().is_empty());
     }
 
     #[test]

@@ -44,6 +44,7 @@ mod backend;
 pub mod commnode;
 mod delivery;
 mod error;
+mod event;
 mod instantiate;
 pub mod internal;
 pub mod introspect;
@@ -59,6 +60,7 @@ mod streams;
 pub use backend::Backend;
 pub use delivery::DeliveryStreamStats;
 pub use error::{MrnetError, Result};
+pub use event::{FailureLedger, TopologyEvent};
 pub use instantiate::{
     launch_local, launch_processes, launch_processes_with_registry, AttachPoint, Deployment,
     NetworkBuilder, PendingNetwork, WireTransport,

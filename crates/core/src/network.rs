@@ -28,6 +28,7 @@ use mrnet_packet::{Packet, Rank, StreamId, Value};
 
 use crate::delivery::Delivery;
 use crate::error::{MrnetError, Result};
+use crate::event::{FailureLedger, TopologyEvent};
 use crate::internal::process::{Command, Inbound};
 use crate::proto::FIRST_USER_STREAM;
 use crate::streams::StreamDef;
@@ -37,6 +38,7 @@ pub(crate) struct NetInner {
     pub(crate) delivery: Arc<Delivery>,
     pub(crate) endpoints: Vec<Rank>,
     pub(crate) registry: FilterRegistry,
+    pub(crate) ledger: Arc<FailureLedger>,
     next_stream: AtomicU32,
     next_metrics_req: AtomicU32,
     streams: Mutex<HashMap<StreamId, StreamDef>>,
@@ -109,6 +111,7 @@ impl Network {
         delivery: Arc<Delivery>,
         endpoints: Vec<Rank>,
         registry: FilterRegistry,
+        ledger: Arc<FailureLedger>,
         joins: Vec<JoinHandle<()>>,
     ) -> Network {
         Network {
@@ -117,6 +120,7 @@ impl Network {
                 delivery,
                 endpoints,
                 registry,
+                ledger,
                 next_stream: AtomicU32::new(FIRST_USER_STREAM),
                 next_metrics_req: AtomicU32::new(0),
                 streams: Mutex::new(HashMap::new()),
@@ -259,6 +263,29 @@ impl Network {
         // the slack covers scheduling of the reply itself.
         rx.recv_timeout(timeout + Duration::from_secs(2))
             .map_err(|_| MrnetError::Timeout)
+    }
+
+    /// Blocks up to `timeout` for the next topology event (MRNet's
+    /// event queue): currently rank-failure notifications produced as
+    /// the tree detects and propagates process deaths. Returns
+    /// [`MrnetError::Timeout`] when nothing happens in time.
+    pub fn next_event_timeout(&self, timeout: Duration) -> Result<TopologyEvent> {
+        self.inner
+            .ledger
+            .events()
+            .recv_timeout(timeout)
+            .map_err(|_| MrnetError::Timeout)
+    }
+
+    /// Non-blocking poll of the topology event queue.
+    pub fn try_next_event(&self) -> Option<TopologyEvent> {
+        self.inner.ledger.events().try_recv().ok()
+    }
+
+    /// Every rank confirmed failed so far (cumulative, sorted), so a
+    /// tool that missed events can still learn the surviving set.
+    pub fn failed_ranks(&self) -> Vec<Rank> {
+        self.inner.ledger.failed_ranks()
     }
 
     fn ensure_up(&self) -> Result<()> {

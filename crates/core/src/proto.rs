@@ -43,6 +43,11 @@ pub mod tags {
     /// endpoints serve which back-end ranks ("the leaf processes' host
     /// names and connection port numbers", §2.5).
     pub const ATTACH_INFO: i32 = -7;
+    /// Rank-death report (bidirectional): the node that detects a dead
+    /// peer propagates the failure both up toward the front-end and
+    /// down the surviving subtrees so every node prunes its routes and
+    /// stream membership.
+    pub const RANK_FAILED: i32 = -8;
 }
 
 /// Frame kind discriminants.
@@ -146,6 +151,15 @@ pub enum Control {
         /// `host:port` endpoint per rank.
         endpoints: Vec<String>,
     },
+    /// A failure report: `rank` (the tree node whose connection died)
+    /// and every back-end endpoint that was only reachable through it.
+    /// Flows up to the front-end and down to surviving subtrees.
+    RankFailed {
+        /// The failed tree node (internal node or back-end).
+        rank: Rank,
+        /// Back-end ranks lost with it (for a back-end, just itself).
+        subtree: Vec<Rank>,
+    },
 }
 
 impl Control {
@@ -191,6 +205,12 @@ impl Control {
                 PacketBuilder::new(CONTROL_STREAM, tags::ATTACH_INFO)
                     .push(ranks.clone())
                     .push(endpoints.clone())
+                    .build()
+            }
+            Control::RankFailed { rank, subtree } => {
+                PacketBuilder::new(CONTROL_STREAM, tags::RANK_FAILED)
+                    .push(*rank)
+                    .push(subtree.clone())
                     .build()
             }
         }
@@ -290,6 +310,18 @@ impl Control {
                 }
                 Ok(Control::AttachInfo { ranks, endpoints })
             }
+            tags::RANK_FAILED => {
+                let rank = packet
+                    .get(0)
+                    .and_then(Value::as_u32)
+                    .ok_or_else(|| bad("RankFailed"))?;
+                let subtree = packet
+                    .get(1)
+                    .and_then(Value::as_u32_slice)
+                    .ok_or_else(|| bad("RankFailed"))?
+                    .to_vec();
+                Ok(Control::RankFailed { rank, subtree })
+            }
             other => Err(MrnetError::Protocol(format!("unknown control tag {other}"))),
         }
     }
@@ -342,6 +374,22 @@ mod tests {
             ranks: vec![9, 10],
             endpoints: vec!["127.0.0.1:4000".into(), "127.0.0.1:4001".into()],
         });
+        round_trip(Control::RankFailed {
+            rank: 2,
+            subtree: vec![5, 6, 7],
+        });
+        round_trip(Control::RankFailed {
+            rank: 6,
+            subtree: vec![6],
+        });
+    }
+
+    #[test]
+    fn malformed_rank_failed_rejected() {
+        let p = PacketBuilder::new(CONTROL_STREAM, tags::RANK_FAILED)
+            .push("not a rank")
+            .build();
+        assert!(Control::from_packet(&p).is_err());
     }
 
     #[test]

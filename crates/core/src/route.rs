@@ -72,6 +72,25 @@ impl RoutingTable {
             .filter(|r| self.reachable[child].contains(r))
             .collect()
     }
+
+    /// All end-points reachable via `child`, sorted — the subtree that
+    /// is lost when the child's connection dies.
+    pub fn reachable_via(&self, child: usize) -> Vec<Rank> {
+        let mut v: Vec<Rank> = self.reachable[child].iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Removes failed end-points from every child's reachable set.
+    /// Child indices stay stable (an emptied child keeps its slot), so
+    /// routing indices held elsewhere remain valid after a failure.
+    pub fn remove_endpoints(&mut self, dead: &[Rank]) {
+        for set in &mut self.reachable {
+            for r in dead {
+                set.remove(r);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -112,6 +131,26 @@ mod tests {
         let t = table();
         assert!(t.child_serves(0, &[2]));
         assert!(!t.child_serves(0, &[3]));
+    }
+
+    #[test]
+    fn reachable_via_is_sorted_subtree() {
+        let t = table();
+        assert_eq!(t.reachable_via(2), vec![4, 5, 6]);
+        assert_eq!(t.reachable_via(1), vec![3]);
+    }
+
+    #[test]
+    fn remove_endpoints_keeps_child_indices_stable() {
+        let mut t = table();
+        t.remove_endpoints(&[3, 5]);
+        assert_eq!(t.num_children(), 3);
+        assert_eq!(t.reachable_via(1), Vec::<Rank>::new());
+        assert_eq!(t.reachable_via(2), vec![4, 6]);
+        assert_eq!(t.all_endpoints(), vec![1, 2, 4, 6]);
+        // Routing queries now skip the dead ranks.
+        assert_eq!(t.children_for(&[3]), Vec::<usize>::new());
+        assert_eq!(t.children_for(&[5, 6]), vec![2]);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use std::time::Duration;
 
-use mrnet::{launch_local, MrnetError, NetworkBuilder, SyncMode, Value};
+use mrnet::{launch_local, MrnetError, NetworkBuilder, SyncMode, TopologyEvent, Value};
 use mrnet_topology::{generator, HostPool};
 
 fn pool() -> HostPool {
@@ -16,7 +16,7 @@ fn pool() -> HostPool {
 const TIMEOUT: Duration = Duration::from_secs(15);
 
 #[test]
-fn dead_backend_stalls_wait_for_all_but_not_other_streams() {
+fn dead_backend_prunes_wait_for_all_and_fails_drained_streams() {
     let topo = generator::flat(4, &mut pool()).unwrap();
     let dep = launch_local(topo).unwrap();
     let net = dep.network.clone();
@@ -25,6 +25,15 @@ fn dead_backend_stalls_wait_for_all_but_not_other_streams() {
     // Kill one back-end before it answers anything.
     drop(backends.pop());
 
+    // The death surfaces as a topology event naming the victim...
+    let TopologyEvent::RankFailed { subtree, .. } = net.next_event_timeout(TIMEOUT).unwrap();
+    assert_eq!(subtree, vec![victim_rank]);
+    // ...and in the cumulative failed set.
+    assert_eq!(net.failed_ranks(), vec![victim_rank]);
+
+    // A WaitForAll stream over the pre-death broadcast communicator
+    // does not stall: its membership shrinks to the survivors and the
+    // wave completes from their contributions alone.
     let comm = net.broadcast_communicator();
     let sum = net.registry().id_of("d_sum").unwrap();
     let all_stream = net.new_stream(&comm, sum, SyncMode::WaitForAll).unwrap();
@@ -33,32 +42,75 @@ fn dead_backend_stalls_wait_for_all_but_not_other_streams() {
         let (_, sid) = be.recv().unwrap();
         be.send(sid, 0, "%d", vec![Value::Int32(1)]).unwrap();
     }
-    // WaitForAll over a dead member can never complete...
-    assert_eq!(
-        all_stream.recv_timeout(Duration::from_millis(400)),
-        Err(MrnetError::Timeout)
-    );
+    let agg = all_stream.recv_timeout(TIMEOUT).unwrap();
+    assert_eq!(agg.get(0).unwrap().as_i32(), Some(3));
 
-    // ...but a stream over the survivors works fine on the same tree.
-    let survivors = net
-        .communicator(
-            net.endpoints()
-                .iter()
-                .copied()
-                .filter(|&r| r != victim_rank),
-        )
-        .unwrap();
-    let ok_stream = net
-        .new_stream(&survivors, sum, SyncMode::WaitForAll)
-        .unwrap();
-    ok_stream.send(1, "%d", vec![Value::Int32(0)]).unwrap();
-    for be in &backends {
-        let (_, sid) = be.recv().unwrap();
-        be.send(sid, 1, "%d", vec![Value::Int32(2)]).unwrap();
-    }
-    let result = ok_stream.recv_timeout(TIMEOUT).unwrap();
-    assert_eq!(result.get(0).unwrap().as_i32(), Some(6));
+    // Kill every remaining member: the stream reports that its
+    // end-points are gone instead of blocking forever.
+    backends.clear();
+    assert_eq!(
+        all_stream.recv_timeout(TIMEOUT),
+        Err(MrnetError::AllEndpointsFailed)
+    );
     net.shutdown();
+}
+
+#[test]
+fn garbage_frame_to_node_severs_only_that_peer() {
+    // A raw TCP peer completes the attach handshake and then sends an
+    // undecodable frame. The node must declare that peer failed (an
+    // event reaches the front-end) while continuing to serve its other
+    // child — no panic, no hang.
+    use mrnet::proto::Control;
+    use mrnet::WireTransport;
+    use mrnet_transport::{Connection, TcpConnection};
+
+    let topo = generator::flat(2, &mut pool()).unwrap();
+    let pending = NetworkBuilder::new(topo)
+        .transport(WireTransport::Tcp)
+        .launch_internal()
+        .unwrap();
+    let points = pending.attach_points().to_vec();
+    assert_eq!(points.len(), 2);
+    let good = points[0].clone();
+    let good_be =
+        std::thread::spawn(move || mrnet::Backend::attach_tcp(&good.endpoint, good.rank).unwrap());
+    let impostor_rank = points[1].rank;
+    let raw = TcpConnection::connect(&points[1].endpoint).unwrap();
+    raw.send(
+        Control::Attach {
+            rank: impostor_rank,
+        }
+        .to_frame(),
+    )
+    .unwrap();
+    raw.send(
+        Control::SubtreeReport {
+            endpoints: vec![impostor_rank],
+        }
+        .to_frame(),
+    )
+    .unwrap();
+    let net = pending.wait(TIMEOUT).unwrap();
+    let good_be = good_be.join().unwrap();
+
+    // Valid framing, garbage contents.
+    raw.send(bytes::Bytes::from_static(&[0xde, 0xad, 0xbe, 0xef]))
+        .unwrap();
+    let TopologyEvent::RankFailed { subtree, .. } = net.next_event_timeout(TIMEOUT).unwrap();
+    assert_eq!(subtree, vec![impostor_rank]);
+
+    // The surviving child still works end-to-end on the same node.
+    let comm = net.broadcast_communicator();
+    let sum = net.registry().id_of("d_sum").unwrap();
+    let stream = net.new_stream(&comm, sum, SyncMode::WaitForAll).unwrap();
+    stream.send(0, "%d", vec![Value::Int32(0)]).unwrap();
+    let (_, sid) = good_be.recv().unwrap();
+    good_be.send(sid, 0, "%d", vec![Value::Int32(9)]).unwrap();
+    let agg = stream.recv_timeout(TIMEOUT).unwrap();
+    assert_eq!(agg.get(0).unwrap().as_i32(), Some(9));
+    net.shutdown();
+    drop(raw);
 }
 
 #[test]

@@ -177,6 +177,86 @@ fn introspection_covers_every_process_in_the_tree() {
 }
 
 #[test]
+fn sigkilled_commnode_fails_whole_subtree_but_tree_survives() {
+    // FE -> 2 commnode processes -> 4 back-ends. SIGKILL one commnode
+    // mid-run: the front-end must observe a RankFailed event covering
+    // that commnode's entire subtree, and the broadcast WaitForAll
+    // stream must keep completing waves from the surviving half.
+    use mrnet::TopologyEvent;
+
+    let topology = generator::balanced(2, 2, &mut HostPool::synthetic(16)).unwrap();
+    let n = topology.num_backends();
+    let pending = launch_processes(topology, &commnode_exe()).unwrap();
+    let pids = pending.commnode_pids().to_vec();
+    assert_eq!(pids.len(), 2, "root spawns two commnode processes");
+    let points = pending.collect_attach_points(TIMEOUT).unwrap();
+
+    // Back-ends echo their rank on every wave until their link dies.
+    let backend_threads: Vec<_> = points
+        .into_iter()
+        .map(|ap| {
+            std::thread::spawn(move || {
+                let be = Backend::attach_tcp(&ap.endpoint, ap.rank).unwrap();
+                while let Ok((_pkt, sid)) = be.recv() {
+                    let _ = be.send(
+                        sid,
+                        0,
+                        "%d",
+                        vec![Value::Int32(i32::try_from(ap.rank).unwrap())],
+                    );
+                }
+            })
+        })
+        .collect();
+
+    let net = pending.wait(TIMEOUT).unwrap();
+    let comm = net.broadcast_communicator();
+    let sum = net.registry().id_of("d_sum").unwrap();
+    let stream = net.new_stream(&comm, sum, SyncMode::WaitForAll).unwrap();
+
+    // Wave 1: everyone alive, full aggregate.
+    stream.send(0, "%d", vec![Value::Int32(0)]).unwrap();
+    let full: i32 = net.endpoints().iter().map(|&r| r as i32).sum();
+    let result = stream.recv_timeout(TIMEOUT).unwrap();
+    assert_eq!(result.get(0).unwrap().as_i32(), Some(full));
+
+    // Hard-kill one commnode process.
+    let status = std::process::Command::new("kill")
+        .args(["-9", &pids[0].to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(status.success());
+
+    // The front-end learns the whole subtree is gone in one event.
+    let TopologyEvent::RankFailed { rank, subtree } = net.next_event_timeout(TIMEOUT).unwrap();
+    assert_eq!(subtree.len(), n / 2, "half the back-ends died: {subtree:?}");
+    assert!(subtree.iter().all(|r| net.endpoints().contains(r)));
+    assert!(
+        !net.endpoints().contains(&rank),
+        "the failed node itself is a commnode, not a back-end"
+    );
+    let failed = net.failed_ranks();
+    assert!(failed.contains(&rank));
+    assert!(subtree.iter().all(|r| failed.contains(r)));
+
+    // Wave 2: the pruned stream completes from the survivors alone.
+    stream.send(0, "%d", vec![Value::Int32(0)]).unwrap();
+    let survivors: i32 = net
+        .endpoints()
+        .iter()
+        .filter(|r| !subtree.contains(r))
+        .map(|&r| r as i32)
+        .sum();
+    let result = stream.recv_timeout(TIMEOUT).unwrap();
+    assert_eq!(result.get(0).unwrap().as_i32(), Some(survivors));
+
+    net.shutdown();
+    for t in backend_threads {
+        t.join().unwrap();
+    }
+}
+
+#[test]
 fn missing_commnode_binary_fails_cleanly() {
     let topo = generator::balanced(2, 2, &mut HostPool::synthetic(16)).unwrap();
     let err = launch_processes(topo, std::path::Path::new("/nonexistent/commnode"))

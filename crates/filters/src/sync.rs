@@ -60,6 +60,10 @@ pub struct SyncFilter {
     num_children: usize,
     /// Per-child FIFO of packets not yet released in a wave.
     queues: Vec<VecDeque<Packet>>,
+    /// Per-child liveness; a dead slot no longer gates wave
+    /// completion, though packets it buffered before dying still join
+    /// outgoing waves until drained.
+    alive: Vec<bool>,
     /// When the oldest pending wave started (first packet arrival),
     /// for TimeOut mode.
     wave_started_at: Option<f64>,
@@ -73,6 +77,7 @@ impl SyncFilter {
             mode,
             num_children,
             queues: (0..num_children).map(|_| VecDeque::new()).collect(),
+            alive: vec![true; num_children],
             wave_started_at: None,
         }
     }
@@ -96,21 +101,53 @@ impl SyncFilter {
         self.collect(now)
     }
 
+    /// Marks child slot `slot` dead: it stops gating wave completion,
+    /// and any wave(s) its absence unblocks are returned. Packets the
+    /// slot buffered before dying still drain into outgoing waves.
+    /// Idempotent — deactivating a dead slot returns no waves.
+    pub fn deactivate_slot(&mut self, slot: usize, now: f64) -> Vec<Vec<Packet>> {
+        assert!(slot < self.num_children, "child index out of range");
+        if !self.alive[slot] {
+            return Vec::new();
+        }
+        self.alive[slot] = false;
+        self.collect(now)
+    }
+
+    /// How many child slots are still alive.
+    pub fn alive_children(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
     /// Re-evaluates readiness at time `now` without new input (the
-    /// event loop calls this when a TimeOut deadline fires).
+    /// event loop calls this when a TimeOut deadline fires or a slot
+    /// is deactivated).
     pub fn collect(&mut self, now: f64) -> Vec<Vec<Packet>> {
         let mut waves = Vec::new();
         loop {
-            let complete = !self.queues.is_empty() && self.queues.iter().all(|q| !q.is_empty());
+            // A wave is complete when every *living* child has
+            // contributed; once no children remain alive, whatever is
+            // buffered flushes out as final waves.
+            let any_alive = self.alive.iter().any(|&a| a);
+            let complete = if any_alive {
+                self.alive
+                    .iter()
+                    .zip(&self.queues)
+                    .all(|(&a, q)| !a || !q.is_empty())
+            } else {
+                self.has_pending()
+            };
             let timed_out = match (self.mode, self.wave_started_at) {
                 (SyncMode::TimeOut(t), Some(started)) => now - started >= t,
                 _ => false,
             };
             if complete {
+                // Living slots are checked non-empty; dead slots chip
+                // in a buffered packet while they still have one.
                 let wave: Vec<Packet> = self
                     .queues
                     .iter_mut()
-                    .map(|q| q.pop_front().expect("checked non-empty"))
+                    .filter_map(VecDeque::pop_front)
                     .collect();
                 waves.push(wave);
                 // Start timing the next wave from now if anything is
@@ -268,5 +305,70 @@ mod tests {
     fn push_checks_child_index() {
         let mut f = SyncFilter::new(SyncMode::WaitForAll, 2);
         f.push(2, pkt(0), 0.0);
+    }
+
+    #[test]
+    fn deactivate_releases_blocked_wave() {
+        let mut f = SyncFilter::new(SyncMode::WaitForAll, 3);
+        assert!(f.push(0, pkt(1), 0.0).is_empty());
+        assert!(f.push(1, pkt(2), 0.1).is_empty());
+        // Child 2 dies: the wave completes from the two survivors.
+        let waves = f.deactivate_slot(2, 0.2);
+        assert_eq!(waves.len(), 1);
+        assert_eq!(waves[0].len(), 2);
+        assert_eq!(f.alive_children(), 2);
+        // Subsequent waves need only the survivors.
+        f.push(0, pkt(3), 1.0);
+        let next = f.push(1, pkt(4), 1.1);
+        assert_eq!(next.len(), 1);
+        assert_eq!(next[0].len(), 2);
+    }
+
+    #[test]
+    fn dead_slot_buffered_packets_drain_into_waves() {
+        let mut f = SyncFilter::new(SyncMode::WaitForAll, 3);
+        // Child 2 races ahead with two packets, then dies.
+        assert!(f.push(2, pkt(20), 0.0).is_empty());
+        assert!(f.push(2, pkt(21), 0.0).is_empty());
+        assert!(f.deactivate_slot(2, 0.1).is_empty());
+        // Its buffered packets still ride along with survivor waves.
+        f.push(0, pkt(1), 1.0);
+        let w1 = f.push(1, pkt(2), 1.1);
+        assert_eq!(w1.len(), 1);
+        assert_eq!(w1[0].len(), 3);
+        f.push(0, pkt(3), 2.0);
+        let w2 = f.push(1, pkt(4), 2.1);
+        assert_eq!(w2[0].len(), 3);
+        // Buffer drained: waves shrink to the survivors.
+        f.push(0, pkt(5), 3.0);
+        let w3 = f.push(1, pkt(6), 3.1);
+        assert_eq!(w3[0].len(), 2);
+    }
+
+    #[test]
+    fn all_slots_dead_flushes_remaining_queues() {
+        let mut f = SyncFilter::new(SyncMode::WaitForAll, 2);
+        assert!(f.push(0, pkt(1), 0.0).is_empty());
+        assert!(f.push(0, pkt(2), 0.0).is_empty());
+        // Slot 1 (empty, alive) still gates; kill slot 0 first —
+        // nothing releases because slot 1 is alive with no packets.
+        assert!(f.deactivate_slot(0, 0.1).is_empty());
+        // Killing the last living slot flushes the leftovers.
+        let waves = f.deactivate_slot(1, 0.2);
+        assert_eq!(waves.len(), 2);
+        assert_eq!(waves[0].len(), 1);
+        assert_eq!(waves[1].len(), 1);
+        assert_eq!(f.alive_children(), 0);
+        assert!(!f.has_pending());
+    }
+
+    #[test]
+    fn deactivate_is_idempotent() {
+        let mut f = SyncFilter::new(SyncMode::WaitForAll, 2);
+        f.push(0, pkt(1), 0.0);
+        let first = f.deactivate_slot(1, 0.1);
+        assert_eq!(first.len(), 1);
+        assert!(f.deactivate_slot(1, 0.2).is_empty());
+        assert_eq!(f.alive_children(), 1);
     }
 }

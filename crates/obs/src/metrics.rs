@@ -249,6 +249,18 @@ pub struct NodeMetrics {
     /// Packet-path trace events, bounded ring; populated only while
     /// tracing is enabled.
     pub trace: TraceBuffer,
+    /// Directly-connected peers this node confirmed dead (EOF,
+    /// mid-frame loss, missed heartbeats, or garbage frames).
+    pub peer_deaths: Counter,
+    /// Connection attempts that needed at least one retry to succeed
+    /// (the process-mode connect-back race; sums retries, not sockets).
+    pub connect_retries: Counter,
+    /// Stream-prune operations: streams whose membership shrank at
+    /// this node because an end-point failed.
+    pub pruned_streams: Counter,
+    /// Topology events (rank failures) this node delivered to its
+    /// local tool thread.
+    pub events_delivered: Counter,
     streams: Mutex<BTreeMap<u32, Arc<StreamCounters>>>,
     filters: Mutex<BTreeMap<String, Arc<FilterStats>>>,
 }
@@ -291,6 +303,10 @@ impl NodeMetrics {
         s.push("up.bytes.local", self.local_up_bytes.get());
         s.push("queue.depth", self.queue_depth.get().max(0) as u64);
         s.push("trace.events", self.trace.recorded());
+        s.push("peer.deaths", self.peer_deaths.get());
+        s.push("connect.retries", self.connect_retries.get());
+        s.push("streams.pruned", self.pruned_streams.get());
+        s.push("events.delivered", self.events_delivered.get());
         s.push_histogram("batch.pkts", &self.batch_pkts.snapshot());
         s.push_histogram("hop_up_us", &self.hop_up_us.snapshot());
         s.push_histogram("hop_down_us", &self.hop_down_us.snapshot());
@@ -408,8 +424,14 @@ mod tests {
         let fs = m.filter_stats("sum_u32");
         fs.waves.inc();
         fs.exec_us.record_us(10);
+        m.peer_deaths.inc();
+        m.pruned_streams.add(2);
         let s = m.snapshot(3);
         assert_eq!(s.rank, 3);
+        assert_eq!(s.get("peer.deaths"), Some(1));
+        assert_eq!(s.get("connect.retries"), Some(0));
+        assert_eq!(s.get("streams.pruned"), Some(2));
+        assert_eq!(s.get("events.delivered"), Some(0));
         assert_eq!(s.get("up.pkts.sent"), Some(4));
         assert_eq!(s.get("down.pkts.recv"), Some(2));
         assert_eq!(s.get("stream.1.up.pkts"), Some(4));

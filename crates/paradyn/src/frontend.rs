@@ -283,6 +283,10 @@ pub struct OverlayHealth {
     pub down_pkts: u64,
     /// Total inbox backlog across all nodes at snapshot time.
     pub queued: u64,
+    /// Ranks the front-end has confirmed failed (cumulative). A
+    /// non-empty set explains missing `nodes` without waiting for a
+    /// snapshot timeout.
+    pub failed_ranks: Vec<mrnet::Rank>,
     /// The full per-node snapshot for deeper inspection.
     pub snapshot: NetworkSnapshot,
 }
@@ -298,6 +302,7 @@ pub fn overlay_health(net: &Network, timeout: Duration) -> Result<OverlayHealth>
         up_pkts: snapshot.total("up.pkts.sent"),
         down_pkts: snapshot.total("down.pkts.sent"),
         queued: snapshot.total("queue.depth"),
+        failed_ranks: net.failed_ranks(),
         snapshot,
     })
 }

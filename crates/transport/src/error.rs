@@ -15,6 +15,11 @@ pub enum TransportError {
     UnknownEndpoint(String),
     /// A received frame violated the wire protocol.
     Protocol(String),
+    /// The peer is confirmed dead: the connection failed mid-frame,
+    /// errored at the socket level, or missed its heartbeat deadline.
+    /// Unlike [`TransportError::Closed`] (an orderly shutdown at a
+    /// frame boundary) this carries a diagnostic reason.
+    PeerGone(String),
 }
 
 impl fmt::Display for TransportError {
@@ -27,7 +32,20 @@ impl fmt::Display for TransportError {
                 write!(f, "no listener registered for endpoint `{name}`")
             }
             TransportError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            TransportError::PeerGone(reason) => write!(f, "peer gone: {reason}"),
         }
+    }
+}
+
+impl TransportError {
+    /// Whether this error means the peer is definitively unreachable
+    /// (closed, dead, or failed at the socket level) as opposed to a
+    /// transient condition like [`TransportError::Timeout`].
+    pub fn is_peer_loss(&self) -> bool {
+        matches!(
+            self,
+            TransportError::Closed | TransportError::PeerGone(_) | TransportError::Io(_)
+        )
     }
 }
 

@@ -12,6 +12,7 @@
 mod connection;
 mod error;
 mod local;
+mod retry;
 mod tcp;
 
 pub use connection::{
@@ -19,4 +20,5 @@ pub use connection::{
 };
 pub use error::{Result, TransportError};
 pub use local::{LocalConnection, LocalFabric, LocalListener};
-pub use tcp::{TcpConnection, TcpTransportListener, MAX_FRAME};
+pub use retry::{RetryPolicy, CONNECT_RETRIES_ENV};
+pub use tcp::{TcpConnection, TcpTransportListener, HEARTBEAT_ENV, MAX_FRAME};

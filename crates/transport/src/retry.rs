@@ -1,0 +1,173 @@
+//! Bounded exponential backoff for TCP connection establishment.
+//!
+//! MRNet's process-mode launch has an inherent connect-back race: a
+//! parent spawns a child process and the child dials the parent's
+//! listener (or vice versa in mode-2 attach) before the other side is
+//! necessarily accepting. A transient `ECONNREFUSED` during that
+//! window is not a failure — it is the expected cost of not
+//! serializing the whole launch. [`RetryPolicy`] retries with
+//! exponential backoff plus jitter, bounded so genuinely dead
+//! addresses still fail promptly.
+
+use std::time::Duration;
+
+use crate::error::Result;
+use crate::tcp::TcpConnection;
+
+/// Environment variable overriding the retry count: the number of
+/// *additional* connection attempts after the first failure.
+/// `MRNET_CONNECT_RETRIES=0` disables retrying.
+pub const CONNECT_RETRIES_ENV: &str = "MRNET_CONNECT_RETRIES";
+
+/// Bounded exponential-backoff policy for [`TcpConnection::connect`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first failure.
+    pub retries: u32,
+    /// Delay before the first retry; doubles each subsequent retry.
+    pub base_delay: Duration,
+    /// Ceiling on the per-retry delay.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            retries: 4,
+            base_delay: Duration::from_millis(25),
+            max_delay: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Cheap jitter source: sub-microsecond wall-clock noise. The goal is
+/// only to de-synchronize sibling processes retrying in lockstep, so
+/// cryptographic quality is irrelevant (and `mrnet-transport` takes no
+/// RNG dependency).
+fn jitter(max: Duration) -> Duration {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0);
+    let span = max.as_nanos().max(1) as u32;
+    Duration::from_nanos(u64::from(nanos % span))
+}
+
+impl RetryPolicy {
+    /// The default policy with the retry count optionally overridden
+    /// by `MRNET_CONNECT_RETRIES`.
+    pub fn from_env() -> RetryPolicy {
+        let mut policy = RetryPolicy::default();
+        if let Some(n) = std::env::var(CONNECT_RETRIES_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+        {
+            policy.retries = n;
+        }
+        policy
+    }
+
+    /// Connects to `addr`, retrying transient failures per this
+    /// policy. On success returns the connection and how many retries
+    /// were needed (0 = first attempt succeeded) so callers can feed
+    /// their `connect_retries` counters; on exhaustion returns the
+    /// last error.
+    pub fn connect(&self, addr: &str) -> Result<(TcpConnection, u32)> {
+        let mut delay = self.base_delay;
+        let mut last_err = None;
+        for attempt in 0..=self.retries {
+            match TcpConnection::connect(addr) {
+                Ok(conn) => return Ok((conn, attempt)),
+                Err(e) => last_err = Some(e),
+            }
+            if attempt < self.retries {
+                std::thread::sleep(delay + jitter(delay / 2));
+                delay = (delay * 2).min(self.max_delay);
+            }
+        }
+        Err(last_err.expect("at least one attempt"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connection::{Connection, Listener};
+    use crate::tcp::TcpTransportListener;
+    use crate::TransportError;
+    use std::net::TcpListener;
+
+    #[test]
+    fn first_attempt_success_reports_zero_retries() {
+        let listener = TcpTransportListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.addr();
+        let policy = RetryPolicy::default();
+        let (conn, retries) = policy.connect(&addr).unwrap();
+        assert_eq!(retries, 0);
+        drop(conn);
+    }
+
+    #[test]
+    fn dead_address_fails_after_bounded_retries() {
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let policy = RetryPolicy {
+            retries: 2,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(10),
+        };
+        let start = std::time::Instant::now();
+        let err = policy.connect(&dead).err().expect("must fail");
+        assert!(matches!(err, TransportError::Io(_)));
+        // Two backoff sleeps (≥ 5ms + 10ms) must have happened.
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn zero_retries_is_single_attempt() {
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let policy = RetryPolicy {
+            retries: 0,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_millis(50),
+        };
+        let start = std::time::Instant::now();
+        assert!(policy.connect(&dead).is_err());
+        assert!(start.elapsed() < Duration::from_millis(40));
+    }
+
+    #[test]
+    fn connects_once_listener_appears() {
+        // Reserve a port, free it, and re-bind it shortly after the
+        // connector starts retrying — the connect-back race in
+        // miniature.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let addr2 = addr.clone();
+        let acceptor = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(60));
+            let listener = TcpTransportListener::bind(&addr2).unwrap();
+            let server = listener.accept().unwrap();
+            server.recv().unwrap()
+        });
+        let policy = RetryPolicy {
+            retries: 10,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(50),
+        };
+        let (conn, retries) = policy.connect(&addr).unwrap();
+        assert!(retries > 0, "listener was late; retries must be > 0");
+        conn.send(bytes::Bytes::from_static(b"made it")).unwrap();
+        assert_eq!(
+            acceptor.join().unwrap(),
+            bytes::Bytes::from_static(b"made it")
+        );
+    }
+}

@@ -7,10 +7,25 @@
 //! thread pumps inbound frames into a channel so that the non-blocking
 //! `try_recv`/`recv_timeout` used by internal-process event loops work
 //! uniformly across transports.
+//!
+//! # Failure detection
+//!
+//! The reader thread classifies how a connection ended and records a
+//! *death note* the receive paths surface to callers:
+//!
+//! - EOF at a frame boundary → [`TransportError::Closed`] (orderly).
+//! - EOF mid-frame, socket error, or corrupt length prefix →
+//!   [`TransportError::PeerGone`] with a diagnostic reason.
+//! - With heartbeats enabled (`MRNET_HEARTBEAT_SECS`), a peer silent
+//!   for three intervals → [`TransportError::PeerGone`] even when the
+//!   socket never reports an error (half-open connections, frozen
+//!   peers). Heartbeats are `u32::MAX` length prefixes carrying no
+//!   payload, invisible to the frame stream.
 
-use std::io::{BufWriter, Read, Write};
+use std::io::{BufWriter, ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
@@ -25,52 +40,184 @@ use crate::error::{Result, TransportError};
 /// prefixes.
 pub const MAX_FRAME: u32 = 256 << 20;
 
+/// Environment variable enabling keepalive heartbeats: a positive
+/// float number of seconds between beats. Unset or non-positive
+/// disables them (the default — EOF detection is then the only death
+/// signal, which suffices for peers whose kernel closes their sockets).
+pub const HEARTBEAT_ENV: &str = "MRNET_HEARTBEAT_SECS";
+
+/// Length-prefix value reserved for heartbeat markers. Distinguishable
+/// from real frames because it exceeds [`MAX_FRAME`].
+const HEARTBEAT_MARKER: u32 = u32::MAX;
+
+/// A peer is declared dead after this many silent heartbeat intervals.
+const HEARTBEAT_MISSES: u32 = 3;
+
 /// How many inbound frames may queue before the reader thread applies
 /// back-pressure to the socket.
 const INBOUND_DEPTH: usize = 1024;
 
+/// Shared slot where the reader thread records why the connection
+/// died, read by `recv`/`try_recv`/`recv_timeout` once the inbound
+/// channel disconnects.
+type DeathNote = Arc<Mutex<Option<TransportError>>>;
+
+fn heartbeat_interval() -> Option<Duration> {
+    let raw = std::env::var(HEARTBEAT_ENV).ok()?;
+    let secs: f64 = raw.trim().parse().ok()?;
+    if secs > 0.0 && secs.is_finite() {
+        Some(Duration::from_secs_f64(secs))
+    } else {
+        None
+    }
+}
+
 /// One end of a TCP connection carrying length-prefixed frames.
 pub struct TcpConnection {
-    writer: Mutex<BufWriter<TcpStream>>,
+    writer: Arc<Mutex<BufWriter<TcpStream>>>,
     inbound: Receiver<Bytes>,
     peer: String,
     counters: ConnCounters,
+    death: DeathNote,
 }
 
-fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Bytes>> {
-    let mut len_buf = [0u8; 4];
-    // EOF at a frame boundary is a clean close.
-    match stream.read_exact(&mut len_buf) {
-        Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
-    }
-    let len = u32::from_le_bytes(len_buf);
-    if len > MAX_FRAME {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!("frame length {len} exceeds limit {MAX_FRAME}"),
-        ));
-    }
-    let mut payload = vec![0u8; len as usize];
-    stream.read_exact(&mut payload)?;
-    Ok(Some(Bytes::from(payload)))
+enum ReadStep {
+    /// The buffer was filled completely.
+    Done,
+    /// The read timed out before the buffer filled (heartbeat mode).
+    Timeout,
+    /// The peer closed the connection; `true` if mid-buffer.
+    Eof(bool),
 }
 
-fn spawn_reader(mut stream: TcpStream, tx: Sender<Bytes>) {
+/// Reads into `buf[*filled..]`, advancing `filled` and stamping
+/// `last_heard` whenever bytes arrive. Returns instead of blocking
+/// when the socket read timeout fires.
+fn read_into(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    filled: &mut usize,
+    last_heard: &mut Instant,
+) -> std::io::Result<ReadStep> {
+    while *filled < buf.len() {
+        match stream.read(&mut buf[*filled..]) {
+            Ok(0) => return Ok(ReadStep::Eof(*filled > 0)),
+            Ok(n) => {
+                *filled += n;
+                *last_heard = Instant::now();
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Ok(ReadStep::Timeout)
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadStep::Done)
+}
+
+struct ReaderLoop {
+    stream: TcpStream,
+    tx: Sender<Bytes>,
+    death: DeathNote,
+    /// `Some` when heartbeats are enabled; the reader then uses a
+    /// socket read timeout to poll the silence deadline.
+    heartbeat: Option<Duration>,
+}
+
+impl ReaderLoop {
+    fn die(&self, reason: TransportError) {
+        *self.death.lock() = Some(reason);
+    }
+
+    fn silence_limit(&self) -> Duration {
+        // Unwrap is safe: only consulted in heartbeat mode.
+        self.heartbeat.expect("heartbeat enabled") * HEARTBEAT_MISSES
+    }
+
+    fn run(mut self) {
+        let mut last_heard = Instant::now();
+        loop {
+            // Length prefix. EOF with zero bytes here is an orderly
+            // close; anything else is a peer death.
+            let mut len_buf = [0u8; 4];
+            let mut filled = 0;
+            let len = loop {
+                match read_into(&mut self.stream, &mut len_buf, &mut filled, &mut last_heard) {
+                    Ok(ReadStep::Done) => break u32::from_le_bytes(len_buf),
+                    Ok(ReadStep::Timeout) => {
+                        if last_heard.elapsed() > self.silence_limit() {
+                            return self.die(TransportError::PeerGone(format!(
+                                "no data or heartbeat for {:?}",
+                                self.silence_limit()
+                            )));
+                        }
+                    }
+                    Ok(ReadStep::Eof(false)) => return, // clean close
+                    Ok(ReadStep::Eof(true)) => {
+                        return self.die(TransportError::PeerGone(
+                            "connection lost mid-frame (in length prefix)".to_owned(),
+                        ))
+                    }
+                    Err(e) => return self.die(TransportError::PeerGone(e.to_string())),
+                }
+            };
+            if len == HEARTBEAT_MARKER {
+                continue; // keepalive only; never surfaced as a frame
+            }
+            if len > MAX_FRAME {
+                return self.die(TransportError::PeerGone(format!(
+                    "frame length {len} exceeds limit {MAX_FRAME}"
+                )));
+            }
+            let mut payload = vec![0u8; len as usize];
+            let mut filled = 0;
+            loop {
+                match read_into(&mut self.stream, &mut payload, &mut filled, &mut last_heard) {
+                    Ok(ReadStep::Done) => break,
+                    Ok(ReadStep::Timeout) => {
+                        if last_heard.elapsed() > self.silence_limit() {
+                            return self.die(TransportError::PeerGone(format!(
+                                "stalled mid-frame for {:?}",
+                                self.silence_limit()
+                            )));
+                        }
+                    }
+                    Ok(ReadStep::Eof(_)) => {
+                        return self.die(TransportError::PeerGone(
+                            "connection lost mid-frame (in payload)".to_owned(),
+                        ))
+                    }
+                    Err(e) => return self.die(TransportError::PeerGone(e.to_string())),
+                }
+            }
+            if self.tx.send(Bytes::from(payload)).is_err() {
+                return; // local side dropped the connection
+            }
+        }
+    }
+}
+
+fn spawn_reader(reader: ReaderLoop) {
     std::thread::Builder::new()
         .name("mrnet-tcp-reader".to_owned())
+        .spawn(move || reader.run())
+        .expect("spawn tcp reader thread");
+}
+
+/// Periodically writes heartbeat markers until the connection dies
+/// (flush fails once the socket is shut down or the peer vanishes).
+fn spawn_keepalive(writer: Arc<Mutex<BufWriter<TcpStream>>>, interval: Duration) {
+    std::thread::Builder::new()
+        .name("mrnet-tcp-keepalive".to_owned())
         .spawn(move || loop {
-            match read_frame(&mut stream) {
-                Ok(Some(frame)) => {
-                    if tx.send(frame).is_err() {
-                        return; // local side dropped the connection
-                    }
-                }
-                Ok(None) | Err(_) => return, // peer closed / socket error
+            std::thread::sleep(interval);
+            let mut w = writer.lock();
+            if w.write_all(&HEARTBEAT_MARKER.to_le_bytes()).is_err() || w.flush().is_err() {
+                return;
             }
         })
-        .expect("spawn tcp reader thread");
+        .expect("spawn tcp keepalive thread");
 }
 
 impl TcpConnection {
@@ -81,13 +228,30 @@ impl TcpConnection {
             .map(|a| a.to_string())
             .unwrap_or_else(|_| "<unknown>".to_owned());
         let reader_stream = stream.try_clone()?;
+        let heartbeat = heartbeat_interval();
+        if let Some(interval) = heartbeat {
+            // Poll often enough to notice silence well before the
+            //3-interval deadline.
+            reader_stream.set_read_timeout(Some((interval / 2).max(Duration::from_millis(5))))?;
+        }
         let (tx, rx) = bounded(INBOUND_DEPTH);
-        spawn_reader(reader_stream, tx);
+        let death: DeathNote = Arc::new(Mutex::new(None));
+        spawn_reader(ReaderLoop {
+            stream: reader_stream,
+            tx,
+            death: death.clone(),
+            heartbeat,
+        });
+        let writer = Arc::new(Mutex::new(BufWriter::new(stream)));
+        if let Some(interval) = heartbeat {
+            spawn_keepalive(writer.clone(), interval);
+        }
         Ok(TcpConnection {
-            writer: Mutex::new(BufWriter::new(stream)),
+            writer,
             inbound: rx,
             peer,
             counters: ConnCounters::default(),
+            death,
         })
     }
 
@@ -96,6 +260,12 @@ impl TcpConnection {
         let stream = TcpStream::connect(addr)?;
         TcpConnection::from_stream(stream)
     }
+
+    /// Why the connection ended: the reader thread's recorded death
+    /// note, defaulting to an orderly [`TransportError::Closed`].
+    fn death_reason(&self) -> TransportError {
+        self.death.lock().clone().unwrap_or(TransportError::Closed)
+    }
 }
 
 impl Drop for TcpConnection {
@@ -103,7 +273,9 @@ impl Drop for TcpConnection {
         // The reader thread holds a cloned FD; without an explicit
         // shutdown the socket would stay open (and the peer would
         // never see EOF) until that thread exits — which it only does
-        // on EOF. Shut both directions down to break the cycle.
+        // on EOF. Shut both directions down to break the cycle. This
+        // also makes the keepalive thread's next flush fail, stopping
+        // it.
         let writer = self.writer.lock();
         let _ = writer.get_ref().shutdown(std::net::Shutdown::Both);
     }
@@ -120,7 +292,7 @@ impl Connection for TcpConnection {
     }
 
     fn recv(&self) -> Result<Bytes> {
-        let frame = self.inbound.recv().map_err(|_| TransportError::Closed)?;
+        let frame = self.inbound.recv().map_err(|_| self.death_reason())?;
         self.counters.note_recv(frame.len());
         Ok(frame)
     }
@@ -132,7 +304,7 @@ impl Connection for TcpConnection {
                 Ok(Some(frame))
             }
             Err(TryRecvError::Empty) => Ok(None),
-            Err(TryRecvError::Disconnected) => Err(TransportError::Closed),
+            Err(TryRecvError::Disconnected) => Err(self.death_reason()),
         }
     }
 
@@ -143,7 +315,7 @@ impl Connection for TcpConnection {
                 Ok(Some(frame))
             }
             Err(RecvTimeoutError::Timeout) => Ok(None),
-            Err(RecvTimeoutError::Disconnected) => Err(TransportError::Closed),
+            Err(RecvTimeoutError::Disconnected) => Err(self.death_reason()),
         }
     }
 
@@ -311,5 +483,65 @@ mod tests {
             seen[f[0] as usize] += 1;
         }
         assert_eq!(seen, [50; 4]);
+    }
+
+    /// A raw peer that dies mid-frame is classified `PeerGone`, not a
+    /// clean close: the survivor can tell crash from shutdown.
+    #[test]
+    fn midframe_death_is_peer_gone() {
+        let listener = TcpTransportListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.addr();
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        let server = listener.accept().unwrap();
+        // Claim a 100-byte frame but deliver only 10 bytes, then die.
+        raw.write_all(&100u32.to_le_bytes()).unwrap();
+        raw.write_all(&[0u8; 10]).unwrap();
+        raw.flush().unwrap();
+        drop(raw);
+        let err = server.recv().unwrap_err();
+        assert!(
+            matches!(err, TransportError::PeerGone(_)),
+            "expected PeerGone, got {err:?}"
+        );
+    }
+
+    /// A corrupt length prefix (beyond MAX_FRAME) marks the peer dead
+    /// rather than silently dropping the connection.
+    #[test]
+    fn oversized_length_is_peer_gone() {
+        let listener = TcpTransportListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.addr();
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        let server = listener.accept().unwrap();
+        raw.write_all(&(MAX_FRAME + 1).to_le_bytes()).unwrap();
+        raw.flush().unwrap();
+        let err = server.recv().unwrap_err();
+        match err {
+            TransportError::PeerGone(reason) => {
+                assert!(reason.contains("exceeds limit"), "reason: {reason}")
+            }
+            other => panic!("expected PeerGone, got {other:?}"),
+        }
+    }
+
+    /// Buffered frames are still delivered after the peer dies; the
+    /// death reason only surfaces once the queue drains.
+    #[test]
+    fn buffered_frames_before_death() {
+        let listener = TcpTransportListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.addr();
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        let server = listener.accept().unwrap();
+        // One complete frame, then a truncated one.
+        raw.write_all(&3u32.to_le_bytes()).unwrap();
+        raw.write_all(b"abc").unwrap();
+        raw.write_all(&50u32.to_le_bytes()).unwrap();
+        raw.flush().unwrap();
+        drop(raw);
+        assert_eq!(server.recv().unwrap(), Bytes::from_static(b"abc"));
+        assert!(matches!(
+            server.recv().unwrap_err(),
+            TransportError::PeerGone(_)
+        ));
     }
 }

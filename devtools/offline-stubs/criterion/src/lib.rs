@@ -1,0 +1,3 @@
+//! Resolution-only stub of `criterion`. Satisfies the dependency graph
+//! offline; bench targets must be skipped when building against this
+//! stub.

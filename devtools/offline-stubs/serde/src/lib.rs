@@ -1,0 +1,12 @@
+//! Offline stub of `serde`: marker traits plus no-op derive macros.
+//! The workspace only *derives* these traits (topology specs) and never
+//! serializes through them offline, so empty impls suffice.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Runs a cargo command against the offline stub crates in
+# devtools/offline-stubs/ by temporarily rewiring the workspace's
+# external dependencies to path dependencies (a [patch] section cannot
+# do this: cargo still queries the registry index for unpatched
+# versions). The manifest is restored on exit.
+#
+# Usage: devtools/offline-verify.sh <cargo args...>
+#   e.g. devtools/offline-verify.sh build --release
+#        devtools/offline-verify.sh test -p mrnet --lib
+set -eu
+cd "$(dirname "$0")/.."
+
+cp Cargo.toml devtools/.Cargo.toml.orig
+trap 'mv devtools/.Cargo.toml.orig Cargo.toml' EXIT INT TERM
+
+sed -i \
+  -e 's|^rand = "0.8"$|rand = { path = "devtools/offline-stubs/rand", version = "0.8" }|' \
+  -e 's|^proptest = "1"$|proptest = { path = "devtools/offline-stubs/proptest", version = "1" }|' \
+  -e 's|^criterion = "0.5"$|criterion = { path = "devtools/offline-stubs/criterion", version = "0.5" }|' \
+  -e 's|^crossbeam = "0.8"$|crossbeam = { path = "devtools/offline-stubs/crossbeam", version = "0.8" }|' \
+  -e 's|^parking_lot = "0.12"$|parking_lot = { path = "devtools/offline-stubs/parking_lot", version = "0.12" }|' \
+  -e 's|^bytes = "1"$|bytes = { path = "devtools/offline-stubs/bytes", version = "1" }|' \
+  -e 's|^serde = { version = "1", features = \["derive"\] }$|serde = { path = "devtools/offline-stubs/serde", version = "1", features = ["derive"] }|' \
+  Cargo.toml
+
+cargo "$@"

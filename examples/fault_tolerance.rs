@@ -1,0 +1,110 @@
+//! Fault tolerance, live: a real multi-process tree loses a commnode
+//! to SIGKILL. The front-end hears about the whole lost subtree as a
+//! `TopologyEvent::RankFailed`, the WaitForAll stream keeps completing
+//! waves from the survivors, and once every member is dead the stream
+//! reports `AllEndpointsFailed` instead of hanging.
+//!
+//! Build the commnode binary first, then run:
+//! ```text
+//! cargo build -p mrnet --bins
+//! cargo run --example fault_tolerance
+//! ```
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use mrnet::{launch_processes, Backend, MrnetError, SyncMode, TopologyEvent, Value};
+use mrnet_topology::{generator, HostPool};
+
+const TIMEOUT: Duration = Duration::from_secs(20);
+
+/// Locates `mrnet_commnode` next to this example's own binary.
+fn find_commnode() -> Option<PathBuf> {
+    let me = std::env::current_exe().ok()?;
+    let profile_dir = me.parent()?.parent()?;
+    let candidate = profile_dir.join("mrnet_commnode");
+    candidate.exists().then_some(candidate)
+}
+
+fn sigkill(pid: u32) {
+    let ok = std::process::Command::new("kill")
+        .args(["-9", &pid.to_string()])
+        .status()
+        .map(|s| s.success())
+        .unwrap_or(false);
+    assert!(ok, "kill -9 {pid}");
+}
+
+fn main() {
+    let Some(commnode) = find_commnode() else {
+        eprintln!("mrnet_commnode binary not found — run `cargo build -p mrnet --bins` first");
+        std::process::exit(1);
+    };
+
+    // FE (this process) -> 2 commnode processes -> 4 back-ends.
+    let topo = generator::balanced(2, 2, &mut HostPool::synthetic(16)).expect("topology");
+    let pending = launch_processes(topo, &commnode).expect("spawn internal tree");
+    let commnode_pids = pending.commnode_pids().to_vec();
+    println!("commnode processes: {commnode_pids:?}");
+    let points = pending.collect_attach_points(TIMEOUT).expect("rendezvous");
+
+    // Back-ends echo their rank on every wave until their link dies.
+    let backends: Vec<_> = points
+        .into_iter()
+        .map(|ap| {
+            std::thread::spawn(move || {
+                let be = Backend::attach_tcp(&ap.endpoint, ap.rank).expect("attach");
+                while let Ok((_pkt, stream)) = be.recv() {
+                    let _ = be.send(stream, 0, "%d", vec![Value::Int32(ap.rank as i32)]);
+                }
+            })
+        })
+        .collect();
+
+    let net = pending.wait(TIMEOUT).expect("tree ready");
+    let comm = net.broadcast_communicator();
+    let sum = net.registry().id_of("d_sum").expect("built-in");
+    let stream = net
+        .new_stream(&comm, sum, SyncMode::WaitForAll)
+        .expect("stream");
+
+    stream.send(0, "%d", vec![Value::Int32(0)]).expect("wave 1");
+    let full = stream.recv_timeout(TIMEOUT).expect("full aggregate");
+    println!(
+        "wave 1, everyone alive: sum of ranks = {}",
+        full.get(0).and_then(Value::as_i32).unwrap()
+    );
+
+    println!("SIGKILL commnode pid {} ...", commnode_pids[0]);
+    sigkill(commnode_pids[0]);
+    let TopologyEvent::RankFailed { rank, subtree } =
+        net.next_event_timeout(TIMEOUT).expect("failure event");
+    println!("event: rank {rank} failed, taking end-points {subtree:?} with it");
+    println!("cumulative failed set: {:?}", net.failed_ranks());
+
+    stream.send(0, "%d", vec![Value::Int32(0)]).expect("wave 2");
+    let partial = stream.recv_timeout(TIMEOUT).expect("survivor aggregate");
+    println!(
+        "wave 2, pruned stream: sum of surviving ranks = {}",
+        partial.get(0).and_then(Value::as_i32).unwrap()
+    );
+
+    println!("SIGKILL commnode pid {} ...", commnode_pids[1]);
+    sigkill(commnode_pids[1]);
+    let TopologyEvent::RankFailed { rank, subtree } =
+        net.next_event_timeout(TIMEOUT).expect("failure event");
+    println!("event: rank {rank} failed, taking end-points {subtree:?} with it");
+
+    match stream.recv_timeout(TIMEOUT) {
+        Err(MrnetError::AllEndpointsFailed) => {
+            println!("stream with no members left reports AllEndpointsFailed — no hang");
+        }
+        other => panic!("expected AllEndpointsFailed, got {other:?}"),
+    }
+
+    net.shutdown();
+    for b in backends {
+        b.join().unwrap();
+    }
+    println!("done");
+}
