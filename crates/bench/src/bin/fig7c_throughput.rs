@@ -7,6 +7,13 @@
 //! collapses to single digits.
 //!
 //! Run with: `cargo run -p mrnet-bench --release --bin fig7c_throughput`
+//!
+//! Quick bench mode — `--quick [path]` — skips the simulator tables and
+//! instead measures live threaded trees at 2–3 small fan-outs, writing
+//! the throughput series as JSON (default `BENCH_fig7c.json`) so CI can
+//! track the perf trajectory of the real send pipeline over time.
+
+use std::time::Instant;
 
 use mrnet::obs::trace;
 use mrnet::simulate::{reduction_throughput, SMALL_PACKET};
@@ -16,7 +23,62 @@ use mrnet_bench::{
 use mrnet_packet::BatchPolicy;
 use mrnet_sim::LogGpParams;
 
+/// One `--quick` measurement: pipelined reduction waves through a live
+/// threaded tree, reported as waves/second and leaf-packets/second
+/// (each wave aggregates one packet from every back-end).
+fn quick_case(fanout: Option<usize>, backends: usize, waves: usize) -> (f64, f64) {
+    let tree = BenchTree::new(
+        experiment_topology(fanout, backends),
+        BatchPolicy::default(),
+    );
+    tree.reduction_waves(waves / 10); // warm-up
+    let start = Instant::now();
+    tree.reduction_waves(waves);
+    let secs = start.elapsed().as_secs_f64();
+    tree.shutdown();
+    let ops = waves as f64 / secs;
+    (ops, ops * backends as f64)
+}
+
+/// `--quick [path]`: live-tree throughput at small fan-outs, printed
+/// and written as JSON for the CI perf-trajectory step.
+fn quick_bench(path: &str) {
+    const WAVES: usize = 300;
+    let cases = [(Some(2), 4usize), (Some(4), 8), (None, 8)];
+    let mut rows = Vec::new();
+    println!("fig7c quick bench: {WAVES} pipelined reduction waves per live tree\n");
+    println!(
+        "{:>10} {:>10} {:>14} {:>14}",
+        "topology", "backends", "waves/s", "leaf pkts/s"
+    );
+    for (fanout, backends) in cases {
+        let (ops, pkts) = quick_case(fanout, backends, WAVES);
+        println!(
+            "{:>10} {backends:>10} {ops:>14.1} {pkts:>14.1}",
+            fanout_label(fanout)
+        );
+        rows.push(format!(
+            "    {{\"topology\": \"{}\", \"backends\": {backends}, \"waves_per_sec\": {ops:.1}, \"leaf_pkts_per_sec\": {pkts:.1}}}",
+            fanout_label(fanout)
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"fig7c_quick\",\n  \"waves\": {WAVES},\n  \"series\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(path, &json).expect("write bench json");
+    println!("\nwrote {path}");
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--quick") {
+        let path = args
+            .get(i + 1)
+            .cloned()
+            .unwrap_or_else(|| "BENCH_fig7c.json".to_owned());
+        return quick_bench(&path);
+    }
     println!("Figure 7c: pipelined reduction throughput (ops/second) vs back-ends\n");
     let fanouts = [None, Some(4), Some(8)];
     print_header(

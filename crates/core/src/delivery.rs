@@ -72,6 +72,25 @@ impl Delivery {
         self.cv.notify_all();
     }
 
+    /// Deposits a whole wave of packets under one lock acquisition and
+    /// one receiver wake-up — the root's counterpart of a batched
+    /// frame. FIFO order within the wave is preserved.
+    pub fn push_many(&self, packets: impl IntoIterator<Item = Packet>) {
+        let mut st = self.state.lock();
+        let mut any = false;
+        for packet in packets {
+            let sid = packet.stream_id();
+            st.per_stream.entry(sid).or_default().push_back(packet);
+            st.order.push_back(sid);
+            *st.received.entry(sid).or_insert(0) += 1;
+            any = true;
+        }
+        drop(st);
+        if any {
+            self.cv.notify_all();
+        }
+    }
+
     /// Lifetime count of packets delivered on `stream` (including ones
     /// already consumed by receives).
     pub fn received_on(&self, stream: StreamId) -> u64 {
@@ -229,6 +248,20 @@ mod tests {
         assert_eq!(
             d.recv_on(2, None).unwrap().get(0).unwrap().as_i32(),
             Some(20)
+        );
+    }
+
+    #[test]
+    fn push_many_preserves_order_and_counts() {
+        let d = Delivery::new();
+        d.push_many([pkt(1, 10), pkt(2, 20), pkt(1, 11)]);
+        d.push_many(std::iter::empty()); // no-op, no spurious wake-up
+        assert_eq!(d.totals(), (3, 3));
+        assert_eq!(d.recv_any(None).unwrap().stream_id(), 1);
+        assert_eq!(d.recv_any(None).unwrap().stream_id(), 2);
+        assert_eq!(
+            d.recv_on(1, None).unwrap().get(0).unwrap().as_i32(),
+            Some(11)
         );
     }
 

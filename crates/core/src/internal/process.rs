@@ -345,6 +345,28 @@ impl NodeLoop {
         Ok(())
     }
 
+    /// Folds the transport connections' send-pipeline counters (queue
+    /// depth behind the writer threads, coalesced frames, enqueue
+    /// stalls) into the node's gauges, so snapshots expose them.
+    fn refresh_send_metrics(&self) {
+        let parent_stats = self.parent.iter().map(|p| p.stats());
+        let child_stats = self
+            .children
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.child_alive[i])
+            .map(|(_, c)| c.stats());
+        let (mut depth, mut coalesced, mut stalls) = (0u64, 0u64, 0u64);
+        for s in parent_stats.chain(child_stats) {
+            depth += s.queue_depth;
+            coalesced += s.frames_coalesced;
+            stalls += s.enqueue_stalls;
+        }
+        self.metrics.send_queue_depth.set(depth as i64);
+        self.metrics.send_coalesced.set(coalesced as i64);
+        self.metrics.send_stalls.set(stalls as i64);
+    }
+
     /// Runs the event loop until shutdown. Consumes the node.
     pub fn run(mut self) {
         loop {
@@ -506,9 +528,7 @@ impl NodeLoop {
             if shrank {
                 self.metrics.pruned_streams.inc();
             }
-            for p in packets {
-                self.forward_up(p);
-            }
+            self.forward_up_wave(packets);
             if all_dead {
                 if let Some(delivery) = &self.delivery {
                     // Root: no packet can ever arrive on this stream
@@ -559,9 +579,7 @@ impl NodeLoop {
             })
             .collect();
         for (_, pkts) in ready {
-            for p in pkts {
-                self.forward_up(p);
-            }
+            self.forward_up_wave(pkts);
         }
     }
 
@@ -585,9 +603,7 @@ impl NodeLoop {
                         // drop, as the original does for stale data.
                         None => continue,
                     };
-                    for p in ready {
-                        self.forward_up(p);
-                    }
+                    self.forward_up_wave(ready);
                 }
             }
             Frame::Control(pkt) => match Control::from_packet(&pkt)? {
@@ -611,19 +627,27 @@ impl NodeLoop {
         Ok(())
     }
 
-    fn forward_up(&mut self, packet: Packet) {
-        self.metrics.up_pkts_sent.inc();
+    fn forward_up_wave(&mut self, packets: Vec<Packet>) {
+        if packets.is_empty() {
+            return;
+        }
+        self.metrics.up_pkts_sent.add(packets.len() as u64);
         if let Some(delivery) = &self.delivery {
             // Root: "sent" upstream means delivered to user threads;
-            // account the bytes here since no wire carries them.
-            self.metrics
-                .local_up_bytes
-                .add(packet.encoded_size_hint() as u64);
-            delivery.push(packet);
+            // account the bytes here since no wire carries them. The
+            // whole wave lands under one mailbox lock and one wake-up.
+            for p in &packets {
+                self.metrics
+                    .local_up_bytes
+                    .add(p.encoded_size_hint() as u64);
+            }
+            delivery.push_many(packets);
         } else {
-            self.parent_batcher.push(packet);
-            if self.parent_batcher.should_flush() {
-                self.flush_parent();
+            for p in packets {
+                self.parent_batcher.push(p);
+                if self.parent_batcher.should_flush() {
+                    self.flush_parent();
+                }
             }
         }
     }
@@ -752,16 +776,27 @@ impl NodeLoop {
             return Ok(());
         };
         let outs = mgr.down(packet)?;
-        let endpoints = mgr.def().endpoints.clone();
+        // The stream's fan-out is cached on its manager — no per-packet
+        // end-point cloning or routing-table intersection.
+        let route = mgr.live_route().to_vec();
         for out in outs {
             // "A data packet flowing downstream may be placed in
             // multiple output packet buffers because the packet may be
             // destined for multiple back-ends" (§2.3) — by reference.
-            for child in self.routes.children_for(&endpoints) {
+            let mut flush = false;
+            for &child in &route {
                 if self.child_alive[child] {
                     self.metrics.down_pkts_sent.inc();
                     self.child_batchers[child].push(out.clone());
-                    if self.child_batchers[child].should_flush() {
+                    flush |= self.child_batchers[child].should_flush();
+                }
+            }
+            // Flush only after every route member holds the packet:
+            // children whose batches filled identically flush in the
+            // same wave and share one encoded frame.
+            if flush {
+                for &child in &route {
+                    if self.child_alive[child] && self.child_batchers[child].should_flush() {
                         self.flush_child(child);
                     }
                 }
@@ -777,8 +812,27 @@ impl NodeLoop {
         }
         self.metrics.batch_pkts.record_us(packets.len() as u64);
         let frame = encode_data_frame(&packets);
-        if self.children[child].send(frame).is_err() {
+        self.metrics.frames_encoded.inc();
+        if self.children[child].send(frame.clone()).is_err() {
             self.child_alive[child] = false;
+        }
+        // Encode-once multicast: a sibling whose pending batch holds
+        // these exact packet handles would produce a byte-identical
+        // frame — hand it this one (a refcount bump) instead of
+        // re-encoding. Divergent batches keep their own flush cycle.
+        for sib in 0..self.children.len() {
+            if sib == child
+                || !self.child_alive[sib]
+                || !self.child_batchers[sib].pending_matches(&packets)
+            {
+                continue;
+            }
+            self.child_batchers[sib].drain();
+            self.metrics.batch_pkts.record_us(packets.len() as u64);
+            self.metrics.frames_shared.inc();
+            if self.children[sib].send(frame.clone()).is_err() {
+                self.child_alive[sib] = false;
+            }
         }
     }
 
@@ -790,6 +844,7 @@ impl NodeLoop {
         if let Some(parent) = &self.parent {
             self.metrics.batch_pkts.record_us(packets.len() as u64);
             let frame = encode_data_frame(&packets);
+            self.metrics.frames_encoded.inc();
             let _ = parent.send(frame);
         }
     }
@@ -859,6 +914,7 @@ impl NodeLoop {
                 self.child_alive[i] = false;
             }
         }
+        self.refresh_send_metrics();
         self.collects.insert(
             req_id,
             MetricsCollect {

@@ -38,6 +38,11 @@ pub struct StreamManager {
     /// child, shrunk as failures are pruned; a slot whose target set
     /// empties is deactivated in the sync filter.
     slot_targets: Vec<Vec<Rank>>,
+    /// The downstream fan-out route, cached: participant children that
+    /// still serve at least one live end-point. Computed once at build
+    /// and rebuilt on prune, so the per-packet downstream path never
+    /// recomputes routing-table intersections.
+    live_route: Vec<usize>,
     /// Per-stream packet counters (shared with the node's registry).
     counters: Option<Arc<StreamCounters>>,
     /// Upstream-filter timing; the synchronization-delay histogram
@@ -79,16 +84,16 @@ impl StreamManager {
         local_rank: Rank,
         metrics: Option<&NodeMetrics>,
     ) -> Result<StreamManager> {
-        let participants = routes.children_for(&def.endpoints);
+        let (participants, slot_targets): (Vec<usize>, Vec<Vec<Rank>>) = routes
+            .children_with_targets(&def.endpoints)
+            .into_iter()
+            .unzip();
         let slot_of_child: HashMap<usize, usize> = participants
             .iter()
             .enumerate()
             .map(|(slot, &child)| (child, slot))
             .collect();
-        let slot_targets: Vec<Vec<Rank>> = participants
-            .iter()
-            .map(|&child| routes.targets_via(child, &def.endpoints))
-            .collect();
+        let live_route = participants.clone();
         let up_id = registry.id_of(&def.up_filter)?;
         let (up, counters, up_stats) = match metrics {
             Some(m) => {
@@ -113,6 +118,7 @@ impl StreamManager {
             participants,
             slot_of_child,
             slot_targets,
+            live_route,
             counters,
             up_stats,
             first_arrival: None,
@@ -127,6 +133,12 @@ impl StreamManager {
     /// Local child indices participating in this stream.
     pub fn participants(&self) -> &[usize] {
         &self.participants
+    }
+
+    /// The cached downstream route: participant children still serving
+    /// at least one live end-point. Shrinks as failures are pruned.
+    pub fn live_route(&self) -> &[usize] {
+        &self.live_route
     }
 
     /// Handles an upstream packet arriving from local child `child` at
@@ -234,6 +246,13 @@ impl StreamManager {
             }
         }
         self.note_released(&released, now);
+        self.live_route = self
+            .participants
+            .iter()
+            .enumerate()
+            .filter(|&(slot, _)| !self.slot_targets[slot].is_empty())
+            .map(|(_, &child)| child)
+            .collect();
         let packets = self.run_waves(released)?;
         Ok((packets, self.def.endpoints.is_empty()))
     }
@@ -440,6 +459,27 @@ mod tests {
         let waves = m.up(0, fpkt(1.0), 0.2).unwrap();
         assert_eq!(waves.len(), 1);
         assert_eq!(waves[0].get(0).unwrap().as_f32(), Some(5.0));
+    }
+
+    #[test]
+    fn live_route_shrinks_with_pruned_children() {
+        let reg = FilterRegistry::with_builtins();
+        let mut m = StreamManager::new(
+            def(vec![10, 11, 12, 13], "f_sum", SyncMode::WaitForAll),
+            &routes(),
+            &reg,
+            3,
+        )
+        .unwrap();
+        assert_eq!(m.live_route(), &[0, 1, 2]);
+        // Losing 11 alone keeps child 0 on the route (10 survives).
+        m.prune(&[11], 0.0).unwrap();
+        assert_eq!(m.live_route(), &[0, 1, 2]);
+        // Losing 12 empties child 1's targets: it leaves the route.
+        m.prune(&[12], 0.1).unwrap();
+        assert_eq!(m.live_route(), &[0, 2]);
+        // Participants (sync slots) are unchanged by pruning.
+        assert_eq!(m.participants(), &[0, 1, 2]);
     }
 
     #[test]

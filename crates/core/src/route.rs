@@ -64,6 +64,18 @@ impl RoutingTable {
             .collect()
     }
 
+    /// One-pass combination of [`RoutingTable::children_for`] and
+    /// [`RoutingTable::targets_via`]: each serving child paired with
+    /// the end-points it reaches, in child order.
+    pub fn children_with_targets(&self, endpoints: &[Rank]) -> Vec<(usize, Vec<Rank>)> {
+        (0..self.reachable.len())
+            .filter_map(|c| {
+                let targets = self.targets_via(c, endpoints);
+                (!targets.is_empty()).then_some((c, targets))
+            })
+            .collect()
+    }
+
     /// The end-points of `endpoints` reachable via `child`.
     pub fn targets_via(&self, child: usize, endpoints: &[Rank]) -> Vec<Rank> {
         endpoints
@@ -117,6 +129,16 @@ mod tests {
         assert_eq!(t.children_for(&[3]), vec![1]);
         assert_eq!(t.children_for(&[99]), Vec::<usize>::new());
         assert_eq!(t.children_for(&[1, 3, 5]), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn children_with_targets_pairs_children_and_ranks() {
+        let t = table();
+        assert_eq!(
+            t.children_with_targets(&[2, 4, 6]),
+            vec![(0, vec![2]), (2, vec![4, 6])]
+        );
+        assert!(t.children_with_targets(&[99]).is_empty());
     }
 
     #[test]

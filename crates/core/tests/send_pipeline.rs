@@ -1,0 +1,126 @@
+//! Encode-once multicast: a downstream flush wave to k children with
+//! identical batches must encode the data frame exactly once and hand
+//! the other k-1 children the same `Bytes` (a refcount bump), visible
+//! in the `frames.encoded` / `frames.shared` introspection metrics.
+
+use std::time::Duration;
+
+use mrnet::{launch_local, MrnetError, SyncMode, Value};
+use mrnet_topology::{generator, HostPool};
+
+const TIMEOUT: Duration = Duration::from_secs(20);
+
+#[test]
+fn multicast_wave_encodes_once_and_shares_with_siblings() {
+    // Flat tree: the front-end fans out directly to 4 back-ends, all
+    // of them on the broadcast stream's route.
+    let topo = generator::flat(4, &mut HostPool::synthetic(8)).unwrap();
+    let dep = launch_local(topo).unwrap();
+    let net = dep.network.clone();
+
+    let comm = net.broadcast_communicator();
+    let null = net.registry().id_of("null").unwrap();
+    let stream = net.new_stream(&comm, null, SyncMode::DoNotWait).unwrap();
+
+    const WAVES: u64 = 5;
+    for w in 0..WAVES {
+        stream.send(1, "%d", vec![Value::Int32(w as i32)]).unwrap();
+    }
+
+    // Back-ends confirm they received every wave, then keep pumping so
+    // the introspection request gets answered.
+    let handles: Vec<_> = dep
+        .backends
+        .into_iter()
+        .map(|be| {
+            std::thread::spawn(move || {
+                let (_, sid) = be.recv().unwrap();
+                for _ in 1..WAVES {
+                    be.recv().unwrap();
+                }
+                be.send(sid, 2, "%d", vec![Value::Int32(1)]).unwrap();
+                loop {
+                    match be.recv_timeout(Duration::from_millis(100)) {
+                        Ok(_) => {}
+                        Err(MrnetError::Shutdown) => return,
+                        Err(e) => panic!("backend pump failed: {e}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for _ in 0..4 {
+        stream.recv_timeout(TIMEOUT).unwrap();
+    }
+
+    let snap = net.metrics_snapshot(Duration::from_secs(5)).unwrap();
+    let backend_ranks = net.endpoints().to_vec();
+    let root = snap
+        .nodes
+        .iter()
+        .find(|s| !backend_ranks.contains(&s.rank))
+        .expect("front-end section");
+
+    // Each wave reached all 4 children: one encode, three shares.
+    let encoded = root.get("frames.encoded").unwrap_or(0);
+    let shared = root.get("frames.shared").unwrap_or(0);
+    assert_eq!(encoded, WAVES, "one encode per multicast flush wave");
+    assert_eq!(shared, 3 * encoded, "k-1 children share each frame");
+    // Sanity: the children did receive every wave (4 sends per wave).
+    assert_eq!(root.get("down.pkts.sent"), Some(4 * WAVES));
+
+    net.shutdown();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn divergent_routes_still_encode_separately() {
+    // Two streams with disjoint single-back-end routes: their flushes
+    // can never share a frame, so `frames.shared` stays zero while
+    // `frames.encoded` counts each unicast flush.
+    let topo = generator::flat(2, &mut HostPool::synthetic(4)).unwrap();
+    let dep = launch_local(topo).unwrap();
+    let net = dep.network.clone();
+
+    let ranks = net.endpoints().to_vec();
+    let null = net.registry().id_of("null").unwrap();
+    let solo_a = net.communicator([ranks[0]]).unwrap();
+    let solo_b = net.communicator([ranks[1]]).unwrap();
+    let sa = net.new_stream(&solo_a, null, SyncMode::DoNotWait).unwrap();
+    let sb = net.new_stream(&solo_b, null, SyncMode::DoNotWait).unwrap();
+    sa.send(1, "%d", vec![Value::Int32(1)]).unwrap();
+    sb.send(1, "%d", vec![Value::Int32(2)]).unwrap();
+
+    let handles: Vec<_> = dep
+        .backends
+        .into_iter()
+        .map(|be| {
+            std::thread::spawn(move || {
+                be.recv().unwrap();
+                loop {
+                    match be.recv_timeout(Duration::from_millis(100)) {
+                        Ok(_) => {}
+                        Err(MrnetError::Shutdown) => return,
+                        Err(e) => panic!("backend pump failed: {e}"),
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let snap = net.metrics_snapshot(Duration::from_secs(5)).unwrap();
+    let root = snap
+        .nodes
+        .iter()
+        .find(|s| !ranks.contains(&s.rank))
+        .expect("front-end section");
+    assert_eq!(root.get("frames.encoded"), Some(2));
+    assert_eq!(root.get("frames.shared"), Some(0));
+
+    net.shutdown();
+    for h in handles {
+        h.join().unwrap();
+    }
+}

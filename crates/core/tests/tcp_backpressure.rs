@@ -1,0 +1,105 @@
+//! The tentpole claim of the per-connection writer threads, proven
+//! over real sockets: one back-end that stops reading exerts TCP
+//! backpressure on its own connection only — the front-end's event
+//! loop keeps multicasting and its siblings keep receiving, because
+//! `send()` is an enqueue onto that child's bounded queue rather than
+//! a blocking socket write.
+//!
+//! Lives in its own test binary so `MRNET_SEND_QUEUE` (read when each
+//! connection is created) can be set process-wide without racing other
+//! tests.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use mrnet::{launch_processes, Backend, SyncMode, Value};
+use mrnet_topology::{generator, HostPool};
+
+fn commnode_exe() -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_BIN_EXE_mrnet_commnode"))
+}
+
+const TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Waves of 8 KiB multicast payloads. Sized so the traffic toward the
+/// non-reading back-end (~24 MiB) overflows its connection's inbound
+/// buffer (1024 frames) plus any plausible kernel socket buffering —
+/// i.e. the slow child's socket genuinely stops accepting bytes — yet
+/// stays below the front-end's (raised) send-queue depth, so only the
+/// writer thread for that one child ever waits.
+const WAVES: usize = 3_000;
+const PAYLOAD: usize = 8 << 10;
+
+#[test]
+fn slow_backend_does_not_stall_siblings_over_tcp() {
+    // Deep queue at the front-end: backpressure from the jammed child
+    // lands in its queue, never in the node loop.
+    std::env::set_var("MRNET_SEND_QUEUE", "100000");
+
+    // Flat tree over TCP: 3 back-ends attach to the front-end.
+    let topo = generator::flat(3, &mut HostPool::synthetic(4)).unwrap();
+    let pending = launch_processes(topo, &commnode_exe()).unwrap();
+    let points = pending.collect_attach_points(TIMEOUT).unwrap();
+    assert_eq!(points.len(), 3);
+
+    // Back-end 0 is the slow one: it attaches, then reads nothing
+    // until the test releases it.
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+    let mut release_rx = Some(release_rx);
+    let mut handles = Vec::new();
+    for (i, ap) in points.into_iter().enumerate() {
+        let gate = if i == 0 { release_rx.take() } else { None };
+        handles.push(std::thread::spawn(move || {
+            let be = Backend::attach_tcp(&ap.endpoint, ap.rank).unwrap();
+            if let Some(gate) = gate {
+                gate.recv().expect("release signal");
+            }
+            let (_, sid) = be.recv().unwrap();
+            let mut seen = 1usize;
+            while seen < WAVES {
+                be.recv().unwrap();
+                seen += 1;
+            }
+            be.send(sid, 7, "%d", vec![Value::Int32(seen as i32)])
+                .unwrap();
+            // Stay alive until shutdown so the tree drains cleanly.
+            let _ = be.recv();
+        }));
+    }
+
+    let net = pending.wait(TIMEOUT).unwrap();
+    let comm = net.broadcast_communicator();
+    let null = net.registry().id_of("null").unwrap();
+    let stream = net.new_stream(&comm, null, SyncMode::DoNotWait).unwrap();
+
+    let payload = vec![0xABu8; PAYLOAD];
+    for w in 0..WAVES {
+        stream
+            .send(
+                1,
+                "%d %ac",
+                vec![Value::Int32(w as i32), Value::CharArray(payload.clone())],
+            )
+            .unwrap();
+    }
+
+    // The two responsive siblings must receive all 3000 waves and
+    // answer while back-end 0 still refuses to read. If the front-end
+    // loop were blocked on the jammed socket, these replies could
+    // never arrive in time.
+    for _ in 0..2 {
+        let reply = stream.recv_timeout(TIMEOUT).unwrap();
+        assert_eq!(reply.get(0).unwrap().as_i32(), Some(WAVES as i32));
+    }
+
+    // Release the slow back-end: backpressure delayed its traffic, it
+    // must not have lost any of it.
+    release_tx.send(()).unwrap();
+    let reply = stream.recv_timeout(TIMEOUT).unwrap();
+    assert_eq!(reply.get(0).unwrap().as_i32(), Some(WAVES as i32));
+
+    net.shutdown();
+    for h in handles {
+        h.join().unwrap();
+    }
+}

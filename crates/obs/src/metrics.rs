@@ -261,6 +261,23 @@ pub struct NodeMetrics {
     /// Topology events (rank failures) this node delivered to its
     /// local tool thread.
     pub events_delivered: Counter,
+    /// Frames queued behind this node's per-connection writer threads,
+    /// summed across connections at the last refresh.
+    pub send_queue_depth: Gauge,
+    /// Frames that shared a transmit syscall with at least one other
+    /// frame (vectored-write coalescing), summed across connections.
+    pub send_coalesced: Gauge,
+    /// Sends that found an outbound queue at capacity, summed across
+    /// connections — sustained growth means a peer reads slower than
+    /// this node produces.
+    pub send_stalls: Gauge,
+    /// Batched data frames this node encoded when flushing toward its
+    /// parent or children (introspection frames are not counted).
+    pub frames_encoded: Counter,
+    /// Child sends satisfied by a frame another child's flush already
+    /// encoded (encode-once multicast): `frames_encoded +
+    /// frames_shared` = data frames actually sent downstream.
+    pub frames_shared: Counter,
     streams: Mutex<BTreeMap<u32, Arc<StreamCounters>>>,
     filters: Mutex<BTreeMap<String, Arc<FilterStats>>>,
 }
@@ -307,6 +324,17 @@ impl NodeMetrics {
         s.push("connect.retries", self.connect_retries.get());
         s.push("streams.pruned", self.pruned_streams.get());
         s.push("events.delivered", self.events_delivered.get());
+        s.push(
+            "send.queue_depth",
+            self.send_queue_depth.get().max(0) as u64,
+        );
+        s.push(
+            "send.coalesced_frames",
+            self.send_coalesced.get().max(0) as u64,
+        );
+        s.push("send.enqueue_stalls", self.send_stalls.get().max(0) as u64);
+        s.push("frames.encoded", self.frames_encoded.get());
+        s.push("frames.shared", self.frames_shared.get());
         s.push_histogram("batch.pkts", &self.batch_pkts.snapshot());
         s.push_histogram("hop_up_us", &self.hop_up_us.snapshot());
         s.push_histogram("hop_down_us", &self.hop_down_us.snapshot());
@@ -426,8 +454,16 @@ mod tests {
         fs.exec_us.record_us(10);
         m.peer_deaths.inc();
         m.pruned_streams.add(2);
+        m.send_coalesced.set(5);
+        m.frames_encoded.add(7);
+        m.frames_shared.add(3);
         let s = m.snapshot(3);
         assert_eq!(s.rank, 3);
+        assert_eq!(s.get("send.queue_depth"), Some(0));
+        assert_eq!(s.get("send.coalesced_frames"), Some(5));
+        assert_eq!(s.get("send.enqueue_stalls"), Some(0));
+        assert_eq!(s.get("frames.encoded"), Some(7));
+        assert_eq!(s.get("frames.shared"), Some(3));
         assert_eq!(s.get("peer.deaths"), Some(1));
         assert_eq!(s.get("connect.retries"), Some(0));
         assert_eq!(s.get("streams.pruned"), Some(2));

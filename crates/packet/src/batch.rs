@@ -93,6 +93,15 @@ impl Batcher {
         std::mem::take(&mut self.pending)
     }
 
+    /// True when the pending batch holds exactly these packet handles
+    /// (same shared buffers, via [`Packet::ptr_eq`], in the same
+    /// order). Two batchers that match encode to identical bytes, so a
+    /// multicast sender can encode once and share the frame.
+    pub fn pending_matches(&self, packets: &[Packet]) -> bool {
+        self.pending.len() == packets.len()
+            && self.pending.iter().zip(packets).all(|(a, b)| a.ptr_eq(b))
+    }
+
     /// Drains and encodes the pending packets as one wire batch, or
     /// `None` if nothing is pending.
     pub fn flush_encoded(&mut self) -> Option<Bytes> {
@@ -230,6 +239,18 @@ mod tests {
         let packets = decode_batch(bytes).unwrap();
         assert_eq!(packets, vec![pkt(7), pkt(8)]);
         assert!(b.is_empty());
+    }
+
+    #[test]
+    fn pending_matches_compares_handles() {
+        let a = pkt(1);
+        let b = pkt(1); // equal contents, different buffers
+        let mut batcher = Batcher::new(BatchPolicy::default());
+        batcher.push(a.clone());
+        assert!(batcher.pending_matches(&[a.clone()]));
+        assert!(!batcher.pending_matches(&[b])); // handle identity, not equality
+        assert!(!batcher.pending_matches(&[])); // length mismatch
+        assert!(!batcher.pending_matches(&[a.clone(), a]));
     }
 
     #[test]

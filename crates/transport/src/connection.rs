@@ -26,6 +26,17 @@ pub struct ConnStats {
     pub frames_recv: u64,
     /// Payload bytes this endpoint received.
     pub bytes_recv: u64,
+    /// Frames that shared a transmit syscall with at least one other
+    /// frame: each vectored write carrying `b > 1` frames contributes
+    /// `b - 1` (the writes it saved versus frame-at-a-time sending).
+    pub frames_coalesced: u64,
+    /// Sends that found the outbound queue at capacity — blocking
+    /// sends that had to wait, plus non-blocking sends that returned
+    /// [`crate::TransportError::WouldBlock`].
+    pub enqueue_stalls: u64,
+    /// Frames currently queued behind the writer, sampled at snapshot
+    /// time. Zero for transports without a send queue.
+    pub queue_depth: u64,
 }
 
 /// Relaxed atomic traffic counters backing [`ConnStats`]; transports
@@ -36,6 +47,8 @@ pub(crate) struct ConnCounters {
     bytes_sent: AtomicU64,
     frames_recv: AtomicU64,
     bytes_recv: AtomicU64,
+    frames_coalesced: AtomicU64,
+    enqueue_stalls: AtomicU64,
 }
 
 impl ConnCounters {
@@ -49,12 +62,28 @@ impl ConnCounters {
         self.bytes_recv.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
+    pub(crate) fn note_coalesced(&self, saved_writes: u64) {
+        self.frames_coalesced
+            .fetch_add(saved_writes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_stall(&self) {
+        self.enqueue_stalls.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> ConnStats {
+        self.snapshot_with_depth(0)
+    }
+
+    pub(crate) fn snapshot_with_depth(&self, queue_depth: usize) -> ConnStats {
         ConnStats {
             frames_sent: self.frames_sent.load(Ordering::Relaxed),
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             frames_recv: self.frames_recv.load(Ordering::Relaxed),
             bytes_recv: self.bytes_recv.load(Ordering::Relaxed),
+            frames_coalesced: self.frames_coalesced.load(Ordering::Relaxed),
+            enqueue_stalls: self.enqueue_stalls.load(Ordering::Relaxed),
+            queue_depth: queue_depth as u64,
         }
     }
 }
@@ -64,9 +93,19 @@ impl ConnCounters {
 /// Implementations are `Sync`: the receive side may be pumped by one
 /// thread while another sends.
 pub trait Connection: Send + Sync {
-    /// Sends one frame. Never blocks on peer consumption (frames are
-    /// buffered), but fails once the peer has hung up.
+    /// Sends one frame. Enqueues without blocking while the transport's
+    /// outbound buffer has room; once the buffer is at capacity the
+    /// send applies backpressure (blocks) until space frees up. Fails
+    /// once the peer has hung up.
     fn send(&self, frame: Bytes) -> Result<()>;
+
+    /// Sends one frame without ever blocking: fails with
+    /// [`crate::TransportError::WouldBlock`] when the outbound buffer
+    /// is at capacity (the frame is not enqueued). Transports without
+    /// a bounded send buffer treat this as [`Connection::send`].
+    fn try_send(&self, frame: Bytes) -> Result<()> {
+        self.send(frame)
+    }
 
     /// Receives the next frame, blocking until one arrives or the peer
     /// hangs up.

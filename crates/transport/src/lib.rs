@@ -21,4 +21,4 @@ pub use connection::{
 pub use error::{Result, TransportError};
 pub use local::{LocalConnection, LocalFabric, LocalListener};
 pub use retry::{RetryPolicy, CONNECT_RETRIES_ENV};
-pub use tcp::{TcpConnection, TcpTransportListener, HEARTBEAT_ENV, MAX_FRAME};
+pub use tcp::{TcpConnection, TcpTransportListener, HEARTBEAT_ENV, MAX_FRAME, SEND_QUEUE_ENV};

@@ -8,6 +8,18 @@
 //! `try_recv`/`recv_timeout` used by internal-process event loops work
 //! uniformly across transports.
 //!
+//! # Send pipeline
+//!
+//! Each connection owns a dedicated writer thread fed by a bounded
+//! queue of encoded frames, so [`Connection::send`] is an enqueue, not
+//! a socket write: a peer that stops reading exerts backpressure only
+//! on its own queue, never on the caller's event loop or on sends to
+//! sibling connections (until the queue itself fills — see
+//! [`SEND_QUEUE_ENV`]). The writer drains the queue with a single
+//! vectored write per wake-up — length prefix and payload of every
+//! queued frame in one syscall, no intermediate copy, no per-frame
+//! flush — and owns failure detection for the send direction.
+//!
 //! # Failure detection
 //!
 //! The reader thread classifies how a connection ended and records a
@@ -22,13 +34,13 @@
 //!   peers). Heartbeats are `u32::MAX` length prefixes carrying no
 //!   payload, invisible to the frame stream.
 
-use std::io::{BufWriter, ErrorKind, Read, Write};
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::io::{ErrorKind, IoSlice, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError};
 use parking_lot::Mutex;
 
 use crate::connection::{
@@ -57,6 +69,29 @@ const HEARTBEAT_MISSES: u32 = 3;
 /// back-pressure to the socket.
 const INBOUND_DEPTH: usize = 1024;
 
+/// Environment variable overriding the outbound send-queue depth in
+/// frames (default [`SEND_QUEUE_DEPTH`]). A blocking send only stalls
+/// the caller once this many frames are queued behind the writer
+/// thread; `try_send` instead fails with
+/// [`TransportError::WouldBlock`] at that point.
+pub const SEND_QUEUE_ENV: &str = "MRNET_SEND_QUEUE";
+
+/// Default outbound send-queue depth, in frames.
+const SEND_QUEUE_DEPTH: usize = 1024;
+
+/// Upper bound on frames coalesced into one vectored write. Caps the
+/// iovec array (well under the kernel's `IOV_MAX`, typically 1024:
+/// each frame contributes a length-prefix slice and a payload slice).
+const COALESCE_MAX: usize = 64;
+
+fn send_queue_depth() -> usize {
+    std::env::var(SEND_QUEUE_ENV)
+        .ok()
+        .and_then(|raw| raw.trim().parse::<usize>().ok())
+        .filter(|&d| d > 0)
+        .unwrap_or(SEND_QUEUE_DEPTH)
+}
+
 /// Shared slot where the reader thread records why the connection
 /// died, read by `recv`/`try_recv`/`recv_timeout` once the inbound
 /// channel disconnects.
@@ -74,10 +109,10 @@ fn heartbeat_interval() -> Option<Duration> {
 
 /// One end of a TCP connection carrying length-prefixed frames.
 pub struct TcpConnection {
-    writer: Arc<Mutex<BufWriter<TcpStream>>>,
+    outbound: Sender<Bytes>,
     inbound: Receiver<Bytes>,
     peer: String,
-    counters: ConnCounters,
+    counters: Arc<ConnCounters>,
     death: DeathNote,
 }
 
@@ -127,7 +162,10 @@ struct ReaderLoop {
 
 impl ReaderLoop {
     fn die(&self, reason: TransportError) {
-        *self.death.lock() = Some(reason);
+        // First classification wins: the writer thread may already have
+        // recorded why the peer died, and its diagnosis precedes the
+        // EOF our own shutdown then feeds this reader.
+        self.death.lock().get_or_insert(reason);
     }
 
     fn silence_limit(&self) -> Duration {
@@ -205,19 +243,134 @@ fn spawn_reader(reader: ReaderLoop) {
         .expect("spawn tcp reader thread");
 }
 
-/// Periodically writes heartbeat markers until the connection dies
-/// (flush fails once the socket is shut down or the peer vanishes).
-fn spawn_keepalive(writer: Arc<Mutex<BufWriter<TcpStream>>>, interval: Duration) {
-    std::thread::Builder::new()
-        .name("mrnet-tcp-keepalive".to_owned())
-        .spawn(move || loop {
-            std::thread::sleep(interval);
-            let mut w = writer.lock();
-            if w.write_all(&HEARTBEAT_MARKER.to_le_bytes()).is_err() || w.flush().is_err() {
-                return;
+/// Writes a list of byte segments with as few vectored-write syscalls
+/// as possible (one, absent partial writes), resuming after partials.
+fn write_segments(stream: &mut TcpStream, segments: &[&[u8]]) -> std::io::Result<()> {
+    let mut seg = 0; // first segment with unwritten bytes
+    let mut off = 0; // bytes of `segments[seg]` already written
+    while seg < segments.len() {
+        let slices: Vec<IoSlice<'_>> = std::iter::once(IoSlice::new(&segments[seg][off..]))
+            .chain(segments[seg + 1..].iter().map(|s| IoSlice::new(s)))
+            .collect();
+        let mut n = match stream.write_vectored(&slices) {
+            Ok(0) => return Err(ErrorKind::WriteZero.into()),
+            Ok(n) => n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        // Advance (seg, off) past the bytes just written; empty
+        // segments fall through without a syscall of their own.
+        while seg < segments.len() {
+            let left = segments[seg].len() - off;
+            if n < left {
+                off += n;
+                break;
             }
-        })
-        .expect("spawn tcp keepalive thread");
+            n -= left;
+            seg += 1;
+            off = 0;
+        }
+    }
+    Ok(())
+}
+
+/// Writes `frames` to the socket, each preceded by its length prefix,
+/// coalesced into a single vectored write.
+fn write_frames(stream: &mut TcpStream, frames: &[Bytes]) -> std::io::Result<()> {
+    let headers: Vec<[u8; 4]> = frames
+        .iter()
+        .map(|f| (f.len() as u32).to_le_bytes())
+        .collect();
+    let mut segments: Vec<&[u8]> = Vec::with_capacity(frames.len() * 2);
+    for (h, f) in headers.iter().zip(frames) {
+        segments.push(h);
+        segments.push(f);
+    }
+    write_segments(stream, &segments)
+}
+
+/// The dedicated per-connection writer: drains the outbound queue,
+/// coalescing everything queued (up to [`COALESCE_MAX`]) into one
+/// vectored write, emits keepalive markers when idle, and records the
+/// death note when the send direction fails.
+struct WriterLoop {
+    stream: TcpStream,
+    rx: Receiver<Bytes>,
+    death: DeathNote,
+    counters: Arc<ConnCounters>,
+    heartbeat: Option<Duration>,
+}
+
+impl WriterLoop {
+    fn die(&self, reason: TransportError) {
+        self.death.lock().get_or_insert(reason);
+    }
+
+    /// Blocks for the next frame, emitting heartbeats while idle.
+    /// `None` once every sender has dropped (all queued frames were
+    /// already drained by then: the channel only disconnects empty).
+    fn next_frame(&mut self) -> Option<Bytes> {
+        loop {
+            let interval = match self.heartbeat {
+                Some(interval) => interval,
+                None => return self.rx.recv().ok(),
+            };
+            match self.rx.recv_timeout(interval) {
+                Ok(frame) => return Some(frame),
+                Err(RecvTimeoutError::Timeout) => {
+                    // Idle: keep the peer's silence detector fed. A
+                    // failure here is left for the next data write (or
+                    // the reader) to classify.
+                    if self
+                        .stream
+                        .write_all(&HEARTBEAT_MARKER.to_le_bytes())
+                        .is_err()
+                    {
+                        return None;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return None,
+            }
+        }
+    }
+
+    fn run(mut self) {
+        let mut frames = Vec::with_capacity(COALESCE_MAX);
+        while let Some(first) = self.next_frame() {
+            frames.clear();
+            frames.push(first);
+            while frames.len() < COALESCE_MAX {
+                match self.rx.try_recv() {
+                    Ok(f) => frames.push(f),
+                    Err(_) => break,
+                }
+            }
+            if let Err(e) = write_frames(&mut self.stream, &frames) {
+                self.die(TransportError::PeerGone(format!("send failed: {e}")));
+                break;
+            }
+            // Transmission accounting happens here, after the bytes
+            // actually reached the socket — frames queued toward a
+            // peer that dies first are never counted as sent.
+            for f in &frames {
+                self.counters.note_sent(f.len());
+            }
+            if frames.len() > 1 {
+                self.counters.note_coalesced(frames.len() as u64 - 1);
+            }
+        }
+        // Both exit paths end the connection: shutting down the read
+        // direction pops our own reader thread out of its blocking
+        // read, and the write direction sends the peer its EOF.
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}
+
+fn spawn_writer(writer: WriterLoop) {
+    std::thread::Builder::new()
+        .name("mrnet-tcp-writer".to_owned())
+        .spawn(move || writer.run())
+        .expect("spawn tcp writer thread");
 }
 
 impl TcpConnection {
@@ -242,15 +395,20 @@ impl TcpConnection {
             death: death.clone(),
             heartbeat,
         });
-        let writer = Arc::new(Mutex::new(BufWriter::new(stream)));
-        if let Some(interval) = heartbeat {
-            spawn_keepalive(writer.clone(), interval);
-        }
+        let counters = Arc::new(ConnCounters::default());
+        let (out_tx, out_rx) = bounded(send_queue_depth());
+        spawn_writer(WriterLoop {
+            stream,
+            rx: out_rx,
+            death: death.clone(),
+            counters: counters.clone(),
+            heartbeat,
+        });
         Ok(TcpConnection {
-            writer,
+            outbound: out_tx,
             inbound: rx,
             peer,
-            counters: ConnCounters::default(),
+            counters,
             death,
         })
     }
@@ -261,34 +419,45 @@ impl TcpConnection {
         TcpConnection::from_stream(stream)
     }
 
-    /// Why the connection ended: the reader thread's recorded death
-    /// note, defaulting to an orderly [`TransportError::Closed`].
+    /// Why the connection ended: the death note recorded by whichever
+    /// of the reader/writer threads diagnosed the failure first,
+    /// defaulting to an orderly [`TransportError::Closed`].
     fn death_reason(&self) -> TransportError {
         self.death.lock().clone().unwrap_or(TransportError::Closed)
     }
 }
 
-impl Drop for TcpConnection {
-    fn drop(&mut self) {
-        // The reader thread holds a cloned FD; without an explicit
-        // shutdown the socket would stay open (and the peer would
-        // never see EOF) until that thread exits — which it only does
-        // on EOF. Shut both directions down to break the cycle. This
-        // also makes the keepalive thread's next flush fail, stopping
-        // it.
-        let writer = self.writer.lock();
-        let _ = writer.get_ref().shutdown(std::net::Shutdown::Both);
-    }
-}
+// No `Drop` impl: dropping the connection drops the outbound sender,
+// which disconnects the writer's channel; the writer drains whatever
+// was already queued (in-flight shutdown frames must still reach the
+// peer) and then shuts the socket down in both directions — giving the
+// peer its EOF and popping our own reader thread out of its blocking
+// read.
 
 impl Connection for TcpConnection {
     fn send(&self, frame: Bytes) -> Result<()> {
-        let mut writer = self.writer.lock();
-        writer.write_all(&(frame.len() as u32).to_le_bytes())?;
-        writer.write_all(&frame)?;
-        writer.flush()?;
-        self.counters.note_sent(frame.len());
-        Ok(())
+        // Fast path: enqueue without blocking. Once the bounded queue
+        // is full, count the stall and fall back to a blocking send —
+        // that is the backpressure contract of `send`.
+        match self.outbound.try_send(frame) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(frame)) => {
+                self.counters.note_stall();
+                self.outbound.send(frame).map_err(|_| self.death_reason())
+            }
+            Err(TrySendError::Disconnected(_)) => Err(self.death_reason()),
+        }
+    }
+
+    fn try_send(&self, frame: Bytes) -> Result<()> {
+        match self.outbound.try_send(frame) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => {
+                self.counters.note_stall();
+                Err(TransportError::WouldBlock)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(self.death_reason()),
+        }
     }
 
     fn recv(&self) -> Result<Bytes> {
@@ -324,7 +493,7 @@ impl Connection for TcpConnection {
     }
 
     fn stats(&self) -> ConnStats {
-        self.counters.snapshot()
+        self.counters.snapshot_with_depth(self.outbound.len())
     }
 }
 
@@ -417,7 +586,16 @@ mod tests {
         let (client, server) = pair();
         client.send(Bytes::from_static(b"abcd")).unwrap();
         assert_eq!(server.recv().unwrap().len(), 4);
-        let cs = client.stats();
+        // Send accounting happens on the writer thread after the bytes
+        // hit the socket; poll briefly for it to land.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let cs = loop {
+            let cs = client.stats();
+            if cs.frames_sent == 1 || Instant::now() > deadline {
+                break cs;
+            }
+            std::thread::yield_now();
+        };
         assert_eq!(cs.frames_sent, 1);
         assert_eq!(cs.bytes_sent, 4); // payload only, not the length prefix
         let ss = server.stats();
@@ -522,6 +700,41 @@ mod tests {
             }
             other => panic!("expected PeerGone, got {other:?}"),
         }
+    }
+
+    /// N frames handed to one coalesced vectored write arrive as N
+    /// intact frames — framing survives the single-syscall path.
+    #[test]
+    fn coalesced_write_preserves_framing() {
+        let listener = TcpTransportListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.addr();
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        let server = listener.accept().unwrap();
+        let frames: Vec<Bytes> = (0..10u8)
+            .map(|i| Bytes::from(vec![i; i as usize * 37]))
+            .collect();
+        write_frames(&mut raw, &frames).unwrap();
+        for f in &frames {
+            assert_eq!(&server.recv().unwrap(), f);
+        }
+    }
+
+    /// Partial-write resumption in `write_segments` never drops or
+    /// reorders bytes even when segments are tiny and numerous.
+    #[test]
+    fn segmented_write_is_byte_exact() {
+        let listener = TcpTransportListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.addr();
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        let server = listener.accept().unwrap();
+        // One big frame expressed as many odd-sized segments, with the
+        // length prefix up front and an empty segment mixed in.
+        let body: Vec<u8> = (0..100_000u32).map(|i| i as u8).collect();
+        let header = (body.len() as u32).to_le_bytes();
+        let mut segments: Vec<&[u8]> = vec![&header, &[]];
+        segments.extend(body.chunks(7));
+        write_segments(&mut raw, &segments).unwrap();
+        assert_eq!(server.recv().unwrap(), Bytes::from(body));
     }
 
     /// Buffered frames are still delivered after the peer dies; the

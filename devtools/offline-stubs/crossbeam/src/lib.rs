@@ -52,6 +52,15 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity; the message is returned.
+        Full(T),
+        /// All receivers dropped; the message is returned.
+        Disconnected(T),
+    }
+
     /// Error returned when receiving on a channel with no senders.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
@@ -123,6 +132,23 @@ pub mod channel {
                         self.inner.cv.notify_all();
                         return Ok(());
                     }
+                }
+            }
+        }
+
+        /// Sends without blocking: fails with [`TrySendError::Full`]
+        /// when a bounded channel is at capacity.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.inner.lock();
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            match st.cap {
+                Some(cap) if st.queue.len() >= cap => Err(TrySendError::Full(msg)),
+                _ => {
+                    st.queue.push_back(msg);
+                    self.inner.cv.notify_all();
+                    Ok(())
                 }
             }
         }
