@@ -7,10 +7,11 @@
 //!
 //! Run with: `cargo run -p mrnet-bench --release --bin fig7b_roundtrip`
 
-use mrnet::obs::trace;
+use mrnet::obs::{trace, tracectx};
 use mrnet::simulate::{roundtrip_latency, SMALL_PACKET};
 use mrnet_bench::{
-    experiment_topology, fanout_label, print_header, print_hop_breakdown, print_row, BenchTree,
+    experiment_topology, fanout_label, print_header, print_row, print_trace_latency_table,
+    BenchTree,
 };
 use mrnet_packet::BatchPolicy;
 use mrnet_sim::LogGpParams;
@@ -35,14 +36,18 @@ fn main() {
     println!("\npaper shape: flat ≈ 1.4 s at 512 back-ends; trees well under 0.2 s");
 
     // Live-tree cross-check: run the same operation on a real threaded
-    // tree with packet-path tracing on, then ask the tree itself (via
-    // the in-band introspection stream) where the time went.
-    println!("\ninternal per-hop breakdown, live 2-way tree with 4 back-ends (traced):\n");
+    // tree with distributed tracing on (every wave sampled), then print
+    // the per-hop latency table the front-end assembled from the trace
+    // envelopes the waves carried.
+    println!("\nper-hop latency, live 2-way tree with 4 back-ends (every wave traced):\n");
     trace::set_enabled(true);
+    tracectx::set_sample_every(1);
     let tree = BenchTree::new(experiment_topology(Some(2), 4), BatchPolicy::default());
     for _ in 0..50 {
         tree.roundtrip();
     }
-    print_hop_breakdown(&tree.net);
+    // Let straggler down-wave TRACE_REPORTs drain before reading.
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    print_trace_latency_table(&tree.net);
     tree.shutdown();
 }

@@ -15,10 +15,11 @@
 
 use std::time::Instant;
 
-use mrnet::obs::trace;
+use mrnet::obs::{trace, tracectx};
 use mrnet::simulate::{reduction_throughput, SMALL_PACKET};
 use mrnet_bench::{
-    experiment_topology, fanout_label, print_header, print_hop_breakdown, print_row, BenchTree,
+    experiment_topology, fanout_label, print_header, print_hop_breakdown, print_row,
+    print_trace_latency_table, BenchTree,
 };
 use mrnet_packet::BatchPolicy;
 use mrnet_sim::LogGpParams;
@@ -68,6 +69,22 @@ fn quick_bench(path: &str) {
     );
     std::fs::write(path, &json).expect("write bench json");
     println!("\nwrote {path}");
+
+    // With MRNET_TRACE=1 the quick run also produces the distributed-
+    // tracing latency breakdown: every wave through one more live tree
+    // is traced, the per-hop table is printed, and shutdown dumps the
+    // full snapshot (trace histograms included) to MRNET_METRICS_FILE
+    // for the CI perf-trajectory artifacts.
+    if trace::enabled() {
+        tracectx::set_sample_every(1);
+        println!("\nper-hop latency, live 2-way tree with 4 back-ends (every wave traced):\n");
+        let tree = BenchTree::new(experiment_topology(Some(2), 4), BatchPolicy::default());
+        tree.reduction_waves(WAVES);
+        // Let straggler down-wave TRACE_REPORTs drain before reading.
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        print_trace_latency_table(&tree.net);
+        tree.shutdown();
+    }
 }
 
 fn main() {
@@ -102,8 +119,12 @@ fn main() {
     // filter costs via the in-band introspection stream.
     println!("\ninternal per-hop breakdown, live 2-way tree with 4 back-ends (traced):\n");
     trace::set_enabled(true);
+    tracectx::set_sample_every(1);
     let tree = BenchTree::new(experiment_topology(Some(2), 4), BatchPolicy::default());
     tree.reduction_waves(200);
     print_hop_breakdown(&tree.net);
+    println!("\nassembled per-hop latency (from sampled trace envelopes):\n");
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    print_trace_latency_table(&tree.net);
     tree.shutdown();
 }

@@ -180,6 +180,76 @@ pub fn print_hop_breakdown(net: &Network) {
     }
 }
 
+/// Renders a bucketed quantile for display: the catch-all bucket has
+/// no finite upper bound.
+fn fmt_quantile(us: u64) -> String {
+    if us == u64::MAX {
+        ">max".to_owned()
+    } else {
+        us.to_string()
+    }
+}
+
+/// Prints the per-hop latency table reconstructed by the front-end's
+/// [`TraceAssembler`] from sampled trace envelopes: per-rank dwell and
+/// per-edge transit percentiles (skew-corrected), plus the clock
+/// offset/RTT estimates behind the correction. This is the
+/// trace-driven replacement for the ad-hoc per-node breakdown — it
+/// answers "which hop made this wave slow?" directly. Requires
+/// tracing on (`MRNET_TRACE=1` or `trace::set_enabled(true)`) while
+/// the waves ran.
+pub fn print_trace_latency_table(net: &Network) {
+    let asm = net.trace_assembler();
+    let hops = asm.hop_histograms();
+    if hops.is_empty() {
+        println!("(no traced waves assembled — enable tracing with MRNET_TRACE=1)");
+        return;
+    }
+    println!(
+        "{:>6} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "rank", "waves", "p50(us)", "p95(us)", "p99(us)", "mean(us)"
+    );
+    for (rank, h) in hops {
+        let s = h.snapshot();
+        println!(
+            "{:>6} {:>8} {:>10} {:>10} {:>10} {:>10.1}",
+            rank,
+            s.count,
+            fmt_quantile(s.quantile_le_us(0.50)),
+            fmt_quantile(s.quantile_le_us(0.95)),
+            fmt_quantile(s.quantile_le_us(0.99)),
+            s.mean_us(),
+        );
+    }
+    println!("\nper-edge transit latency (skew-corrected):");
+    println!(
+        "{:>12} {:>8} {:>10} {:>10} {:>10}",
+        "edge", "waves", "p50(us)", "p95(us)", "p99(us)"
+    );
+    for ((from, to), h) in asm.edge_histograms() {
+        let s = h.snapshot();
+        println!(
+            "{:>12} {:>8} {:>10} {:>10} {:>10}",
+            format!("{from}->{to}"),
+            s.count,
+            fmt_quantile(s.quantile_le_us(0.50)),
+            fmt_quantile(s.quantile_le_us(0.95)),
+            fmt_quantile(s.quantile_le_us(0.99)),
+        );
+    }
+    let synced = asm.synced_ranks();
+    if !synced.is_empty() {
+        println!("\nclock estimates (vs front-end):");
+        for rank in synced {
+            let c = asm.clock_of(rank);
+            println!(
+                "  rank {rank}: offset {:+} us, ping rtt {} us",
+                c.offset_us, c.rtt_us
+            );
+        }
+    }
+}
+
 /// Prints a table header: first column plus one column per series.
 pub fn print_header(xlabel: &str, series: &[String]) {
     print!("{xlabel:>10}");

@@ -11,6 +11,7 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
+use mrnet_obs::tracectx::{self, TraceEnvelope, TraceSampler};
 use mrnet_obs::{log_warn, NodeMetrics};
 use mrnet_packet::{Packet, PacketBuilder, Rank, StreamId, Value};
 use mrnet_transport::{LocalFabric, RetryPolicy, SharedConnection};
@@ -18,7 +19,7 @@ use mrnet_transport::{LocalFabric, RetryPolicy, SharedConnection};
 use crate::error::{MrnetError, Result};
 use crate::event::TopologyEvent;
 use crate::introspect::{self, METRICS_REQUEST, METRICS_STREAM};
-use crate::proto::{decode_frame, encode_data_frame, Control, Frame};
+use crate::proto::{decode_frame, encode_data_frame, encode_traced_data_frame, Control, Frame};
 use crate::streams::StreamDef;
 
 /// A tool back-end (daemon) endpoint of the MRNet network.
@@ -34,6 +35,8 @@ pub struct Backend {
     events: Mutex<VecDeque<TopologyEvent>>,
     /// Cumulative set of ranks reported failed.
     failed: Mutex<BTreeSet<Rank>>,
+    /// Decides which upstream sends originate a sampled trace wave.
+    sampler: TraceSampler,
 }
 
 impl Backend {
@@ -56,6 +59,7 @@ impl Backend {
             metrics: Arc::new(NodeMetrics::new()),
             events: Mutex::new(VecDeque::new()),
             failed: Mutex::new(BTreeSet::new()),
+            sampler: TraceSampler::new(),
         })
     }
 
@@ -116,25 +120,45 @@ impl Backend {
             .send(encode_data_frame(std::slice::from_ref(&reply)));
     }
 
+    /// Queues a frame's data packets for [`Backend::recv`], answering
+    /// any in-band metrics requests among them.
+    fn ingest_packets(&self, packets: Vec<Packet>) {
+        let mut requests = Vec::new();
+        let mut pending = self.pending.lock();
+        for p in packets {
+            if p.stream_id() == METRICS_STREAM {
+                if p.tag() == METRICS_REQUEST {
+                    requests.push(p);
+                }
+                continue;
+            }
+            self.metrics.down_pkts_recv.inc();
+            self.metrics.stream_counters(p.stream_id()).down_pkts.inc();
+            pending.push_back(p);
+        }
+        drop(pending);
+        for request in &requests {
+            self.answer_metrics(request);
+        }
+    }
+
     fn handle_frame(&self, frame: bytes::Bytes) -> Result<()> {
         match decode_frame(frame)? {
-            Frame::Data(packets) => {
-                let mut requests = Vec::new();
-                let mut pending = self.pending.lock();
-                for p in packets {
-                    if p.stream_id() == METRICS_STREAM {
-                        if p.tag() == METRICS_REQUEST {
-                            requests.push(p);
-                        }
-                        continue;
-                    }
-                    self.metrics.down_pkts_recv.inc();
-                    self.metrics.stream_counters(p.stream_id()).down_pkts.inc();
-                    pending.push_back(p);
-                }
-                drop(pending);
-                for request in &requests {
-                    self.answer_metrics(request);
+            Frame::Data(packets) => self.ingest_packets(packets),
+            Frame::Traced(packets, envelopes) => {
+                // A sampled down-wave ends here: stamp the terminal hop
+                // and report the completed envelope back up the tree so
+                // the front-end's assembler can reconstruct the wave.
+                let recv_us = tracectx::wall_us();
+                self.metrics.trace_frames.inc();
+                self.ingest_packets(packets);
+                for mut env in envelopes {
+                    env.add_hop(self.rank, recv_us, tracectx::wall_us());
+                    self.metrics.trace_hops.inc();
+                    let report = introspect::encode_trace_report(&env);
+                    let _ = self
+                        .conn
+                        .send(encode_data_frame(std::slice::from_ref(&report)));
                 }
             }
             Frame::Control(pkt) => {
@@ -159,6 +183,20 @@ impl Backend {
                         self.events
                             .lock()
                             .push_back(TopologyEvent::RankFailed { rank, subtree });
+                    }
+                    Control::ClockPing { t0_us } => {
+                        // NTP-style echo: timestamp arrival and
+                        // departure so the parent can estimate this
+                        // leaf's clock offset and the link RTT.
+                        let t1_us = tracectx::wall_us();
+                        let _ = self.conn.send(
+                            Control::ClockPong {
+                                t0_us,
+                                t1_us,
+                                t2_us: tracectx::wall_us(),
+                            }
+                            .to_frame(),
+                        );
                     }
                     Control::Shutdown => {
                         self.note_shutdown();
@@ -244,9 +282,17 @@ impl Backend {
         self.metrics
             .local_up_bytes
             .add(packet.encoded_size_hint() as u64);
-        self.conn
-            .send(encode_data_frame(&[packet]))
-            .map_err(MrnetError::Transport)
+        // One in `MRNET_TRACE_SAMPLE` sends originates a traced
+        // up-wave; the rest pay zero trailer bytes on the wire.
+        let frame = if self.sampler.sample() {
+            let env = TraceEnvelope::originate(self.rank, sid);
+            self.metrics.trace_frames.inc();
+            self.metrics.trace_hops.inc();
+            encode_traced_data_frame(std::slice::from_ref(&packet), &[env])
+        } else {
+            encode_data_frame(std::slice::from_ref(&packet))
+        };
+        self.conn.send(frame).map_err(MrnetError::Transport)
     }
 
     /// Convenience: build and send a packet from Rust values.

@@ -68,7 +68,7 @@ pub fn run(
             }
             other => return Err(format!("expected Launch, got {other:?}")),
         },
-        Frame::Data(_) => return Err("data frame before Launch".into()),
+        Frame::Data(_) | Frame::Traced(..) => return Err("data frame before Launch".into()),
     };
     if view.my_rank() != rank {
         return Err(format!(

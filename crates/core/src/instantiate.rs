@@ -25,7 +25,7 @@ use std::time::Duration;
 use crossbeam::channel::{bounded, Receiver, Sender};
 
 use mrnet_filters::FilterRegistry;
-use mrnet_obs::log_error;
+use mrnet_obs::{log_error, TraceAssembler};
 use mrnet_packet::{BatchPolicy, Rank};
 use mrnet_topology::{Role, Topology};
 use mrnet_transport::{
@@ -78,6 +78,7 @@ pub struct PendingNetwork {
     delivery: Arc<Delivery>,
     registry: FilterRegistry,
     ledger: Arc<FailureLedger>,
+    assembler: Arc<TraceAssembler>,
     joins: Vec<JoinHandle<()>>,
     attach_points: Vec<AttachPoint>,
     fabric: LocalFabric,
@@ -171,6 +172,7 @@ impl PendingNetwork {
             endpoints,
             self.registry,
             self.ledger,
+            self.assembler,
             self.joins,
         ))
     }
@@ -326,6 +328,7 @@ impl NetworkBuilder {
         let mut joins = Vec::new();
         let delivery = Arc::new(Delivery::new());
         let ledger = Arc::new(FailureLedger::new());
+        let assembler = Arc::new(TraceAssembler::new());
         let (ready_tx, ready_rx) = bounded(1);
         let root_inbox = NodeLoop::inbox();
         let cmd_tx = root_inbox.0.clone();
@@ -340,6 +343,7 @@ impl NetworkBuilder {
             let batch = self.batch_policy;
             let child_ranks: Vec<Rank> = topo.children(id).iter().map(|c| c.0 as Rank).collect();
             let ledger_opt = (role == Role::FrontEnd).then(|| ledger.clone());
+            let assembler_opt = (role == Role::FrontEnd).then(|| assembler.clone());
             let parent = if role == Role::FrontEnd {
                 None
             } else {
@@ -392,6 +396,9 @@ impl NetworkBuilder {
                         if let Some(ledger) = ledger_opt {
                             node.set_failure_ledger(ledger);
                         }
+                        if let Some(assembler) = assembler_opt {
+                            node.set_trace_assembler(assembler);
+                        }
                         if let Err(e) = node.setup() {
                             log_error!(rank, "setup failed: {e}");
                             return;
@@ -409,6 +416,7 @@ impl NetworkBuilder {
                 delivery,
                 registry: self.registry,
                 ledger,
+                assembler,
                 joins,
                 attach_points,
                 fabric,
@@ -432,8 +440,15 @@ impl NetworkBuilder {
         let endpoints = ready_rx
             .recv_timeout(self.ready_timeout)
             .map_err(|_| MrnetError::Instantiation("instantiation timed out".into()))?;
-        let network =
-            Network::from_parts(cmd_tx, delivery, endpoints, self.registry, ledger, joins);
+        let network = Network::from_parts(
+            cmd_tx,
+            delivery,
+            endpoints,
+            self.registry,
+            ledger,
+            assembler,
+            joins,
+        );
         Ok(Launched::Full(Deployment { network, backends }))
     }
 }
@@ -463,7 +478,7 @@ fn resolve_slots(slots: Vec<ChildSlot>) -> Result<Vec<SharedConnection>> {
                             )))
                         }
                     },
-                    Frame::Data(_) => {
+                    Frame::Data(_) | Frame::Traced(..) => {
                         return Err(MrnetError::Protocol(
                             "data frame before Attach handshake".into(),
                         ))
@@ -520,6 +535,7 @@ pub fn launch_processes_with_registry(
     }
     let delivery = Arc::new(Delivery::new());
     let ledger = Arc::new(FailureLedger::new());
+    let assembler = Arc::new(TraceAssembler::new());
     let (ready_tx, ready_rx) = bounded(1);
     let (attach_tx, attach_rx) = crossbeam::channel::unbounded();
     let root_inbox = NodeLoop::inbox();
@@ -538,6 +554,7 @@ pub fn launch_processes_with_registry(
     let reg = registry.clone();
     let deliv = delivery.clone();
     let root_ledger = ledger.clone();
+    let root_assembler = assembler.clone();
     let root_join = std::thread::Builder::new()
         .name("mrnet-fe-root".to_owned())
         .spawn(move || {
@@ -562,6 +579,7 @@ pub fn launch_processes_with_registry(
             node.set_attach_sink(attach_tx);
             node.set_child_ranks(child_ranks);
             node.set_failure_ledger(root_ledger);
+            node.set_trace_assembler(root_assembler);
             if let Err(e) = node.setup() {
                 log_error!("fe", "setup failed: {e}");
                 return;
@@ -579,6 +597,7 @@ pub fn launch_processes_with_registry(
         delivery,
         registry,
         ledger,
+        assembler,
         joins: vec![root_join],
         attach_points: Vec::new(),
         fabric: LocalFabric::new(),

@@ -22,23 +22,40 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use mrnet_filters::FilterRegistry;
+use mrnet_obs::tracectx::{self, TraceEnvelope, TraceSampler};
 use mrnet_obs::{
-    log_error, log_warn, trace, MetricsSection, NetworkSnapshot, NodeMetrics, TraceDir, TraceEvent,
+    log_error, log_warn, trace, ConnSendStats, MetricsSection, NetworkSnapshot, NodeMetrics,
+    TraceAssembler, TraceDir, TraceEvent,
 };
 use mrnet_packet::{BatchPolicy, Batcher, Packet, Rank, StreamId};
-use mrnet_transport::SharedConnection;
+use mrnet_transport::{ClockEstimate, SharedConnection};
 
 use crate::delivery::Delivery;
 use crate::error::{MrnetError, Result};
 use crate::event::FailureLedger;
 use crate::internal::stream_manager::StreamManager;
-use crate::introspect::{self, METRICS_REPLY, METRICS_REQUEST, METRICS_STREAM};
-use crate::proto::{decode_frame, encode_data_frame, Control, Frame};
+use crate::introspect::{self, METRICS_REPLY, METRICS_REQUEST, METRICS_STREAM, TRACE_REPORT};
+use crate::proto::{decode_frame, encode_data_frame, encode_traced_data_frame, Control, Frame};
 use crate::route::RoutingTable;
 use crate::streams::StreamDef;
 
 /// How often pump threads re-check the stop flag while idle.
 const PUMP_POLL: Duration = Duration::from_millis(50);
+
+/// Ping exchanges each parent runs per child connection before
+/// resolving the clock estimate (minimum-RTT sample wins). Pings are
+/// sequential — the next fires as the previous pong lands — so queuing
+/// behind one exchange never inflates the next one's RTT.
+const CLOCK_PINGS: u8 = 4;
+
+/// Up-wave envelopes held per stream while their wave synchronizes;
+/// beyond this, the newest are dropped (sampling already made traced
+/// waves rare — a backlog this deep means the stream is stuck).
+const TRACE_PENDING_CAP: usize = 16;
+
+/// Envelopes a neighbor's trace outbox may accumulate between
+/// flushes.
+const TRACE_OUTBOX_CAP: usize = 64;
 
 /// Messages merged into a node's inbox.
 #[derive(Debug)]
@@ -95,6 +112,20 @@ struct MetricsCollect {
     reply: Option<Sender<NetworkSnapshot>>,
 }
 
+/// Per-child state of the connect-time clock-sync handshake.
+#[derive(Debug, Default)]
+struct ClockSync {
+    /// Best (minimum-RTT) estimate so far.
+    best: Option<ClockEstimate>,
+    /// Completed ping exchanges.
+    exchanged: u8,
+    /// True once the estimate is final and has been applied/relayed.
+    resolved: bool,
+    /// `ClockInfo` entries from this child's subtree, buffered until
+    /// the child's own offset resolves (chaining needs it).
+    buffered: Vec<(Rank, i64, u64)>,
+}
+
 /// One MRNet process's event loop.
 pub struct NodeLoop {
     rank: Rank,
@@ -129,6 +160,19 @@ pub struct NodeLoop {
     known_dead: BTreeSet<Rank>,
     /// Root only: the failure record shared with the `Network` handle.
     ledger: Option<Arc<FailureLedger>>,
+    /// Up-wave trace envelopes (with their local receive stamps) held
+    /// per stream until the wave they rode synchronizes and forwards.
+    trace_pending_up: HashMap<StreamId, Vec<(TraceEnvelope, u64)>>,
+    /// Envelopes riding the next upstream data frame.
+    parent_trace_outbox: Vec<(TraceEnvelope, u64)>,
+    /// Envelopes riding each child's next downstream data frame.
+    child_trace_outbox: Vec<Vec<(TraceEnvelope, u64)>>,
+    /// Root only: down-wave sampling decisions.
+    sampler: TraceSampler,
+    /// Root only: the front-end's skew-correcting wave assembler.
+    assembler: Option<Arc<TraceAssembler>>,
+    /// Per-child clock-sync handshake state.
+    clock_sync: Vec<ClockSync>,
 }
 
 /// Where a failure report entered this node, which determines where it
@@ -238,6 +282,12 @@ impl NodeLoop {
             attach_tx: None,
             metrics: Arc::new(NodeMetrics::new()),
             collects: HashMap::new(),
+            trace_pending_up: HashMap::new(),
+            parent_trace_outbox: Vec::new(),
+            child_trace_outbox: (0..n).map(|_| Vec::new()).collect(),
+            sampler: TraceSampler::new(),
+            assembler: None,
+            clock_sync: (0..n).map(|_| ClockSync::default()).collect(),
         }
     }
 
@@ -265,6 +315,13 @@ impl NodeLoop {
     /// [`crate::Network`] handle; confirmed deaths are reported there.
     pub fn set_failure_ledger(&mut self, ledger: Arc<FailureLedger>) {
         self.ledger = Some(ledger);
+    }
+
+    /// Installs the root-side trace assembler shared with the
+    /// [`crate::Network`] handle. Completed waves and resolved clock
+    /// estimates land there. Root only.
+    pub fn set_trace_assembler(&mut self, assembler: Arc<TraceAssembler>) {
+        self.assembler = Some(assembler);
     }
 
     fn now(&self) -> f64 {
@@ -307,13 +364,28 @@ impl NodeLoop {
                         Control::AttachInfo { ranks, endpoints } => {
                             self.relay_attach_info(ranks, endpoints)?;
                         }
+                        // Clock sync runs bottom-up as each subtree
+                        // enters its loop; a child's table can arrive
+                        // while this node still awaits other reports.
+                        // Buffered until our own estimate of the child
+                        // exists.
+                        Control::ClockPong {
+                            t0_us,
+                            t1_us,
+                            t2_us,
+                        } => self.on_clock_pong(i, t0_us, t1_us, t2_us),
+                        Control::ClockInfo {
+                            ranks,
+                            offsets_us,
+                            rtts_us,
+                        } => self.on_clock_info(i, ranks, offsets_us, rtts_us),
                         other => {
                             return Err(MrnetError::Protocol(format!(
                                 "unexpected control during setup: {other:?}"
                             )))
                         }
                     },
-                    Frame::Data(_) => {
+                    Frame::Data(_) | Frame::Traced(..) => {
                         return Err(MrnetError::Protocol(
                             "data frame before instantiation finished".into(),
                         ))
@@ -347,20 +419,35 @@ impl NodeLoop {
 
     /// Folds the transport connections' send-pipeline counters (queue
     /// depth behind the writer threads, coalesced frames, enqueue
-    /// stalls) into the node's gauges, so snapshots expose them.
+    /// stalls) into the node's gauges, so snapshots expose them — in
+    /// aggregate, plus per child connection keyed by the child's rank
+    /// so a snapshot can name which subtree is backed up.
     fn refresh_send_metrics(&self) {
-        let parent_stats = self.parent.iter().map(|p| p.stats());
-        let child_stats = self
-            .children
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| self.child_alive[i])
-            .map(|(_, c)| c.stats());
         let (mut depth, mut coalesced, mut stalls) = (0u64, 0u64, 0u64);
-        for s in parent_stats.chain(child_stats) {
+        if let Some(p) = &self.parent {
+            let s = p.stats();
             depth += s.queue_depth;
             coalesced += s.frames_coalesced;
             stalls += s.enqueue_stalls;
+        }
+        for (i, c) in self.children.iter().enumerate() {
+            if !self.child_alive[i] {
+                continue;
+            }
+            let s = c.stats();
+            depth += s.queue_depth;
+            coalesced += s.frames_coalesced;
+            stalls += s.enqueue_stalls;
+            if let Some(&rank) = self.child_ranks.get(i) {
+                self.metrics.set_conn_send_stats(
+                    rank,
+                    ConnSendStats {
+                        queue_depth: s.queue_depth,
+                        coalesced: s.frames_coalesced,
+                        stalls: s.enqueue_stalls,
+                    },
+                );
+            }
         }
         self.metrics.send_queue_depth.set(depth as i64);
         self.metrics.send_coalesced.set(coalesced as i64);
@@ -369,6 +456,7 @@ impl NodeLoop {
 
     /// Runs the event loop until shutdown. Consumes the node.
     pub fn run(mut self) {
+        self.start_clock_sync();
         loop {
             self.metrics.queue_depth.set(self.inbox.len() as i64);
             let deadline = self
@@ -464,6 +552,8 @@ impl NodeLoop {
     fn handle_child_death(&mut self, child: usize) {
         self.child_alive[child] = false;
         self.forget_collect_child(child);
+        self.child_trace_outbox[child].clear();
+        self.clock_sync[child].buffered.clear();
         if self.child_death_reported[child] {
             return;
         }
@@ -567,6 +657,124 @@ impl NodeLoop {
         }
     }
 
+    /// Fires the first clock ping at every child. Runs once, as the
+    /// event loop starts (the whole subtree is in its loop by then —
+    /// setup completes bottom-up). The rest of the handshake is driven
+    /// by the pong handlers, one exchange at a time.
+    fn start_clock_sync(&mut self) {
+        for child in 0..self.children.len() {
+            if self.child_alive[child] {
+                self.send_clock_ping(child);
+            }
+        }
+    }
+
+    fn send_clock_ping(&mut self, child: usize) {
+        let ping = Control::ClockPing {
+            t0_us: tracectx::wall_us(),
+        }
+        .to_frame();
+        // A failed send just ends the handshake (the child's offset
+        // stays unresolved, defaulting to zero skew). Declaring the
+        // child dead here would jump ahead of its already-queued
+        // inbound frames — death is only ever declared in frame order,
+        // by EOF or garbage.
+        let _ = self.children[child].send(ping);
+    }
+
+    /// One ping exchange completed: fold the estimate in (minimum RTT
+    /// wins), then either ping again or resolve the child's clock.
+    fn on_clock_pong(&mut self, child: usize, t0_us: u64, t1_us: u64, t2_us: u64) {
+        let t3_us = tracectx::wall_us();
+        let est = ClockEstimate::from_ping(t0_us, t1_us, t2_us, t3_us);
+        let sync = &mut self.clock_sync[child];
+        if sync.resolved {
+            return; // Stray duplicate pong.
+        }
+        if sync.best.map_or(true, |best| est.better_than(&best)) {
+            sync.best = Some(est);
+        }
+        sync.exchanged += 1;
+        if sync.exchanged < CLOCK_PINGS {
+            self.send_clock_ping(child);
+        } else {
+            self.resolve_child_clock(child);
+        }
+    }
+
+    /// Finalizes a child's estimate: apply it (and any buffered
+    /// subtree entries, chained through it) at the root, or relay the
+    /// lot upstream.
+    fn resolve_child_clock(&mut self, child: usize) {
+        let Some(est) = self.clock_sync[child].best else {
+            return;
+        };
+        let Some(&rank) = self.child_ranks.get(child) else {
+            return;
+        };
+        self.clock_sync[child].resolved = true;
+        let buffered = std::mem::take(&mut self.clock_sync[child].buffered);
+        let mut entries = vec![(rank, est.offset_us, est.rtt_us)];
+        entries.extend(buffered.into_iter().map(|(r, offset_us, rtt_us)| {
+            let chained = est.chain(&ClockEstimate { offset_us, rtt_us });
+            (r, chained.offset_us, chained.rtt_us)
+        }));
+        self.apply_clock_entries(entries);
+    }
+
+    /// A subtree clock table arrived from `child`. Its offsets are
+    /// relative to the child's clock; chain them through our estimate
+    /// of the child before applying — or buffer them until that
+    /// estimate exists.
+    fn on_clock_info(&mut self, child: usize, ranks: Vec<Rank>, offsets: Vec<i64>, rtts: Vec<u64>) {
+        let sync = &mut self.clock_sync[child];
+        let items = ranks.into_iter().zip(offsets).zip(rtts);
+        if !sync.resolved {
+            sync.buffered
+                .extend(items.map(|((r, off), rtt)| (r, off, rtt)));
+            return;
+        }
+        let est = sync.best.unwrap_or_default();
+        let entries: Vec<(Rank, i64, u64)> = items
+            .map(|((r, offset_us), rtt_us)| {
+                let chained = est.chain(&ClockEstimate { offset_us, rtt_us });
+                (r, chained.offset_us, chained.rtt_us)
+            })
+            .collect();
+        self.apply_clock_entries(entries);
+    }
+
+    /// Entries are relative to *this* node's clock: feed the root's
+    /// assembler directly, or relay them upstream for further
+    /// chaining.
+    fn apply_clock_entries(&mut self, entries: Vec<(Rank, i64, u64)>) {
+        if entries.is_empty() {
+            return;
+        }
+        if let Some(assembler) = &self.assembler {
+            for (rank, offset_us, rtt_us) in entries {
+                assembler.set_clock(rank, offset_us, rtt_us);
+            }
+        } else if let Some(parent) = &self.parent {
+            let mut ranks = Vec::with_capacity(entries.len());
+            let mut offsets_us = Vec::with_capacity(entries.len());
+            let mut rtts_us = Vec::with_capacity(entries.len());
+            for (r, off, rtt) in entries {
+                ranks.push(r);
+                offsets_us.push(off);
+                rtts_us.push(rtt);
+            }
+            let _ = parent.send(
+                Control::ClockInfo {
+                    ranks,
+                    offsets_us,
+                    rtts_us,
+                }
+                .to_frame(),
+            );
+        }
+    }
+
     fn poll_timeouts(&mut self) {
         let now = self.now();
         self.expire_collects(now);
@@ -585,26 +793,19 @@ impl NodeLoop {
 
     fn on_child_frame(&mut self, child: usize, frame: bytes::Bytes) -> Result<()> {
         match decode_frame(frame)? {
-            Frame::Data(packets) => {
-                let now = self.now();
-                for packet in packets {
-                    let sid = packet.stream_id();
-                    if sid == METRICS_STREAM {
-                        // Introspection traffic: handled here, never
-                        // routed or counted.
-                        self.on_metrics_reply(child, &packet);
-                        continue;
+            Frame::Data(packets) => self.on_child_packets(child, packets)?,
+            Frame::Traced(packets, envelopes) => {
+                // Stamp arrival once per frame; the envelopes wait with
+                // that stamp until their streams' waves forward.
+                let recv_us = tracectx::wall_us();
+                self.metrics.trace_frames.inc();
+                for env in envelopes {
+                    let pending = self.trace_pending_up.entry(env.stream).or_default();
+                    if pending.len() < TRACE_PENDING_CAP {
+                        pending.push((env, recv_us));
                     }
-                    self.metrics.up_pkts_recv.inc();
-                    self.trace_hop(&packet, TraceDir::Up, now);
-                    let ready = match self.managers.get_mut(&sid) {
-                        Some(mgr) => mgr.up(child, packet, now)?,
-                        // Stream unknown (deleted or never created):
-                        // drop, as the original does for stale data.
-                        None => continue,
-                    };
-                    self.forward_up_wave(ready);
                 }
+                self.on_child_packets(child, packets)?;
             }
             Frame::Control(pkt) => match Control::from_packet(&pkt)? {
                 // Late subtree reports / attaches are instantiation
@@ -617,6 +818,16 @@ impl NodeLoop {
                     // the child itself is alive (it told us).
                     self.on_ranks_failed(rank, subtree, FailureOrigin::Child(child));
                 }
+                Control::ClockPong {
+                    t0_us,
+                    t1_us,
+                    t2_us,
+                } => self.on_clock_pong(child, t0_us, t1_us, t2_us),
+                Control::ClockInfo {
+                    ranks,
+                    offsets_us,
+                    rtts_us,
+                } => self.on_clock_info(child, ranks, offsets_us, rtts_us),
                 other => {
                     return Err(MrnetError::Protocol(format!(
                         "unexpected upstream control: {other:?}"
@@ -627,10 +838,94 @@ impl NodeLoop {
         Ok(())
     }
 
+    fn on_child_packets(&mut self, child: usize, packets: Vec<Packet>) -> Result<()> {
+        let now = self.now();
+        for packet in packets {
+            let sid = packet.stream_id();
+            if sid == METRICS_STREAM {
+                // Introspection traffic: handled here, never
+                // routed or counted.
+                self.on_introspect_up(child, &packet);
+                continue;
+            }
+            self.metrics.up_pkts_recv.inc();
+            self.trace_hop(&packet, TraceDir::Up, now);
+            let ready = match self.managers.get_mut(&sid) {
+                Some(mgr) => mgr.up(child, packet, now)?,
+                // Stream unknown (deleted or never created):
+                // drop, as the original does for stale data.
+                None => continue,
+            };
+            self.forward_up_wave(ready);
+        }
+        Ok(())
+    }
+
+    /// Dispatches upstream introspection packets by tag.
+    fn on_introspect_up(&mut self, child: usize, packet: &Packet) {
+        match packet.tag() {
+            METRICS_REPLY => self.on_metrics_reply(child, packet),
+            TRACE_REPORT => self.on_trace_report(packet),
+            _ => {}
+        }
+    }
+
+    /// A completed down-wave envelope riding up from the back-end that
+    /// terminated it: ingest at the root, forward verbatim (unbatched,
+    /// like all introspection traffic) elsewhere.
+    fn on_trace_report(&mut self, packet: &Packet) {
+        if let Some(assembler) = &self.assembler {
+            match introspect::decode_trace_report(packet) {
+                Ok(env) => {
+                    assembler.ingest(&env, TraceDir::Down);
+                }
+                Err(_) => log_warn!(self.rank, "dropping malformed trace report"),
+            }
+        } else if let Some(parent) = &self.parent {
+            let _ = parent.send(encode_data_frame(std::slice::from_ref(packet)));
+        }
+    }
+
+    /// Moves pending up-wave envelopes for the forwarded streams to
+    /// their next station: completed (with this root hop appended) into
+    /// the assembler at the root, into the parent's trace outbox
+    /// elsewhere. An aggregated wave keeps its envelope even when the
+    /// filter collapsed the packets — the envelope describes the wave,
+    /// not one packet.
+    fn take_pending_up(&mut self, packets: &[Packet]) {
+        if self.trace_pending_up.is_empty() {
+            return;
+        }
+        let mut streams: Vec<StreamId> = packets.iter().map(Packet::stream_id).collect();
+        streams.sort_unstable();
+        streams.dedup();
+        for sid in streams {
+            let Some(pending) = self.trace_pending_up.remove(&sid) else {
+                continue;
+            };
+            if let Some(assembler) = &self.assembler {
+                // Root: the wave terminates here.
+                let now = tracectx::wall_us();
+                for (mut env, recv_us) in pending {
+                    env.add_hop(self.rank, recv_us, now);
+                    self.metrics.trace_hops.inc();
+                    assembler.ingest(&env, TraceDir::Up);
+                }
+            } else if self.parent.is_some() {
+                for item in pending {
+                    if self.parent_trace_outbox.len() < TRACE_OUTBOX_CAP {
+                        self.parent_trace_outbox.push(item);
+                    }
+                }
+            }
+        }
+    }
+
     fn forward_up_wave(&mut self, packets: Vec<Packet>) {
         if packets.is_empty() {
             return;
         }
+        self.take_pending_up(&packets);
         self.metrics.up_pkts_sent.add(packets.len() as u64);
         if let Some(delivery) = &self.delivery {
             // Root: "sent" upstream means delivered to user threads;
@@ -656,16 +951,19 @@ impl NodeLoop {
     fn on_parent_frame(&mut self, frame: bytes::Bytes) -> Result<bool> {
         match decode_frame(frame)? {
             Frame::Data(packets) => {
-                let now = self.now();
-                for packet in packets {
-                    if packet.stream_id() == METRICS_STREAM {
-                        self.on_metrics_request(&packet);
-                        continue;
-                    }
-                    self.metrics.down_pkts_recv.inc();
-                    self.trace_hop(&packet, TraceDir::Down, now);
-                    self.route_down(packet)?;
+                self.on_parent_packets(packets)?;
+                Ok(true)
+            }
+            Frame::Traced(packets, envelopes) => {
+                let recv_us = tracectx::wall_us();
+                self.metrics.trace_frames.inc();
+                // Spread the envelopes into child outboxes *before*
+                // routing: a route-triggered flush then carries them on
+                // the very frame their wave rides.
+                for env in envelopes {
+                    self.spread_down_envelope(env, recv_us);
                 }
+                self.on_parent_packets(packets)?;
                 Ok(true)
             }
             Frame::Control(pkt) => {
@@ -686,11 +984,54 @@ impl NodeLoop {
                         self.on_ranks_failed(*rank, subtree.clone(), FailureOrigin::Parent);
                         Ok(true)
                     }
+                    Control::ClockPing { t0_us } => {
+                        let t1_us = tracectx::wall_us();
+                        if let Some(parent) = &self.parent {
+                            let _ = parent.send(
+                                Control::ClockPong {
+                                    t0_us: *t0_us,
+                                    t1_us,
+                                    t2_us: tracectx::wall_us(),
+                                }
+                                .to_frame(),
+                            );
+                        }
+                        Ok(true)
+                    }
                     Control::Shutdown => Ok(false),
                     other => Err(MrnetError::Protocol(format!(
                         "unexpected downstream control: {other:?}"
                     ))),
                 }
+            }
+        }
+    }
+
+    fn on_parent_packets(&mut self, packets: Vec<Packet>) -> Result<()> {
+        let now = self.now();
+        for packet in packets {
+            if packet.stream_id() == METRICS_STREAM {
+                self.on_metrics_request(&packet);
+                continue;
+            }
+            self.metrics.down_pkts_recv.inc();
+            self.trace_hop(&packet, TraceDir::Down, now);
+            self.route_down(packet)?;
+        }
+        Ok(())
+    }
+
+    /// Copies a down-wave envelope (with its arrival stamp) into the
+    /// trace outbox of every live child on its stream's route; each
+    /// child's next flushed frame carries it onward.
+    fn spread_down_envelope(&mut self, env: TraceEnvelope, recv_us: u64) {
+        let Some(mgr) = self.managers.get(&env.stream) else {
+            return; // Stream gone (racing a delete): drop the trace.
+        };
+        let route = mgr.live_route().to_vec();
+        for child in route {
+            if self.child_alive[child] && self.child_trace_outbox[child].len() < TRACE_OUTBOX_CAP {
+                self.child_trace_outbox[child].push((env.clone(), recv_us));
             }
         }
     }
@@ -704,6 +1045,18 @@ impl NodeLoop {
                 true
             }
             Command::SendDown(packet) => {
+                // A sampled down-wave originates here: spread an
+                // empty-hops envelope into the route's child outboxes
+                // before routing so it rides the same flushed frame.
+                // The root's own hop is stamped at flush time.
+                if self.sampler.sample() {
+                    let env = TraceEnvelope {
+                        trace_id: tracectx::next_trace_id(self.rank),
+                        stream: packet.stream_id(),
+                        hops: Vec::new(),
+                    };
+                    self.spread_down_envelope(env, tracectx::wall_us());
+                }
                 if let Err(e) = self.route_down(packet) {
                     log_error!(self.rank, "downstream send error: {e}");
                 }
@@ -807,7 +1160,35 @@ impl NodeLoop {
 
     fn flush_child(&mut self, child: usize) {
         let packets = self.child_batchers[child].drain();
-        if packets.is_empty() || !self.child_alive[child] {
+        if !self.child_alive[child] {
+            self.child_trace_outbox[child].clear();
+            return;
+        }
+        if !self.child_trace_outbox[child].is_empty() {
+            // Traced flush: stamp this node's hop (arrival stamp kept
+            // from ingest, departure stamped now) onto every pending
+            // envelope and ship them as the frame's trailer. Traced
+            // frames differ per child, so they never enter the
+            // encode-once sharing path below.
+            let now = tracectx::wall_us();
+            let mut envs = Vec::with_capacity(self.child_trace_outbox[child].len());
+            for (mut env, recv_us) in self.child_trace_outbox[child].drain(..) {
+                env.add_hop(self.rank, recv_us, now);
+                envs.push(env);
+            }
+            self.metrics.trace_hops.add(envs.len() as u64);
+            self.metrics.trace_frames.inc();
+            if !packets.is_empty() {
+                self.metrics.batch_pkts.record_us(packets.len() as u64);
+            }
+            let frame = encode_traced_data_frame(&packets, &envs);
+            self.metrics.frames_encoded.inc();
+            if self.children[child].send(frame).is_err() {
+                self.child_alive[child] = false;
+            }
+            return;
+        }
+        if packets.is_empty() {
             return;
         }
         self.metrics.batch_pkts.record_us(packets.len() as u64);
@@ -820,9 +1201,12 @@ impl NodeLoop {
         // these exact packet handles would produce a byte-identical
         // frame — hand it this one (a refcount bump) instead of
         // re-encoding. Divergent batches keep their own flush cycle.
+        // A sibling with pending trace envelopes is excluded: its frame
+        // must carry its own trailer.
         for sib in 0..self.children.len() {
             if sib == child
                 || !self.child_alive[sib]
+                || !self.child_trace_outbox[sib].is_empty()
                 || !self.child_batchers[sib].pending_matches(&packets)
             {
                 continue;
@@ -838,24 +1222,43 @@ impl NodeLoop {
 
     fn flush_parent(&mut self) {
         let packets = self.parent_batcher.drain();
+        let Some(parent) = &self.parent else {
+            self.parent_trace_outbox.clear();
+            return;
+        };
+        if !self.parent_trace_outbox.is_empty() {
+            let now = tracectx::wall_us();
+            let mut envs = Vec::with_capacity(self.parent_trace_outbox.len());
+            for (mut env, recv_us) in self.parent_trace_outbox.drain(..) {
+                env.add_hop(self.rank, recv_us, now);
+                envs.push(env);
+            }
+            self.metrics.trace_hops.add(envs.len() as u64);
+            self.metrics.trace_frames.inc();
+            if !packets.is_empty() {
+                self.metrics.batch_pkts.record_us(packets.len() as u64);
+            }
+            let frame = encode_traced_data_frame(&packets, &envs);
+            self.metrics.frames_encoded.inc();
+            let _ = parent.send(frame);
+            return;
+        }
         if packets.is_empty() {
             return;
         }
-        if let Some(parent) = &self.parent {
-            self.metrics.batch_pkts.record_us(packets.len() as u64);
-            let frame = encode_data_frame(&packets);
-            self.metrics.frames_encoded.inc();
-            let _ = parent.send(frame);
-        }
+        self.metrics.batch_pkts.record_us(packets.len() as u64);
+        let frame = encode_data_frame(&packets);
+        self.metrics.frames_encoded.inc();
+        let _ = parent.send(frame);
     }
 
     fn flush_all(&mut self) {
         for i in 0..self.children.len() {
-            if !self.child_batchers[i].is_empty() {
+            if !self.child_batchers[i].is_empty() || !self.child_trace_outbox[i].is_empty() {
                 self.flush_child(i);
             }
         }
-        if !self.parent_batcher.is_empty() {
+        if !self.parent_batcher.is_empty() || !self.parent_trace_outbox.is_empty() {
             self.flush_parent();
         }
     }

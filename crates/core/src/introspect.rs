@@ -19,21 +19,16 @@
 //!   per-section arrays with `names`/`values` flattened across
 //!   sections, so merging two replies is pure concatenation.
 
-use mrnet_obs::{MetricsSection, NetworkSnapshot};
-use mrnet_packet::{Packet, PacketBuilder, StreamId, Value};
+use mrnet_obs::{MetricsSection, NetworkSnapshot, TraceEnvelope};
+use mrnet_packet::{Packet, PacketBuilder, Value};
 
 use crate::error::{MrnetError, Result};
 
-/// The reserved stream id carrying introspection traffic. User stream
-/// ids count up from [`crate::proto::FIRST_USER_STREAM`] and can never
-/// reach it.
-pub const METRICS_STREAM: StreamId = u32::MAX;
-
-/// Tag of a downstream metrics-dump request.
-pub const METRICS_REQUEST: i32 = -100;
-
-/// Tag of an upstream metrics reply.
-pub const METRICS_REPLY: i32 = -101;
+// The reserved stream id and introspection tags live with the rest of
+// the protocol constants; re-exported here so existing callers keep
+// their import paths.
+pub use crate::proto::tags::{METRICS_REPLY, METRICS_REQUEST, TRACE_REPORT};
+pub use crate::proto::METRICS_STREAM;
 
 /// Builds a metrics-dump request packet.
 pub fn encode_request(req_id: u32, timeout_secs: f64) -> Packet {
@@ -120,6 +115,23 @@ pub fn snapshot_from_sections(sections: Vec<MetricsSection>) -> NetworkSnapshot 
     NetworkSnapshot { nodes: sections }
 }
 
+/// Builds a trace-report packet: a completed down-wave envelope a
+/// back-end sends up the tree so the front-end's assembler can ingest
+/// it. The envelope rides as its serialized byte form in a single
+/// `%ac` field, so intermediate nodes forward it opaquely.
+pub fn encode_trace_report(env: &TraceEnvelope) -> Packet {
+    PacketBuilder::new(METRICS_STREAM, TRACE_REPORT)
+        .push(mrnet_packet::trace::encode_envelope(env).to_vec())
+        .build()
+}
+
+/// Parses a trace-report packet back into its envelope.
+pub fn decode_trace_report(packet: &Packet) -> Result<TraceEnvelope> {
+    let bad = || MrnetError::Protocol("malformed trace report".into());
+    let bytes = packet.get(0).and_then(Value::as_bytes).ok_or_else(bad)?;
+    mrnet_packet::trace::decode_envelope(bytes::Bytes::copy_from_slice(bytes)).map_err(|_| bad())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,5 +209,32 @@ mod tests {
         assert!(decode_reply(&p).is_err());
         // A request is not a reply.
         assert!(decode_reply(&encode_request(1, 0.1)).is_err());
+    }
+
+    #[test]
+    fn trace_report_round_trips() {
+        use mrnet_obs::HopRecord;
+        let env = TraceEnvelope {
+            trace_id: (3u64 << 32) | 7,
+            stream: 11,
+            hops: vec![
+                HopRecord {
+                    rank: 0,
+                    recv_us: 10,
+                    send_us: 20,
+                },
+                HopRecord {
+                    rank: 3,
+                    recv_us: 30,
+                    send_us: 40,
+                },
+            ],
+        };
+        let p = encode_trace_report(&env);
+        assert_eq!(p.stream_id(), METRICS_STREAM);
+        assert_eq!(p.tag(), TRACE_REPORT);
+        assert_eq!(decode_trace_report(&p).unwrap(), env);
+        // A metrics request is not a trace report.
+        assert!(decode_trace_report(&encode_request(1, 0.1)).is_err());
     }
 }

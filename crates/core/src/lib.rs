@@ -65,7 +65,7 @@ pub use instantiate::{
     launch_local, launch_processes, launch_processes_with_registry, AttachPoint, Deployment,
     NetworkBuilder, PendingNetwork, WireTransport,
 };
-pub use network::{Communicator, Network, Stream, StreamStats};
+pub use network::{Communicator, MetricsExport, Network, Stream, StreamStats};
 pub use route::RoutingTable;
 pub use slice::{SubtreeSlice, SubtreeView};
 pub use streams::StreamDef;
@@ -79,7 +79,7 @@ pub use mrnet_filters::{
 /// tools can read [`mrnet_obs::NetworkSnapshot`]s and tune
 /// `MRNET_LOG`/`MRNET_TRACE` programmatically.
 pub use mrnet_obs as obs;
-pub use mrnet_obs::{MetricsSection, NetworkSnapshot};
+pub use mrnet_obs::{MetricsSection, NetworkSnapshot, TraceAssembler, TraceEnvelope, WaveTimeline};
 pub use mrnet_packet::{
     FormatString, Packet, PacketBuilder, Rank, StreamId, Tag, TypeCode, Unpack, Value,
 };

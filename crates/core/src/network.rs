@@ -23,7 +23,9 @@ use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
 
 use mrnet_filters::{FilterId, FilterRegistry, SyncMode, FILTER_NULL};
-use mrnet_obs::NetworkSnapshot;
+use mrnet_obs::{
+    json_text, log_warn, prometheus_text, MetricsSection, NetworkSnapshot, TraceAssembler,
+};
 use mrnet_packet::{Packet, Rank, StreamId, Value};
 
 use crate::delivery::Delivery;
@@ -39,6 +41,7 @@ pub(crate) struct NetInner {
     pub(crate) endpoints: Vec<Rank>,
     pub(crate) registry: FilterRegistry,
     pub(crate) ledger: Arc<FailureLedger>,
+    pub(crate) assembler: Arc<TraceAssembler>,
     next_stream: AtomicU32,
     next_metrics_req: AtomicU32,
     streams: Mutex<HashMap<StreamId, StreamDef>>,
@@ -105,6 +108,25 @@ pub struct StreamStats {
     pub closed: bool,
 }
 
+/// A full metrics export: the per-node snapshot, the front-end's
+/// trace-assembly section, and both rendered as Prometheus text
+/// exposition and JSON documents ready for scraping or archiving.
+#[derive(Debug, Clone)]
+pub struct MetricsExport {
+    /// Per-node metric sections collected over the in-band
+    /// introspection stream.
+    pub snapshot: NetworkSnapshot,
+    /// The front-end's distributed-tracing section: assembled wave
+    /// counts, per-child clock offsets, and per-hop/per-edge latency
+    /// histograms.
+    pub trace: MetricsSection,
+    /// Prometheus text exposition (metric names prefixed `mrnet_`,
+    /// labelled by rank).
+    pub prometheus: String,
+    /// The same data as a JSON document.
+    pub json: String,
+}
+
 impl Network {
     pub(crate) fn from_parts(
         cmd_tx: Sender<Inbound>,
@@ -112,6 +134,7 @@ impl Network {
         endpoints: Vec<Rank>,
         registry: FilterRegistry,
         ledger: Arc<FailureLedger>,
+        assembler: Arc<TraceAssembler>,
         joins: Vec<JoinHandle<()>>,
     ) -> Network {
         Network {
@@ -121,6 +144,7 @@ impl Network {
                 endpoints,
                 registry,
                 ledger,
+                assembler,
                 next_stream: AtomicU32::new(FIRST_USER_STREAM),
                 next_metrics_req: AtomicU32::new(0),
                 streams: Mutex::new(HashMap::new()),
@@ -265,6 +289,54 @@ impl Network {
             .map_err(|_| MrnetError::Timeout)
     }
 
+    /// The front-end's trace assembler: reconstructed wave timelines,
+    /// per-hop latency histograms, and per-child clock estimates from
+    /// the distributed-tracing subsystem.
+    pub fn trace_assembler(&self) -> &Arc<TraceAssembler> {
+        &self.inner.assembler
+    }
+
+    /// Collects a metrics snapshot (as [`Network::metrics_snapshot`]),
+    /// folds in the front-end's trace-assembly section, and renders
+    /// both Prometheus text exposition and JSON.
+    pub fn export_metrics(&self, timeout: Duration) -> Result<MetricsExport> {
+        let snapshot = self.metrics_snapshot(timeout)?;
+        Ok(self.render_export(snapshot))
+    }
+
+    fn render_export(&self, snapshot: NetworkSnapshot) -> MetricsExport {
+        let mut trace = MetricsSection::new(0);
+        self.inner.assembler.section_into(&mut trace);
+        let mut full = snapshot.clone();
+        full.nodes.push(trace.clone());
+        MetricsExport {
+            snapshot,
+            trace,
+            prometheus: prometheus_text(&full),
+            json: json_text(&full),
+        }
+    }
+
+    /// When `MRNET_METRICS_FILE` names a path, collects a final export
+    /// and writes its JSON there. Called from [`Network::shutdown`]
+    /// while the tree is still up; failures are logged, never fatal.
+    fn dump_metrics_file(&self) {
+        let Ok(path) = std::env::var("MRNET_METRICS_FILE") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        match self.export_metrics(Duration::from_secs(2)) {
+            Ok(export) => {
+                if let Err(e) = std::fs::write(&path, export.json) {
+                    log_warn!(0, "failed to write metrics file {path}: {e}");
+                }
+            }
+            Err(e) => log_warn!(0, "metrics dump for {path} failed: {e}"),
+        }
+    }
+
     /// Blocks up to `timeout` for the next topology event (MRNet's
     /// event queue): currently rank-failure notifications produced as
     /// the tree detects and propagates process deaths. Returns
@@ -306,6 +378,12 @@ impl Network {
     /// Shuts the network down: tears down the process tree and wakes
     /// all blocked receivers. Idempotent.
     pub fn shutdown(&self) {
+        if self.inner.down.load(Ordering::SeqCst) {
+            return;
+        }
+        // The final metrics dump needs the tree alive: collect before
+        // flipping the down flag.
+        self.dump_metrics_file();
         if self.inner.down.swap(true, Ordering::SeqCst) {
             return;
         }

@@ -110,7 +110,7 @@ pub fn accept_children(
                     )))
                 }
             },
-            Frame::Data(_) => {
+            Frame::Data(_) | Frame::Traced(..) => {
                 return Err(MrnetError::Protocol(
                     "data frame before Attach handshake".into(),
                 ))

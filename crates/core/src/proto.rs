@@ -7,12 +7,14 @@
 //! instantiation subtree reports, mode-2 back-end attachment, and
 //! shutdown.
 
-use bytes::{BufMut, Bytes, BytesMut};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use mrnet_filters::SyncMode;
+use mrnet_obs::tracectx::TraceEnvelope;
 use mrnet_packet::{
-    decode_batch, decode_packet, encode_batch, encode_packet, Packet, PacketBuilder, Rank,
-    StreamId, Value,
+    decode_batch, decode_packet, encode_batch, encode_packet,
+    trace::{decode_trailer_from, encode_trailer_into},
+    Packet, PacketBuilder, Rank, StreamId, Value,
 };
 
 use crate::error::{MrnetError, Result};
@@ -22,6 +24,13 @@ pub const CONTROL_STREAM: StreamId = 0;
 
 /// First stream id handed to user streams.
 pub const FIRST_USER_STREAM: StreamId = 1;
+
+/// The reserved stream id for in-band introspection traffic (metrics
+/// collection and trace reports). Chosen from the top of the id space
+/// so it can never collide with user streams, which allocate upward
+/// from [`FIRST_USER_STREAM`]. Packets on this stream bypass stream
+/// managers and are not counted as user traffic.
+pub const METRICS_STREAM: StreamId = u32::MAX;
 
 /// Control-message tags.
 pub mod tags {
@@ -48,11 +57,38 @@ pub mod tags {
     /// down the surviving subtrees so every node prunes its routes and
     /// stream membership.
     pub const RANK_FAILED: i32 = -8;
+    /// Clock-sync ping (parent → child): carries the parent's send
+    /// stamp `t0`. Every parent pings each child after instantiation
+    /// so trace timestamps can be mapped into the front-end's clock.
+    pub const CLOCK_PING: i32 = -9;
+    /// Clock-sync reply (child → parent): echoes `t0` plus the child's
+    /// receive (`t1`) and send (`t2`) stamps, completing the NTP-style
+    /// exchange `offset = ((t1 - t0) + (t2 - t3)) / 2`.
+    pub const CLOCK_PONG: i32 = -10;
+    /// Resolved clock table fragment (child → parent): per-rank
+    /// offsets and RTTs for ranks in the sender's subtree, relative to
+    /// the *sender's* clock. Each relay adds its own estimate of the
+    /// sender before forwarding, so the front-end accumulates offsets
+    /// relative to itself.
+    pub const CLOCK_INFO: i32 = -11;
+
+    /// Introspection request tag (front-end → everyone, multicast on
+    /// [`super::METRICS_STREAM`]): "dump your metrics section".
+    pub const METRICS_REQUEST: i32 = -100;
+    /// Introspection reply tag (upstream on [`super::METRICS_STREAM`]):
+    /// concatenated metrics sections from a subtree.
+    pub const METRICS_REPLY: i32 = -101;
+    /// Completed down-wave trace envelope, relayed upstream to the
+    /// front-end's assembler on [`super::METRICS_STREAM`] by the
+    /// back-end that terminated the wave. Forwarded verbatim, never
+    /// aggregated.
+    pub const TRACE_REPORT: i32 = -102;
 }
 
 /// Frame kind discriminants.
 const FRAME_DATA: u8 = 0;
 const FRAME_CONTROL: u8 = 1;
+const FRAME_DATA_TRACED: u8 = 2;
 
 /// A decoded frame.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,6 +97,11 @@ pub enum Frame {
     Data(Vec<Packet>),
     /// A control packet.
     Control(Packet),
+    /// A batch of data packets plus the trace envelopes of the sampled
+    /// waves riding in it (matched to packets by the envelopes' stream
+    /// ids). Only sampled frames use this kind; untraced frames stay
+    /// on the plain [`Frame::Data`] encoding with zero trailer bytes.
+    Traced(Vec<Packet>, Vec<TraceEnvelope>),
 }
 
 /// Encodes a batch of data packets as a frame.
@@ -69,6 +110,22 @@ pub fn encode_data_frame(packets: &[Packet]) -> Bytes {
     let mut buf = BytesMut::with_capacity(1 + batch.len());
     buf.put_u8(FRAME_DATA);
     buf.put_slice(&batch);
+    buf.freeze()
+}
+
+/// Encodes a batch plus trace-envelope trailers. With no envelopes
+/// this is exactly [`encode_data_frame`] — the traced kind (and its
+/// batch length prefix) appears on the wire only when a trailer does.
+pub fn encode_traced_data_frame(packets: &[Packet], envelopes: &[TraceEnvelope]) -> Bytes {
+    if envelopes.is_empty() {
+        return encode_data_frame(packets);
+    }
+    let batch = encode_batch(packets);
+    let mut buf = BytesMut::with_capacity(1 + 4 + batch.len() + 64 * envelopes.len());
+    buf.put_u8(FRAME_DATA_TRACED);
+    buf.put_u32_le(batch.len() as u32);
+    buf.put_slice(&batch);
+    encode_trailer_into(envelopes, &mut buf);
     buf.freeze()
 }
 
@@ -91,6 +148,26 @@ pub fn decode_frame(bytes: Bytes) -> Result<Frame> {
     match kind {
         FRAME_DATA => Ok(Frame::Data(decode_batch(body)?)),
         FRAME_CONTROL => Ok(Frame::Control(decode_packet(body)?)),
+        FRAME_DATA_TRACED => {
+            let mut body = body;
+            if body.remaining() < 4 {
+                return Err(MrnetError::Protocol("truncated traced frame".into()));
+            }
+            let batch_len = body.get_u32_le() as usize;
+            if body.remaining() < batch_len {
+                return Err(MrnetError::Protocol("truncated traced frame batch".into()));
+            }
+            let batch = body.slice(..batch_len);
+            body.advance(batch_len);
+            let packets = decode_batch(batch)?;
+            let envelopes = decode_trailer_from(&mut body)?;
+            if body.has_remaining() {
+                return Err(MrnetError::Protocol(
+                    "trailing bytes after trace trailer".into(),
+                ));
+            }
+            Ok(Frame::Traced(packets, envelopes))
+        }
         other => Err(MrnetError::Protocol(format!("unknown frame kind {other}"))),
     }
 }
@@ -160,6 +237,32 @@ pub enum Control {
         /// Back-end ranks lost with it (for a back-end, just itself).
         subtree: Vec<Rank>,
     },
+    /// Clock-sync ping (parent → child).
+    ClockPing {
+        /// The parent's send stamp, wall-clock µs.
+        t0_us: u64,
+    },
+    /// Clock-sync reply (child → parent).
+    ClockPong {
+        /// The ping's `t0`, echoed back.
+        t0_us: u64,
+        /// The child's receive stamp.
+        t1_us: u64,
+        /// The child's reply-send stamp.
+        t2_us: u64,
+    },
+    /// Resolved per-rank clock offsets and RTTs for a subtree, flowing
+    /// up toward the front-end. Offsets are relative to the sender;
+    /// each relay adds its own estimate of the sender before
+    /// forwarding.
+    ClockInfo {
+        /// Ranks described, parallel to the other two arrays.
+        ranks: Vec<Rank>,
+        /// Each rank's clock minus the sender's clock, µs.
+        offsets_us: Vec<i64>,
+        /// Accumulated ping RTT per rank (uncertainty bound), µs.
+        rtts_us: Vec<u64>,
+    },
 }
 
 impl Control {
@@ -213,6 +316,27 @@ impl Control {
                     .push(subtree.clone())
                     .build()
             }
+            Control::ClockPing { t0_us } => PacketBuilder::new(CONTROL_STREAM, tags::CLOCK_PING)
+                .push(*t0_us)
+                .build(),
+            Control::ClockPong {
+                t0_us,
+                t1_us,
+                t2_us,
+            } => PacketBuilder::new(CONTROL_STREAM, tags::CLOCK_PONG)
+                .push(*t0_us)
+                .push(*t1_us)
+                .push(*t2_us)
+                .build(),
+            Control::ClockInfo {
+                ranks,
+                offsets_us,
+                rtts_us,
+            } => PacketBuilder::new(CONTROL_STREAM, tags::CLOCK_INFO)
+                .push(ranks.clone())
+                .push(offsets_us.clone())
+                .push(rtts_us.clone())
+                .build(),
         }
     }
 
@@ -322,6 +446,50 @@ impl Control {
                     .to_vec();
                 Ok(Control::RankFailed { rank, subtree })
             }
+            tags::CLOCK_PING => Ok(Control::ClockPing {
+                t0_us: packet
+                    .get(0)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| bad("ClockPing"))?,
+            }),
+            tags::CLOCK_PONG => {
+                let stamp = |i: usize| {
+                    packet
+                        .get(i)
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| bad("ClockPong"))
+                };
+                Ok(Control::ClockPong {
+                    t0_us: stamp(0)?,
+                    t1_us: stamp(1)?,
+                    t2_us: stamp(2)?,
+                })
+            }
+            tags::CLOCK_INFO => {
+                let ranks = packet
+                    .get(0)
+                    .and_then(Value::as_u32_slice)
+                    .ok_or_else(|| bad("ClockInfo"))?
+                    .to_vec();
+                let offsets_us = packet
+                    .get(1)
+                    .and_then(Value::as_i64_slice)
+                    .ok_or_else(|| bad("ClockInfo"))?
+                    .to_vec();
+                let rtts_us = packet
+                    .get(2)
+                    .and_then(Value::as_u64_slice)
+                    .ok_or_else(|| bad("ClockInfo"))?
+                    .to_vec();
+                if ranks.len() != offsets_us.len() || ranks.len() != rtts_us.len() {
+                    return Err(bad("ClockInfo"));
+                }
+                Ok(Control::ClockInfo {
+                    ranks,
+                    offsets_us,
+                    rtts_us,
+                })
+            }
             other => Err(MrnetError::Protocol(format!("unknown control tag {other}"))),
         }
     }
@@ -382,6 +550,42 @@ mod tests {
             rank: 6,
             subtree: vec![6],
         });
+        round_trip(Control::ClockPing { t0_us: 1 << 50 });
+        round_trip(Control::ClockPong {
+            t0_us: 100,
+            t1_us: 150,
+            t2_us: 160,
+        });
+        round_trip(Control::ClockInfo {
+            ranks: vec![3, 4],
+            offsets_us: vec![-1500, 40],
+            rtts_us: vec![200, 35],
+        });
+        round_trip(Control::ClockInfo {
+            ranks: vec![],
+            offsets_us: vec![],
+            rtts_us: vec![],
+        });
+    }
+
+    #[test]
+    fn malformed_clock_messages_rejected() {
+        let p = PacketBuilder::new(CONTROL_STREAM, tags::CLOCK_PING)
+            .push("not a stamp")
+            .build();
+        assert!(Control::from_packet(&p).is_err());
+        let p = PacketBuilder::new(CONTROL_STREAM, tags::CLOCK_PONG)
+            .push(1u64)
+            .push(2u64)
+            .build();
+        assert!(Control::from_packet(&p).is_err());
+        // Mismatched array lengths.
+        let p = PacketBuilder::new(CONTROL_STREAM, tags::CLOCK_INFO)
+            .push(vec![1u32, 2])
+            .push(vec![0i64])
+            .push(vec![0u64, 0])
+            .build();
+        assert!(Control::from_packet(&p).is_err());
     }
 
     #[test]
@@ -428,6 +632,66 @@ mod tests {
             Frame::Data(got) => assert_eq!(got, packets),
             other => panic!("expected data frame, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn traced_frame_round_trips() {
+        use mrnet_obs::tracectx::HopRecord;
+        let packets = vec![
+            PacketBuilder::new(5, 1).push(1i32).build(),
+            PacketBuilder::new(6, 1).push(2i32).build(),
+        ];
+        let env = TraceEnvelope {
+            trace_id: (9u64 << 32) | 1,
+            stream: 5,
+            hops: vec![HopRecord {
+                rank: 9,
+                recv_us: 123,
+                send_us: 456,
+            }],
+        };
+        let frame = encode_traced_data_frame(&packets, &[env.clone()]);
+        match decode_frame(frame).unwrap() {
+            Frame::Traced(got, envs) => {
+                assert_eq!(got, packets);
+                assert_eq!(envs, vec![env]);
+            }
+            other => panic!("expected traced frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn untraced_frames_carry_zero_trailer_bytes() {
+        // With no envelopes the traced encoder degrades to the plain
+        // data-frame encoding, byte for byte: untraced runs pay
+        // nothing on the wire.
+        let packets = vec![PacketBuilder::new(5, 1).push(7i32).build()];
+        let plain = encode_data_frame(&packets);
+        let traced_empty = encode_traced_data_frame(&packets, &[]);
+        assert_eq!(plain, traced_empty);
+        assert!(matches!(
+            decode_frame(traced_empty).unwrap(),
+            Frame::Data(_)
+        ));
+    }
+
+    #[test]
+    fn corrupt_traced_frames_rejected() {
+        let packets = vec![PacketBuilder::new(5, 1).push(7i32).build()];
+        let env = TraceEnvelope {
+            trace_id: 1,
+            stream: 5,
+            hops: vec![],
+        };
+        let frame = encode_traced_data_frame(&packets, &[env]);
+        // Truncations at every boundary fail cleanly.
+        for cut in 1..frame.len() {
+            assert!(decode_frame(frame.slice(..cut)).is_err(), "cut={cut}");
+        }
+        // Trailing garbage after the trailer is rejected.
+        let mut long = BytesMut::from(&frame[..]);
+        long.put_u8(0);
+        assert!(decode_frame(long.freeze()).is_err());
     }
 
     #[test]

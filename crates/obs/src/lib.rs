@@ -28,15 +28,21 @@
 
 #![forbid(unsafe_code)]
 
+pub mod assemble;
+pub mod export;
 pub mod log;
 pub mod metrics;
 pub mod snapshot;
 pub mod trace;
+pub mod tracectx;
 
+pub use assemble::{ClockEntry, CorrectedHop, TraceAssembler, WaveTimeline};
+pub use export::{json_text, prometheus_text};
 pub use log::Level;
 pub use metrics::{
-    Counter, FilterStats, Gauge, Histogram, HistogramSnapshot, NodeMetrics, StreamCounters,
-    HIST_BUCKETS,
+    ConnSendStats, Counter, FilterStats, Gauge, Histogram, HistogramSnapshot, NodeMetrics,
+    StreamCounters, HIST_BUCKETS,
 };
 pub use snapshot::{MetricsSection, NetworkSnapshot};
 pub use trace::{TraceBuffer, TraceDir, TraceEvent};
+pub use tracectx::{HopRecord, TraceEnvelope, TraceSampler};

@@ -159,7 +159,34 @@ pub struct HistogramSnapshot {
     pub sum_us: u64,
 }
 
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot::empty()
+    }
+}
+
 impl HistogramSnapshot {
+    /// An empty snapshot (no samples).
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum_us: 0,
+        }
+    }
+
+    /// Folds `other` into `self` bucket-by-bucket — the reduction two
+    /// node snapshots undergo when aggregating histograms across the
+    /// tree. Counts and sums add with wrapping, matching [`Counter`]'s
+    /// overflow posture.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine = mine.wrapping_add(*theirs);
+        }
+        self.count = self.count.wrapping_add(other.count);
+        self.sum_us = self.sum_us.wrapping_add(other.sum_us);
+    }
+
     /// Mean sample value in microseconds (zero when empty).
     pub fn mean_us(&self) -> f64 {
         if self.count == 0 {
@@ -190,6 +217,19 @@ impl HistogramSnapshot {
         }
         u64::MAX
     }
+}
+
+/// Point-in-time send-side stats for one downstream connection,
+/// recorded per child rank at snapshot time so a slow child is
+/// identifiable from the metrics snapshot alone.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnSendStats {
+    /// Frames queued behind this connection's writer.
+    pub queue_depth: u64,
+    /// Frames that shared a transmit syscall with another frame.
+    pub coalesced: u64,
+    /// Sends that found this connection's outbound queue at capacity.
+    pub stalls: u64,
 }
 
 /// Per-stream packet counters, handed out by
@@ -278,8 +318,15 @@ pub struct NodeMetrics {
     /// encoded (encode-once multicast): `frames_encoded +
     /// frames_shared` = data frames actually sent downstream.
     pub frames_shared: Counter,
+    /// Data frames this node sent carrying a trace-envelope trailer.
+    /// Stays at zero for untraced runs — the wire carries zero trailer
+    /// bytes.
+    pub trace_frames: Counter,
+    /// Hop records this node stamped into passing trace envelopes.
+    pub trace_hops: Counter,
     streams: Mutex<BTreeMap<u32, Arc<StreamCounters>>>,
     filters: Mutex<BTreeMap<String, Arc<FilterStats>>>,
+    conns: Mutex<BTreeMap<u32, ConnSendStats>>,
 }
 
 impl NodeMetrics {
@@ -309,6 +356,13 @@ impl NodeMetrics {
         )
     }
 
+    /// Records send-side connection stats for the child at `rank`,
+    /// replacing the previous sample. Called at snapshot time, not on
+    /// the packet path.
+    pub fn set_conn_send_stats(&self, rank: u32, stats: ConnSendStats) {
+        self.conns.lock().insert(rank, stats);
+    }
+
     /// Flattens every instrument into a wire-ready [`MetricsSection`]
     /// for `rank`.
     pub fn snapshot(&self, rank: u32) -> MetricsSection {
@@ -335,6 +389,8 @@ impl NodeMetrics {
         s.push("send.enqueue_stalls", self.send_stalls.get().max(0) as u64);
         s.push("frames.encoded", self.frames_encoded.get());
         s.push("frames.shared", self.frames_shared.get());
+        s.push("trace.frames", self.trace_frames.get());
+        s.push("trace.hops", self.trace_hops.get());
         s.push_histogram("batch.pkts", &self.batch_pkts.snapshot());
         s.push_histogram("hop_up_us", &self.hop_up_us.snapshot());
         s.push_histogram("hop_down_us", &self.hop_down_us.snapshot());
@@ -346,6 +402,11 @@ impl NodeMetrics {
             s.push(&format!("filter.{name}.waves"), f.waves.get());
             s.push_histogram(&format!("filter.{name}.wait_us"), &f.wait_us.snapshot());
             s.push_histogram(&format!("filter.{name}.exec_us"), &f.exec_us.snapshot());
+        }
+        for (rank, c) in self.conns.lock().iter() {
+            s.push(&format!("conn.{rank}.send.queue_depth"), c.queue_depth);
+            s.push(&format!("conn.{rank}.send.coalesced_frames"), c.coalesced);
+            s.push(&format!("conn.{rank}.send.enqueue_stalls"), c.stalls);
         }
         s
     }
@@ -408,17 +469,100 @@ mod tests {
         let snap = h.snapshot();
         assert_eq!(snap.quantile_le_us(0.5), 2);
         assert_eq!(snap.quantile_le_us(1.0), 1 << 20);
-        assert_eq!(HistogramSnapshot::default_empty().quantile_le_us(0.5), 0);
+        assert_eq!(HistogramSnapshot::empty().quantile_le_us(0.5), 0);
     }
 
-    impl HistogramSnapshot {
-        fn default_empty() -> HistogramSnapshot {
-            HistogramSnapshot {
-                buckets: [0; HIST_BUCKETS],
-                count: 0,
-                sum_us: 0,
-            }
+    #[test]
+    fn empty_histogram_edge_cases() {
+        let snap = HistogramSnapshot::empty();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.mean_us(), 0.0);
+        assert_eq!(snap.quantile_le_us(0.0), 0);
+        assert_eq!(snap.quantile_le_us(0.99), 0);
+        assert_eq!(snap.quantile_le_us(1.0), 0);
+    }
+
+    #[test]
+    fn single_bucket_histogram_quantiles() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record_us(7); // all land in bucket 3 (<= 8 µs)
         }
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[3], 100);
+        // Every quantile resolves to the one occupied bucket.
+        assert_eq!(snap.quantile_le_us(0.0), 8);
+        assert_eq!(snap.quantile_le_us(0.5), 8);
+        assert_eq!(snap.quantile_le_us(0.95), 8);
+        assert_eq!(snap.quantile_le_us(1.0), 8);
+    }
+
+    #[test]
+    fn catchall_bucket_quantiles_are_unbounded() {
+        let h = Histogram::new();
+        h.record_us(1);
+        h.record_us(u64::MAX); // catch-all
+        h.record_us(1 << 40); // catch-all
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[HIST_BUCKETS - 1], 2);
+        assert_eq!(snap.quantile_le_us(0.33), 1);
+        // The upper quantiles live in the unbounded last bucket.
+        assert_eq!(snap.quantile_le_us(0.95), u64::MAX);
+        assert_eq!(snap.quantile_le_us(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_addition() {
+        let a = Histogram::new();
+        a.record_us(2);
+        a.record_us(1000);
+        let b = Histogram::new();
+        b.record_us(2);
+        b.record_us(u64::MAX);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count, 4);
+        assert_eq!(merged.buckets[1], 2); // both 2 µs samples
+        assert_eq!(merged.buckets[10], 1);
+        assert_eq!(merged.buckets[HIST_BUCKETS - 1], 1);
+        assert_eq!(merged.sum_us, 1004u64.wrapping_add(u64::MAX));
+        // Quantiles reflect the combined population.
+        assert_eq!(merged.quantile_le_us(0.5), 2);
+        assert_eq!(merged.quantile_le_us(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let h = Histogram::new();
+        h.record_us(5);
+        let orig = h.snapshot();
+        let mut merged = orig.clone();
+        merged.merge(&HistogramSnapshot::empty());
+        assert_eq!(merged, orig);
+        let mut empty = HistogramSnapshot::empty();
+        empty.merge(&orig);
+        assert_eq!(empty, orig);
+    }
+
+    #[test]
+    fn merging_two_node_snapshots() {
+        // Two nodes report the same histogram name; the tree-level
+        // aggregate is their bucketwise merge.
+        let node_a = NodeMetrics::new();
+        node_a.hop_up_us.record_us(3);
+        node_a.hop_up_us.record_us(100);
+        let node_b = NodeMetrics::new();
+        node_b.hop_up_us.record_us(3);
+        let mut merged = node_a.hop_up_us.snapshot();
+        merged.merge(&node_b.hop_up_us.snapshot());
+        assert_eq!(merged.count, 3);
+        assert_eq!(merged.buckets[2], 2);
+        assert_eq!(merged.sum_us, 106);
+        // A section built from the merge is self-consistent.
+        let mut s = MetricsSection::new(0);
+        s.push_histogram("hop_up_us", &merged);
+        assert_eq!(s.get("hop_up_us.count"), Some(3));
+        assert_eq!(s.get("hop_up_us.le_4"), Some(2));
     }
 
     #[test]
@@ -457,6 +601,16 @@ mod tests {
         m.send_coalesced.set(5);
         m.frames_encoded.add(7);
         m.frames_shared.add(3);
+        m.trace_frames.add(2);
+        m.trace_hops.add(6);
+        m.set_conn_send_stats(
+            9,
+            ConnSendStats {
+                queue_depth: 11,
+                coalesced: 4,
+                stalls: 1,
+            },
+        );
         let s = m.snapshot(3);
         assert_eq!(s.rank, 3);
         assert_eq!(s.get("send.queue_depth"), Some(0));
@@ -464,6 +618,11 @@ mod tests {
         assert_eq!(s.get("send.enqueue_stalls"), Some(0));
         assert_eq!(s.get("frames.encoded"), Some(7));
         assert_eq!(s.get("frames.shared"), Some(3));
+        assert_eq!(s.get("trace.frames"), Some(2));
+        assert_eq!(s.get("trace.hops"), Some(6));
+        assert_eq!(s.get("conn.9.send.queue_depth"), Some(11));
+        assert_eq!(s.get("conn.9.send.coalesced_frames"), Some(4));
+        assert_eq!(s.get("conn.9.send.enqueue_stalls"), Some(1));
         assert_eq!(s.get("peer.deaths"), Some(1));
         assert_eq!(s.get("connect.retries"), Some(0));
         assert_eq!(s.get("streams.pruned"), Some(2));

@@ -13,8 +13,34 @@ use std::sync::OnceLock;
 
 use parking_lot::Mutex;
 
-/// Default capacity of a node's trace ring.
+/// Default capacity of a node's trace ring, used when
+/// `MRNET_TRACE_CAPACITY` is unset or unparsable.
 pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+/// Smallest ring the environment may configure; tinier values are
+/// clamped up so a ring always holds a useful window.
+pub const MIN_TRACE_CAPACITY: usize = 16;
+
+/// Largest ring the environment may configure (per node, so a large
+/// tree multiplies it); larger values are clamped down.
+pub const MAX_TRACE_CAPACITY: usize = 1 << 20;
+
+/// Parses an `MRNET_TRACE_CAPACITY` value into a ring capacity.
+/// Missing, empty, or unparsable values fall back to
+/// [`DEFAULT_TRACE_CAPACITY`]; parsed values are clamped into
+/// `[MIN_TRACE_CAPACITY, MAX_TRACE_CAPACITY]`.
+pub fn parse_capacity(raw: Option<&str>) -> usize {
+    raw.and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|n| n.clamp(MIN_TRACE_CAPACITY, MAX_TRACE_CAPACITY))
+        .unwrap_or(DEFAULT_TRACE_CAPACITY)
+}
+
+/// The process-wide configured ring capacity: `MRNET_TRACE_CAPACITY`
+/// (read once), clamped, defaulting to [`DEFAULT_TRACE_CAPACITY`].
+pub fn capacity_from_env() -> usize {
+    static CAPACITY: OnceLock<usize> = OnceLock::new();
+    *CAPACITY.get_or_init(|| parse_capacity(std::env::var("MRNET_TRACE_CAPACITY").ok().as_deref()))
+}
 
 /// 0 = no override, 1 = forced off, 2 = forced on.
 static OVERRIDE: AtomicU8 = AtomicU8::new(0);
@@ -88,7 +114,7 @@ struct Ring {
 
 impl Default for TraceBuffer {
     fn default() -> TraceBuffer {
-        TraceBuffer::with_capacity(DEFAULT_TRACE_CAPACITY)
+        TraceBuffer::with_capacity(capacity_from_env())
     }
 }
 
@@ -184,6 +210,18 @@ mod tests {
         assert!(enabled());
         set_enabled(false);
         assert!(!enabled());
+    }
+
+    #[test]
+    fn parse_capacity_defaults_and_clamps() {
+        assert_eq!(parse_capacity(None), DEFAULT_TRACE_CAPACITY);
+        assert_eq!(parse_capacity(Some("")), DEFAULT_TRACE_CAPACITY);
+        assert_eq!(parse_capacity(Some("nope")), DEFAULT_TRACE_CAPACITY);
+        assert_eq!(parse_capacity(Some("-5")), DEFAULT_TRACE_CAPACITY);
+        assert_eq!(parse_capacity(Some("0")), MIN_TRACE_CAPACITY);
+        assert_eq!(parse_capacity(Some("3")), MIN_TRACE_CAPACITY);
+        assert_eq!(parse_capacity(Some(" 512 ")), 512);
+        assert_eq!(parse_capacity(Some("999999999999")), MAX_TRACE_CAPACITY);
     }
 
     #[test]

@@ -28,6 +28,7 @@ mod codec;
 mod error;
 mod format;
 mod packet;
+pub mod trace;
 mod unpack;
 mod value;
 

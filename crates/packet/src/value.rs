@@ -323,6 +323,14 @@ impl Value {
         }
     }
 
+    /// Returns the contained `i64` slice, if this is a `%ald` value.
+    pub fn as_i64_slice(&self) -> Option<&[i64]> {
+        match self {
+            Value::Int64Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
     /// Returns the contained `u32` slice, if this is a `%aud` value.
     pub fn as_u32_slice(&self) -> Option<&[u32]> {
         match self {

@@ -287,6 +287,13 @@ pub struct OverlayHealth {
     /// non-empty set explains missing `nodes` without waiting for a
     /// snapshot timeout.
     pub failed_ranks: Vec<mrnet::Rank>,
+    /// Sampled waves the front-end has reassembled into timelines
+    /// (zero when tracing is off).
+    pub traced_waves: u64,
+    /// The rank with the worst p95 per-hop dwell among traced waves,
+    /// with that dwell in microseconds — the first place to look when
+    /// sampling slows down. `None` until a traced wave assembles.
+    pub slowest_hop: Option<(mrnet::Rank, u64)>,
     /// The full per-node snapshot for deeper inspection.
     pub snapshot: NetworkSnapshot,
 }
@@ -297,12 +304,20 @@ pub struct OverlayHealth {
 /// the health signal.
 pub fn overlay_health(net: &Network, timeout: Duration) -> Result<OverlayHealth> {
     let snapshot = net.metrics_snapshot(timeout)?;
+    let assembler = net.trace_assembler();
+    let slowest_hop = assembler
+        .hop_histograms()
+        .into_iter()
+        .map(|(rank, h)| (rank, h.snapshot().quantile_le_us(0.95)))
+        .max_by_key(|&(_, p95)| p95);
     Ok(OverlayHealth {
         nodes: snapshot.nodes.len(),
         up_pkts: snapshot.total("up.pkts.sent"),
         down_pkts: snapshot.total("down.pkts.sent"),
         queued: snapshot.total("queue.depth"),
         failed_ranks: net.failed_ranks(),
+        traced_waves: assembler.assembled.get(),
+        slowest_hop,
         snapshot,
     })
 }

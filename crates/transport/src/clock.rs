@@ -1,0 +1,139 @@
+//! Clock-offset estimation for connection endpoints.
+//!
+//! Tree nodes stamp trace records with their own wall clocks; to line
+//! the stamps up, each parent runs a small NTP-style ping handshake
+//! over its child connections at connect time:
+//!
+//! ```text
+//! parent --- ping(t0) -------------> child      t1 = child recv stamp
+//! parent <-- pong(t0, t1, t2) ------ child      t2 = child send stamp
+//! t3 = parent recv stamp
+//! ```
+//!
+//! From one exchange, `offset = ((t1 - t0) + (t2 - t3)) / 2` estimates
+//! the child's clock minus the parent's, and
+//! `rtt = (t3 - t0) - (t2 - t1)` the pure network round trip. The
+//! estimate's error is bounded by `rtt / 2` plus path asymmetry, so
+//! callers ping several times and keep the minimum-RTT sample.
+//!
+//! All stamps are wall-clock microseconds (any epoch shared within a
+//! process); the arithmetic is done in `i64` so a child clock behind
+//! the parent's produces a negative offset rather than wrapping.
+
+/// One resolved offset/RTT estimate from a ping exchange.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClockEstimate {
+    /// The remote (child) clock minus the local (parent) clock, µs.
+    pub offset_us: i64,
+    /// Estimated network round-trip time, excluding the child's
+    /// processing time between receive and reply, µs.
+    pub rtt_us: u64,
+}
+
+impl ClockEstimate {
+    /// Computes the estimate from one ping exchange's four stamps:
+    /// `t0` local send, `t1` remote receive, `t2` remote send, `t3`
+    /// local receive. Degenerate stamp orderings (clock steps,
+    /// reordered replies) clamp the RTT at zero rather than wrapping.
+    pub fn from_ping(t0: u64, t1: u64, t2: u64, t3: u64) -> ClockEstimate {
+        let (t0, t1, t2, t3) = (t0 as i64, t1 as i64, t2 as i64, t3 as i64);
+        let offset_us = ((t1 - t0) + (t2 - t3)) / 2;
+        let rtt_us = ((t3 - t0) - (t2 - t1)).max(0) as u64;
+        ClockEstimate { offset_us, rtt_us }
+    }
+
+    /// True when `self` is the better (lower-RTT, hence
+    /// lower-uncertainty) estimate of the two.
+    pub fn better_than(&self, other: &ClockEstimate) -> bool {
+        self.rtt_us < other.rtt_us
+    }
+
+    /// Chains this estimate (child relative to us) with `descendant`
+    /// (a deeper rank relative to the child), yielding the descendant
+    /// relative to us: offsets add, and the RTTs add as a conservative
+    /// uncertainty bound for the longer path.
+    pub fn chain(&self, descendant: &ClockEstimate) -> ClockEstimate {
+        ClockEstimate {
+            offset_us: self.offset_us.saturating_add(descendant.offset_us),
+            rtt_us: self.rtt_us.saturating_add(descendant.rtt_us),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_path_recovers_exact_offset() {
+        // Child clock runs 500 µs ahead; 100 µs each way on the wire;
+        // child takes 30 µs to turn the ping around.
+        let t0 = 10_000;
+        let t1 = t0 + 100 + 500;
+        let t2 = t1 + 30;
+        let t3 = t0 + 100 + 30 + 100;
+        let est = ClockEstimate::from_ping(t0, t1, t2, t3);
+        assert_eq!(est.offset_us, 500);
+        assert_eq!(est.rtt_us, 200);
+    }
+
+    #[test]
+    fn negative_offset_when_child_behind() {
+        // Child clock 2 ms behind, 50 µs each way, instant turnaround.
+        let t0 = 100_000;
+        let t1 = t0 + 50 - 2_000;
+        let t2 = t1;
+        let t3 = t0 + 100;
+        let est = ClockEstimate::from_ping(t0, t1, t2, t3);
+        assert_eq!(est.offset_us, -2_000);
+        assert_eq!(est.rtt_us, 100);
+    }
+
+    #[test]
+    fn same_clock_zero_delay_is_zero() {
+        let est = ClockEstimate::from_ping(42, 42, 42, 42);
+        assert_eq!(est, ClockEstimate::default());
+    }
+
+    #[test]
+    fn asymmetry_error_bounded_by_half_rtt() {
+        // All 300 µs of delay on the downstream leg: the estimate is
+        // wrong by exactly rtt/2, the theoretical bound.
+        let t0 = 0;
+        let t1 = 300; // same clock, but slow leg down
+        let t2 = 300;
+        let t3 = 300; // instant leg up
+        let est = ClockEstimate::from_ping(t0, t1, t2, t3);
+        assert_eq!(est.rtt_us, 300);
+        assert_eq!(est.offset_us.unsigned_abs(), est.rtt_us / 2);
+    }
+
+    #[test]
+    fn degenerate_orderings_clamp_rtt() {
+        // Remote processing stamps wider than the whole exchange
+        // (clock step mid-ping): RTT clamps to zero, no wrap.
+        let est = ClockEstimate::from_ping(100, 50, 900, 200);
+        assert_eq!(est.rtt_us, 0);
+    }
+
+    #[test]
+    fn min_rtt_selection_and_chaining() {
+        let coarse = ClockEstimate {
+            offset_us: 480,
+            rtt_us: 900,
+        };
+        let fine = ClockEstimate {
+            offset_us: 501,
+            rtt_us: 80,
+        };
+        assert!(fine.better_than(&coarse));
+        assert!(!coarse.better_than(&fine));
+        let deeper = ClockEstimate {
+            offset_us: -1_200,
+            rtt_us: 150,
+        };
+        let chained = fine.chain(&deeper);
+        assert_eq!(chained.offset_us, 501 - 1_200);
+        assert_eq!(chained.rtt_us, 230);
+    }
+}

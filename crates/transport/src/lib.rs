@@ -9,12 +9,14 @@
 
 #![forbid(unsafe_code)]
 
+mod clock;
 mod connection;
 mod error;
 mod local;
 mod retry;
 mod tcp;
 
+pub use clock::ClockEstimate;
 pub use connection::{
     BoxedConnection, BoxedListener, ConnStats, Connection, Listener, SharedConnection,
 };
