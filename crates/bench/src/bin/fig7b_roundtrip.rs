@@ -6,6 +6,14 @@
 //! trees stay near-constant.
 //!
 //! Run with: `cargo run -p mrnet-bench --release --bin fig7b_roundtrip`
+//!
+//! Quick bench mode — `--quick [path]` — skips the simulator tables and
+//! instead measures live threaded trees at 2–3 small fan-outs, writing
+//! the round-trip latency series as JSON (default `BENCH_fig7b.json`,
+//! same shape as `BENCH_fig7c.json`) so the CI perf trajectory covers
+//! latency as well as throughput.
+
+use std::time::Instant;
 
 use mrnet::obs::{trace, tracectx};
 use mrnet::simulate::{roundtrip_latency, SMALL_PACKET};
@@ -16,7 +24,69 @@ use mrnet_bench::{
 use mrnet_packet::BatchPolicy;
 use mrnet_sim::LogGpParams;
 
+/// One `--quick` measurement: `rounds` sequential broadcast+reduction
+/// round trips through a live threaded tree, reported as median and
+/// p95 microseconds.
+fn quick_case(fanout: Option<usize>, backends: usize, rounds: usize) -> (f64, f64) {
+    let tree = BenchTree::new(
+        experiment_topology(fanout, backends),
+        BatchPolicy::default(),
+    );
+    for _ in 0..rounds / 10 {
+        tree.roundtrip(); // warm-up
+    }
+    let mut samples_us = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let start = Instant::now();
+        tree.roundtrip();
+        samples_us.push(start.elapsed().as_secs_f64() * 1e6);
+    }
+    tree.shutdown();
+    samples_us.sort_by(f64::total_cmp);
+    let median = samples_us[rounds / 2];
+    let p95 = samples_us[(rounds * 95) / 100];
+    (median, p95)
+}
+
+/// `--quick [path]`: live-tree round-trip latency at small fan-outs,
+/// printed and written as JSON for the CI perf-trajectory step.
+fn quick_bench(path: &str) {
+    const ROUNDS: usize = 200;
+    let cases = [(Some(2), 4usize), (Some(4), 8), (None, 8)];
+    let mut rows = Vec::new();
+    println!("fig7b quick bench: {ROUNDS} broadcast+reduction round trips per live tree\n");
+    println!(
+        "{:>10} {:>10} {:>14} {:>14}",
+        "topology", "backends", "rtt med (us)", "rtt p95 (us)"
+    );
+    for (fanout, backends) in cases {
+        let (median, p95) = quick_case(fanout, backends, ROUNDS);
+        println!(
+            "{:>10} {backends:>10} {median:>14.1} {p95:>14.1}",
+            fanout_label(fanout)
+        );
+        rows.push(format!(
+            "    {{\"topology\": \"{}\", \"backends\": {backends}, \"rtt_us_median\": {median:.1}, \"rtt_us_p95\": {p95:.1}}}",
+            fanout_label(fanout)
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"fig7b_quick\",\n  \"rounds\": {ROUNDS},\n  \"series\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(path, &json).expect("write bench json");
+    println!("\nwrote {path}");
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--quick") {
+        let path = args
+            .get(i + 1)
+            .cloned()
+            .unwrap_or_else(|| "BENCH_fig7b.json".to_owned());
+        return quick_bench(&path);
+    }
     println!("Figure 7b: broadcast+reduction round-trip latency (seconds) vs back-ends\n");
     let fanouts = [None, Some(4), Some(8)];
     print_header(

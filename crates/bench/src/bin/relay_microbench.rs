@@ -1,0 +1,83 @@
+//! Passthrough-relay microbenchmark: how fast can the tree move
+//! packets that no filter ever touches?
+//!
+//! A null-filter, no-alignment stream over a 2-way tree with 4
+//! back-ends: every back-end packet crosses one internal node and the
+//! front-end unmerged, so the measured rate is pure relay cost —
+//! unbatch, demux, route, re-batch. With lazy payloads both hops
+//! forward the original wire bytes (zero decodes, zero re-encodes);
+//! this bench tracks that fast path the way fig7c tracks reductions.
+//!
+//! Run with: `cargo run -p mrnet-bench --release --bin relay_microbench`
+
+use std::time::Instant;
+
+use mrnet::{Deployment, NetworkBuilder, SyncMode, Value};
+use mrnet_bench::experiment_topology;
+use mrnet_packet::BatchPolicy;
+
+/// Tag for "reply with N packets" requests (distinct from the
+/// aggregation GO tag so the two benches can't be confused in traces).
+const GO: i32 = 901;
+
+fn main() {
+    const WARMUP: i32 = 200;
+    const WAVES: i32 = 2000;
+
+    let Deployment { network, backends } =
+        NetworkBuilder::new(experiment_topology(Some(2), 4))
+            .batch_policy(BatchPolicy::default())
+            .launch()
+            .expect("instantiate relay tree");
+    let nbackends = backends.len();
+    let threads: Vec<_> = backends
+        .into_iter()
+        .map(|be| {
+            std::thread::spawn(move || loop {
+                match be.recv() {
+                    Ok((pkt, sid)) => {
+                        if pkt.tag() == GO {
+                            let n = pkt.get(0).and_then(Value::as_i32).unwrap_or(0);
+                            for w in 0..n {
+                                if be.send(sid, GO, "%d", vec![Value::Int32(w)]).is_err() {
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                    Err(_) => return,
+                }
+            })
+        })
+        .collect();
+
+    let comm = network.broadcast_communicator();
+    let null = network.registry().id_of("null").expect("built-in");
+    let stream = network
+        .new_stream(&comm, null, SyncMode::DoNotWait)
+        .expect("relay stream");
+    let drain = |n: i32| {
+        stream.send(GO, "%d", vec![Value::Int32(n)]).expect("go");
+        for _ in 0..n as usize * nbackends {
+            stream
+                .recv_timeout(std::time::Duration::from_secs(60))
+                .expect("relayed packet");
+        }
+    };
+
+    drain(WARMUP);
+    let start = Instant::now();
+    drain(WAVES);
+    let secs = start.elapsed().as_secs_f64();
+    let pkts = (WAVES as usize * nbackends) as f64;
+    println!(
+        "relay microbench: 2-way tree, {nbackends} back-ends, {pkts} packets \
+         in {secs:.3}s = {:.1} pkts/s through the internal hop",
+        pkts / secs
+    );
+
+    network.shutdown();
+    for t in threads {
+        let _ = t.join();
+    }
+}

@@ -1,0 +1,343 @@
+//! Sharded upstream-filter execution.
+//!
+//! The node loop synchronizes waves (sync-filter state stays
+//! single-owner on the loop thread), but running the transformation
+//! filter inline serializes every stream's aggregation behind one
+//! thread. The [`FilterExecutor`] moves that work onto a small worker
+//! pool sharded by stream id: each stream's upstream filter instance
+//! lives on exactly one shard (per-stream state stays single-owner,
+//! per-stream wave order is the shard's FIFO), while waves of
+//! *different* streams that hash to different shards overlap.
+//!
+//! Results return to the node loop through its inbox as
+//! [`Inbound::Aggregated`], so forwarding, trace-envelope handling,
+//! and delivery still happen in one place.
+//!
+//! Sizing comes from `MRNET_FILTER_SHARDS` (default
+//! [`DEFAULT_FILTER_SHARDS`]); `0` disables the executor and restores
+//! fully inline transformation. Null-filter (pure relay) streams never
+//! use the executor regardless — their packets stay in raw wire form
+//! on the node loop's zero-copy path.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use mrnet_filters::{BoxedTransform, FilterContext};
+use mrnet_obs::{NodeMetrics, ShardExecStats};
+use mrnet_packet::{Packet, StreamId};
+
+use crate::internal::process::Inbound;
+
+/// Worker threads when `MRNET_FILTER_SHARDS` is unset. Two shards
+/// already overlap independent streams' aggregations while keeping the
+/// thread count negligible next to the per-connection pumps.
+pub const DEFAULT_FILTER_SHARDS: usize = 2;
+
+/// Upper clamp for `MRNET_FILTER_SHARDS`.
+pub const MAX_FILTER_SHARDS: usize = 64;
+
+/// Parses an `MRNET_FILTER_SHARDS` value: trimmed decimal, clamped to
+/// at most [`MAX_FILTER_SHARDS`]. `0` is valid and means "inline".
+/// `None` (or garbage) means "no override".
+pub fn parse_filter_shards(raw: Option<&str>) -> Option<usize> {
+    let raw = raw?.trim();
+    if raw.is_empty() {
+        return None;
+    }
+    raw.parse::<usize>().ok().map(|n| n.min(MAX_FILTER_SHARDS))
+}
+
+/// The shard count for new node loops: the `MRNET_FILTER_SHARDS`
+/// override, or [`DEFAULT_FILTER_SHARDS`]. Read per call (not cached)
+/// so in-process trees in tests see the environment they set.
+pub fn filter_shards_from_env() -> usize {
+    parse_filter_shards(std::env::var("MRNET_FILTER_SHARDS").ok().as_deref())
+        .unwrap_or(DEFAULT_FILTER_SHARDS)
+}
+
+/// One unit of work for a shard.
+enum Job {
+    /// Adopt a stream's upstream filter instance (stream creation).
+    Install {
+        stream: StreamId,
+        filter: BoxedTransform,
+        ctx: FilterContext,
+    },
+    /// Drop a stream's filter instance (stream deletion).
+    Remove { stream: StreamId },
+    /// Transform one synchronized wave.
+    Exec { stream: StreamId, wave: Vec<Packet> },
+    /// Echo [`Inbound::StreamDrained`] back through the results
+    /// channel. The shard is a FIFO, so by the time the echo arrives
+    /// every wave queued for `stream` before it has been delivered —
+    /// an ordering barrier for teardown decisions that must not
+    /// overtake in-flight aggregates.
+    Drain { stream: StreamId },
+}
+
+/// The worker pool. Dropping it closes every shard's queue and joins
+/// the workers (any wave already queued still completes first).
+pub struct FilterExecutor {
+    shards: Vec<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl FilterExecutor {
+    /// Builds the executor configured by `MRNET_FILTER_SHARDS`, or
+    /// `None` when sharding is disabled (`0`). `results` is the node
+    /// loop's inbox sender; transformed waves come back through it.
+    pub fn from_env(results: Sender<Inbound>, metrics: &Arc<NodeMetrics>) -> Option<FilterExecutor> {
+        match filter_shards_from_env() {
+            0 => None,
+            n => Some(FilterExecutor::new(n, results, metrics)),
+        }
+    }
+
+    /// Builds an executor with exactly `nshards` workers.
+    pub fn new(
+        nshards: usize,
+        results: Sender<Inbound>,
+        metrics: &Arc<NodeMetrics>,
+    ) -> FilterExecutor {
+        assert!(nshards > 0, "an executor needs at least one shard");
+        let mut shards = Vec::with_capacity(nshards);
+        let mut handles = Vec::with_capacity(nshards);
+        for i in 0..nshards {
+            let (tx, rx) = unbounded();
+            let stats = metrics.shard_stats(i);
+            let metrics = Arc::clone(metrics);
+            let results = results.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("mrnet-filter-{i}"))
+                    .spawn(move || worker(rx, results, metrics, stats))
+                    .expect("spawn filter shard"),
+            );
+            shards.push(tx);
+        }
+        FilterExecutor { shards, handles }
+    }
+
+    fn shard(&self, stream: StreamId) -> &Sender<Job> {
+        &self.shards[stream as usize % self.shards.len()]
+    }
+
+    /// Moves a stream's upstream filter onto its shard.
+    pub fn install(&self, stream: StreamId, filter: BoxedTransform, ctx: FilterContext) {
+        let _ = self.shard(stream).send(Job::Install {
+            stream,
+            filter,
+            ctx,
+        });
+    }
+
+    /// Discards a deleted stream's filter instance.
+    pub fn remove(&self, stream: StreamId) {
+        let _ = self.shard(stream).send(Job::Remove { stream });
+    }
+
+    /// Queues one synchronized wave for transformation. Waves of the
+    /// same stream run in dispatch order (one shard, FIFO queue).
+    pub fn exec(&self, stream: StreamId, wave: Vec<Packet>) {
+        let _ = self.shard(stream).send(Job::Exec { stream, wave });
+    }
+
+    /// Requests a [`Inbound::StreamDrained`] echo once every wave
+    /// queued for `stream` so far has been transformed and its result
+    /// sent. Lets the node loop order teardown (e.g. failing a
+    /// delivery queue) after in-flight aggregates.
+    pub fn drain(&self, stream: StreamId) {
+        let _ = self.shard(stream).send(Job::Drain { stream });
+    }
+}
+
+impl Drop for FilterExecutor {
+    fn drop(&mut self) {
+        self.shards.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker(
+    jobs: Receiver<Job>,
+    results: Sender<Inbound>,
+    metrics: Arc<NodeMetrics>,
+    stats: Arc<ShardExecStats>,
+) {
+    let mut filters: HashMap<StreamId, (BoxedTransform, FilterContext)> = HashMap::new();
+    while let Ok(job) = jobs.recv() {
+        match job {
+            Job::Install {
+                stream,
+                filter,
+                ctx,
+            } => {
+                filters.insert(stream, (filter, ctx));
+            }
+            Job::Remove { stream } => {
+                filters.remove(&stream);
+            }
+            Job::Exec { stream, wave } => {
+                let Some((filter, ctx)) = filters.get_mut(&stream) else {
+                    // Racing a delete: the wave's stream is gone.
+                    continue;
+                };
+                // Handles stay shared with the wave's packets, so
+                // after the transform they reveal which raw payloads
+                // the filter materialized.
+                let handles: Vec<Packet> = wave.iter().filter(|p| p.is_lazy()).cloned().collect();
+                let start = Instant::now();
+                let result = filter
+                    .transform(wave, ctx)
+                    .map(|out| {
+                        // Aggregates continue on the same stream.
+                        out.into_iter()
+                            .map(|p| p.with_stream(stream))
+                            .collect::<Vec<Packet>>()
+                    })
+                    .map_err(crate::error::MrnetError::from);
+                stats
+                    .busy_us
+                    .add(start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                stats.waves.inc();
+                let decoded = handles.iter().filter(|p| !p.is_lazy()).count();
+                metrics.pkts_decoded.add(decoded as u64);
+                if results.send(Inbound::Aggregated { stream, result }).is_err() {
+                    // The node loop is gone; drain remaining installs
+                    // and exit with the channel.
+                    return;
+                }
+            }
+            Job::Drain { stream } => {
+                if results.send(Inbound::StreamDrained { stream }).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrnet_filters::FilterRegistry;
+    use mrnet_packet::PacketBuilder;
+
+    #[test]
+    fn parse_filter_shards_parses_and_clamps() {
+        assert_eq!(parse_filter_shards(None), None);
+        assert_eq!(parse_filter_shards(Some("")), None);
+        assert_eq!(parse_filter_shards(Some("  ")), None);
+        assert_eq!(parse_filter_shards(Some("garbage")), None);
+        assert_eq!(parse_filter_shards(Some("-3")), None);
+        assert_eq!(parse_filter_shards(Some("0")), Some(0));
+        assert_eq!(parse_filter_shards(Some("4")), Some(4));
+        assert_eq!(parse_filter_shards(Some(" 8 ")), Some(8));
+        assert_eq!(parse_filter_shards(Some("10000")), Some(MAX_FILTER_SHARDS));
+    }
+
+    #[test]
+    fn executor_transforms_waves_and_returns_results_in_order() {
+        let reg = FilterRegistry::with_builtins();
+        let metrics = Arc::new(NodeMetrics::new());
+        let (tx, rx) = unbounded();
+        let exec = FilterExecutor::new(2, tx, &metrics);
+        let sum = reg.instantiate(reg.id_of("f_sum").unwrap()).unwrap();
+        exec.install(7, sum, FilterContext::new(7, 0, 2));
+        let mk = |v: f32| PacketBuilder::new(7, 1).push(v).build();
+        exec.exec(7, vec![mk(1.0), mk(2.0)]);
+        exec.exec(7, vec![mk(10.0), mk(20.0)]);
+        for expect in [3.0f32, 30.0] {
+            match rx.recv().unwrap() {
+                Inbound::Aggregated { stream, result } => {
+                    assert_eq!(stream, 7);
+                    let out = result.unwrap();
+                    assert_eq!(out.len(), 1);
+                    assert_eq!(out[0].get(0).unwrap().as_f32(), Some(expect));
+                    assert_eq!(out[0].stream_id(), 7);
+                }
+                other => panic!("unexpected inbox message: {other:?}"),
+            }
+        }
+        assert_eq!(metrics.shard_stats(7 % 2).waves.get(), 2);
+    }
+
+    #[test]
+    fn executor_reports_filter_errors_and_counts_decodes() {
+        let reg = FilterRegistry::with_builtins();
+        let metrics = Arc::new(NodeMetrics::new());
+        let (tx, rx) = unbounded();
+        let exec = FilterExecutor::new(1, tx, &metrics);
+        let sum = reg.instantiate(reg.id_of("f_sum").unwrap()).unwrap();
+        exec.install(3, sum, FilterContext::new(3, 0, 1));
+        // A lazily-decoded wave: the sum filter must materialize it,
+        // which the decoded counter records.
+        let eager = PacketBuilder::new(3, 1).push(5.0f32).build();
+        let batch = mrnet_packet::encode_batch(std::slice::from_ref(&eager));
+        let lazy = mrnet_packet::decode_batch_lazy(batch).unwrap().remove(0);
+        assert!(lazy.is_lazy());
+        exec.exec(3, vec![lazy]);
+        match rx.recv().unwrap() {
+            Inbound::Aggregated { result, .. } => {
+                assert_eq!(result.unwrap()[0].get(0).unwrap().as_f32(), Some(5.0));
+            }
+            other => panic!("unexpected inbox message: {other:?}"),
+        }
+        assert_eq!(metrics.pkts_decoded.get(), 1);
+        // A wave of the wrong type is an error result, not a panic.
+        let bad = PacketBuilder::new(3, 1).push("not a float").build();
+        exec.exec(3, vec![bad]);
+        match rx.recv().unwrap() {
+            Inbound::Aggregated { stream, result } => {
+                assert_eq!(stream, 3);
+                assert!(result.is_err());
+            }
+            other => panic!("unexpected inbox message: {other:?}"),
+        }
+        // Waves for unknown (deleted) streams are dropped silently.
+        exec.remove(3);
+        exec.exec(3, vec![PacketBuilder::new(3, 1).push(1.0f32).build()]);
+        drop(exec); // joins the worker: queue fully drained
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn drain_echo_arrives_after_all_prior_waves() {
+        let reg = FilterRegistry::with_builtins();
+        let metrics = Arc::new(NodeMetrics::new());
+        let (tx, rx) = unbounded();
+        let exec = FilterExecutor::new(1, tx, &metrics);
+        let sum = reg.instantiate(reg.id_of("f_sum").unwrap()).unwrap();
+        exec.install(5, sum, FilterContext::new(5, 0, 1));
+        let mk = |v: f32| PacketBuilder::new(5, 1).push(v).build();
+        for w in 0..3 {
+            exec.exec(5, vec![mk(w as f32)]);
+        }
+        exec.drain(5);
+        // The barrier must sort strictly after every wave queued
+        // before it, even on a contended shard.
+        for _ in 0..3 {
+            assert!(matches!(
+                rx.recv().unwrap(),
+                Inbound::Aggregated { stream: 5, .. }
+            ));
+        }
+        assert!(matches!(
+            rx.recv().unwrap(),
+            Inbound::StreamDrained { stream: 5 }
+        ));
+        // Draining a stream the shard never saw still echoes: the
+        // caller's bookkeeping must never wait forever.
+        exec.drain(99);
+        assert!(matches!(
+            rx.recv().unwrap(),
+            Inbound::StreamDrained { stream: 99 }
+        ));
+    }
+}

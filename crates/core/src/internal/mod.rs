@@ -1,5 +1,6 @@
 //! MRNet internal-process machinery (the `mrnet_commnode` layers of
 //! paper Figure 3).
 
+pub mod filter_exec;
 pub mod process;
 pub mod stream_manager;

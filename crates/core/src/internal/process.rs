@@ -33,6 +33,7 @@ use mrnet_transport::{ClockEstimate, SharedConnection};
 use crate::delivery::Delivery;
 use crate::error::{MrnetError, Result};
 use crate::event::FailureLedger;
+use crate::internal::filter_exec::FilterExecutor;
 use crate::internal::stream_manager::StreamManager;
 use crate::introspect::{self, METRICS_REPLY, METRICS_REQUEST, METRICS_STREAM, TRACE_REPORT};
 use crate::proto::{decode_frame, encode_data_frame, encode_traced_data_frame, Control, Frame};
@@ -70,6 +71,25 @@ pub enum Inbound {
     ChildClosed(usize),
     /// A user command (root only).
     Cmd(Command),
+    /// A wave transformed by the shard filter executor, ready to
+    /// continue upstream. Per-stream order is preserved: one stream
+    /// maps to one shard, and each shard is a FIFO.
+    Aggregated {
+        /// The stream the wave synchronized on.
+        stream: StreamId,
+        /// The filter's output, or its error (the wave is then
+        /// dropped — an async filter failure cannot be attributed to
+        /// one child the way an inline failure severs its sender).
+        result: Result<Vec<Packet>>,
+    },
+    /// Echo of [`FilterExecutor::drain`]: every wave queued for
+    /// `stream` before the drain request has already come back as
+    /// [`Inbound::Aggregated`] (shard FIFO + per-sender channel
+    /// order). Deferred teardown for the stream may proceed.
+    StreamDrained {
+        /// The drained stream.
+        stream: StreamId,
+    },
 }
 
 /// Front-end commands injected into the root loop.
@@ -173,6 +193,27 @@ pub struct NodeLoop {
     assembler: Option<Arc<TraceAssembler>>,
     /// Per-child clock-sync handshake state.
     clock_sync: Vec<ClockSync>,
+    /// The sharded upstream-filter worker pool; `None` runs transform
+    /// filters inline on the loop (`MRNET_FILTER_SHARDS=0`).
+    filter_exec: Option<FilterExecutor>,
+    /// Failure reports held back until the shards drain: a report must
+    /// not overtake aggregates already in flight on a shard (the
+    /// inline path ordered them implicitly by forwarding the wave
+    /// before ever seeing the disconnect). FIFO; completed in order.
+    pending_failures: Vec<PendingFailure>,
+}
+
+/// A confirmed failure whose propagation (and, at the root, whose
+/// stream-failure side effects) waits on [`FilterExecutor::drain`]
+/// echoes for every sharded stream that might still hold a wave.
+struct PendingFailure {
+    /// Streams whose drain echo hasn't arrived yet.
+    waiting: BTreeSet<StreamId>,
+    /// Streams (root only) whose receivers fail once drained.
+    fail_sids: Vec<StreamId>,
+    failed_rank: Rank,
+    fresh: Vec<Rank>,
+    origin: FailureOrigin,
 }
 
 /// Where a failure report entered this node, which determines where it
@@ -260,6 +301,8 @@ impl NodeLoop {
             );
         }
         let n = children.len();
+        let metrics = Arc::new(NodeMetrics::new());
+        let filter_exec = FilterExecutor::from_env(tx.clone(), &metrics);
         NodeLoop {
             rank,
             registry,
@@ -280,7 +323,7 @@ impl NodeLoop {
             stop,
             ready_tx,
             attach_tx: None,
-            metrics: Arc::new(NodeMetrics::new()),
+            metrics,
             collects: HashMap::new(),
             trace_pending_up: HashMap::new(),
             parent_trace_outbox: Vec::new(),
@@ -288,6 +331,8 @@ impl NodeLoop {
             sampler: TraceSampler::new(),
             assembler: None,
             clock_sync: (0..n).map(|_| ClockSync::default()).collect(),
+            filter_exec,
+            pending_failures: Vec::new(),
         }
     }
 
@@ -536,6 +581,19 @@ impl NodeLoop {
                 }
             },
             Inbound::Cmd(cmd) => self.on_command(cmd),
+            Inbound::Aggregated { stream, result } => {
+                match result {
+                    Ok(packets) => self.forward_up_wave(packets),
+                    Err(e) => {
+                        log_error!(self.rank, "filter error on stream {stream}, wave dropped: {e}");
+                    }
+                }
+                true
+            }
+            Inbound::StreamDrained { stream } => {
+                self.on_stream_drained(stream);
+                true
+            }
             Inbound::ChildClosed(i) => {
                 self.handle_child_death(i);
                 true
@@ -596,20 +654,19 @@ impl NodeLoop {
         self.routes.remove_endpoints(&fresh);
         // Prune every stream; a wave stuck waiting on the dead subtree
         // completes from the survivors right here.
+        let mut fail_sids = Vec::new();
         let sids: Vec<StreamId> = self.managers.keys().copied().collect();
-        for sid in sids {
+        for sid in &sids {
+            let sid = *sid;
             let before = self
                 .managers
                 .get(&sid)
                 .map_or(0, |m| m.live_endpoints().len());
-            let pruned = match self.managers.get_mut(&sid).unwrap().prune(&fresh, now) {
-                Ok(res) => res,
-                Err(e) => {
-                    log_error!(self.rank, "prune error on stream {sid}: {e}");
-                    continue;
-                }
-            };
-            let (packets, all_dead) = pruned;
+            let (waves, all_dead) = self
+                .managers
+                .get_mut(&sid)
+                .unwrap()
+                .prune_sync(&fresh, now);
             let shrank = self
                 .managers
                 .get(&sid)
@@ -618,19 +675,89 @@ impl NodeLoop {
             if shrank {
                 self.metrics.pruned_streams.inc();
             }
-            self.forward_up_wave(packets);
-            if all_dead {
-                if let Some(delivery) = &self.delivery {
-                    // Root: no packet can ever arrive on this stream
-                    // again; unblock (and fail) its receivers.
+            match self.run_released(sid, waves) {
+                Ok(packets) => self.forward_up_wave(packets),
+                Err(e) => {
+                    log_error!(self.rank, "prune error on stream {sid}: {e}");
+                    continue;
+                }
+            }
+            if all_dead && self.delivery.is_some() {
+                // Root: no packet can ever arrive on this stream
+                // again; its receivers must unblock with an error.
+                fail_sids.push(sid);
+            }
+        }
+        // Shard-held waves (released above, or synchronized just
+        // before the disconnect surfaced) are still in flight: the
+        // report — and the root-side stream failures — must not
+        // overtake their aggregates, so both wait for a drain echo
+        // from every sharded stream. The inline path forwarded waves
+        // synchronously above, so with no executor (or no sharded
+        // streams) nothing is in flight and the report goes out now.
+        let waiting: BTreeSet<StreamId> = match &self.filter_exec {
+            Some(exec) => sids
+                .iter()
+                .filter(|sid| {
+                    self.managers
+                        .get(sid)
+                        .is_some_and(|m| !m.has_up_filter())
+                })
+                .inspect(|sid| exec.drain(**sid))
+                .copied()
+                .collect(),
+            None => BTreeSet::new(),
+        };
+        if waiting.is_empty() {
+            if let Some(delivery) = &self.delivery {
+                for sid in fail_sids {
                     delivery.fail_stream(sid);
                 }
             }
+            self.forward_failure_report(failed_rank, &fresh, origin);
+        } else {
+            self.pending_failures.push(PendingFailure {
+                waiting,
+                fail_sids,
+                failed_rank,
+                fresh,
+                origin,
+            });
         }
-        // Forward everywhere except whence it came.
+    }
+
+    /// Crosses a drain echo off every pending failure report, then
+    /// releases completed reports front-first (drains are issued in
+    /// report order, so reports complete in order too).
+    fn on_stream_drained(&mut self, stream: StreamId) {
+        if let Some(pf) = self
+            .pending_failures
+            .iter_mut()
+            .find(|p| p.waiting.contains(&stream))
+        {
+            pf.waiting.remove(&stream);
+        }
+        while self
+            .pending_failures
+            .first()
+            .is_some_and(|p| p.waiting.is_empty())
+        {
+            let pf = self.pending_failures.remove(0);
+            if let Some(delivery) = &self.delivery {
+                for sid in pf.fail_sids {
+                    delivery.fail_stream(sid);
+                }
+            }
+            self.forward_failure_report(pf.failed_rank, &pf.fresh, pf.origin);
+        }
+    }
+
+    /// Sends a `RankFailed` report everywhere except whence it came;
+    /// at the root it lands in the failure ledger instead of a parent.
+    fn forward_failure_report(&mut self, failed_rank: Rank, fresh: &[Rank], origin: FailureOrigin) {
         let report = Control::RankFailed {
             rank: failed_rank,
-            subtree: fresh.clone(),
+            subtree: fresh.to_vec(),
         }
         .to_frame();
         match origin {
@@ -639,7 +766,7 @@ impl NodeLoop {
                     let _ = parent.send(report.clone());
                 } else if let Some(ledger) = &self.ledger {
                     self.metrics.events_delivered.inc();
-                    ledger.report(failed_rank, fresh.clone());
+                    ledger.report(failed_rank, fresh.to_vec());
                 }
                 for i in 0..self.children.len() {
                     if i != from && self.child_alive[i] {
@@ -778,16 +905,19 @@ impl NodeLoop {
     fn poll_timeouts(&mut self) {
         let now = self.now();
         self.expire_collects(now);
-        let ready: Vec<(StreamId, Vec<Packet>)> = self
+        let released: Vec<(StreamId, Vec<Vec<Packet>>)> = self
             .managers
             .iter_mut()
-            .filter_map(|(&sid, mgr)| match mgr.poll(now) {
-                Ok(pkts) if !pkts.is_empty() => Some((sid, pkts)),
-                _ => None,
+            .filter_map(|(&sid, mgr)| {
+                let waves = mgr.poll_sync(now);
+                (!waves.is_empty()).then_some((sid, waves))
             })
             .collect();
-        for (_, pkts) in ready {
-            self.forward_up_wave(pkts);
+        for (sid, waves) in released {
+            match self.run_released(sid, waves) {
+                Ok(pkts) => self.forward_up_wave(pkts),
+                Err(e) => log_error!(self.rank, "filter error on stream {sid}, wave dropped: {e}"),
+            }
         }
     }
 
@@ -850,15 +980,62 @@ impl NodeLoop {
             }
             self.metrics.up_pkts_recv.inc();
             self.trace_hop(&packet, TraceDir::Up, now);
-            let ready = match self.managers.get_mut(&sid) {
-                Some(mgr) => mgr.up(child, packet, now)?,
+            let waves = match self.managers.get_mut(&sid) {
+                Some(mgr) => mgr.up_sync(child, packet, now)?,
                 // Stream unknown (deleted or never created):
                 // drop, as the original does for stale data.
                 None => continue,
             };
+            if waves.is_empty() {
+                continue;
+            }
+            let ready = self.run_released(sid, waves)?;
             self.forward_up_wave(ready);
         }
         Ok(())
+    }
+
+    /// Runs waves the sync filter released through the stream's
+    /// upstream transformation filter: inline when the manager still
+    /// owns it (null/relay streams, or `MRNET_FILTER_SHARDS=0`),
+    /// otherwise by dispatching to the stream's shard — the
+    /// transformed wave then returns through the inbox as
+    /// [`Inbound::Aggregated`]. Returns whatever is ready to forward
+    /// right now.
+    fn run_released(&mut self, sid: StreamId, waves: Vec<Vec<Packet>>) -> Result<Vec<Packet>> {
+        if waves.is_empty() {
+            return Ok(Vec::new());
+        }
+        let Some(mgr) = self.managers.get_mut(&sid) else {
+            return Ok(Vec::new());
+        };
+        if !mgr.has_up_filter() {
+            let exec = self
+                .filter_exec
+                .as_ref()
+                .expect("up filter only moves when the executor exists");
+            for wave in waves {
+                exec.exec(sid, wave);
+            }
+            return Ok(Vec::new());
+        }
+        if mgr.up_filter_is_null() {
+            // Pure relay: the null filter cannot touch payloads, so
+            // skip the materialization bookkeeping.
+            return mgr.transform_waves(waves);
+        }
+        // Handles stay shared with the wave's packets; after the
+        // transform they reveal which raw payloads were materialized.
+        let handles: Vec<Packet> = waves
+            .iter()
+            .flatten()
+            .filter(|p| p.is_lazy())
+            .cloned()
+            .collect();
+        let ready = mgr.transform_waves(waves)?;
+        let decoded = handles.iter().filter(|p| !p.is_lazy()).count();
+        self.metrics.pkts_decoded.add(decoded as u64);
+        Ok(ready)
     }
 
     /// Dispatches upstream introspection packets by tag.
@@ -927,6 +1104,13 @@ impl NodeLoop {
         }
         self.take_pending_up(&packets);
         self.metrics.up_pkts_sent.add(packets.len() as u64);
+        for p in &packets {
+            if p.is_lazy() {
+                // The fast path: this packet moves on (or is
+                // delivered) as the exact bytes it arrived in.
+                self.metrics.pkts_lazy_relayed.inc();
+            }
+        }
         if let Some(delivery) = &self.delivery {
             // Root: "sent" upstream means delivered to user threads;
             // account the bytes here since no wire carries them. The
@@ -1092,13 +1276,23 @@ impl NodeLoop {
             return Ok(());
         }
         let frame = def.to_control().to_frame();
-        let mgr = StreamManager::with_metrics(
+        let mut mgr = StreamManager::with_metrics(
             def,
             &self.routes,
             &self.registry,
             self.rank,
             &self.metrics,
         )?;
+        // Aggregating streams run their upstream filter on the shard
+        // executor; null (pure relay) streams keep it inline, where
+        // it costs nothing and packets stay in raw wire form.
+        if let Some(exec) = &self.filter_exec {
+            if !mgr.up_filter_is_null() {
+                if let Some((filter, ctx)) = mgr.take_up_filter() {
+                    exec.install(mgr.def().id, filter, ctx);
+                }
+            }
+        }
         // Announce to participating children before any data can flow.
         // A child that died (possibly unnoticed until this send) must
         // not prevent the stream from existing for the survivors.
@@ -1113,6 +1307,11 @@ impl NodeLoop {
 
     fn delete_stream(&mut self, sid: StreamId) {
         if let Some(mgr) = self.managers.remove(&sid) {
+            if !mgr.has_up_filter() {
+                if let Some(exec) = &self.filter_exec {
+                    exec.remove(sid);
+                }
+            }
             let frame = Control::DeleteStream { stream_id: sid }.to_frame();
             for &child in mgr.participants() {
                 if self.child_alive[child] {
@@ -1132,6 +1331,13 @@ impl NodeLoop {
         // The stream's fan-out is cached on its manager — no per-packet
         // end-point cloning or routing-table intersection.
         let route = mgr.live_route().to_vec();
+        for out in &outs {
+            if out.is_lazy() {
+                // Counted once per packet, not per multicast replica:
+                // the relay never opened this payload.
+                self.metrics.pkts_lazy_relayed.inc();
+            }
+        }
         for out in outs {
             // "A data packet flowing downstream may be placed in
             // multiple output packet buffers because the packet may be

@@ -28,7 +28,11 @@ pub struct StreamManager {
     def: StreamDef,
     ctx: FilterContext,
     sync: SyncFilter,
-    up: BoxedTransform,
+    /// The upstream transformation filter. `None` once the node loop
+    /// has moved it onto a shard executor with
+    /// [`StreamManager::take_up_filter`]; synchronization state always
+    /// stays here, single-owner.
+    up: Option<BoxedTransform>,
     down: BoxedTransform,
     /// Local child indices participating in this stream, in child
     /// order; the position within this vector is the sync-filter slot.
@@ -113,7 +117,7 @@ impl StreamManager {
             def,
             ctx,
             sync,
-            up,
+            up: Some(up),
             down,
             participants,
             slot_of_child,
@@ -145,6 +149,15 @@ impl StreamManager {
     /// time `now`; returns the aggregated packets ready to continue
     /// upstream.
     pub fn up(&mut self, child: usize, packet: Packet, now: f64) -> Result<Vec<Packet>> {
+        let waves = self.up_sync(child, packet, now)?;
+        self.transform_waves(waves)
+    }
+
+    /// The synchronization half of [`StreamManager::up`]: pushes the
+    /// packet into the sync filter and returns the waves it released,
+    /// untransformed, so the caller can run the upstream filter
+    /// elsewhere (a shard executor) without blocking the node loop.
+    pub fn up_sync(&mut self, child: usize, packet: Packet, now: f64) -> Result<Vec<Vec<Packet>>> {
         let slot = *self.slot_of_child.get(&child).ok_or_else(|| {
             MrnetError::Protocol(format!(
                 "upstream packet for stream {} from non-participant child {child}",
@@ -159,15 +172,22 @@ impl StreamManager {
         }
         let waves = self.sync.push(slot, packet, now);
         self.note_released(&waves, now);
-        self.run_waves(waves)
+        Ok(waves)
     }
 
     /// Re-evaluates synchronization deadlines at `now` (for TimeOut
     /// streams); returns any packets released by a timeout.
     pub fn poll(&mut self, now: f64) -> Result<Vec<Packet>> {
+        let waves = self.poll_sync(now);
+        self.transform_waves(waves)
+    }
+
+    /// The synchronization half of [`StreamManager::poll`]: released
+    /// waves, untransformed.
+    pub fn poll_sync(&mut self, now: f64) -> Vec<Vec<Packet>> {
         let waves = self.sync.collect(now);
         self.note_released(&waves, now);
-        self.run_waves(waves)
+        waves
     }
 
     /// Records synchronization delay (first arrival of a wave → its
@@ -191,14 +211,46 @@ impl StreamManager {
         }
     }
 
-    fn run_waves(&mut self, waves: Vec<Vec<Packet>>) -> Result<Vec<Packet>> {
+    /// Runs released waves through the upstream transformation filter.
+    /// Errors if the filter has been moved to a shard executor — the
+    /// node loop must dispatch instead.
+    pub fn transform_waves(&mut self, waves: Vec<Vec<Packet>>) -> Result<Vec<Packet>> {
+        if waves.is_empty() {
+            return Ok(Vec::new());
+        }
+        let up = self.up.as_mut().ok_or_else(|| {
+            MrnetError::Protocol(format!(
+                "stream {}'s upstream filter was moved to the shard executor",
+                self.def.id
+            ))
+        })?;
         let mut out = Vec::new();
         for wave in waves {
-            let produced = self.up.transform(wave, &self.ctx)?;
+            let produced = up.transform(wave, &self.ctx)?;
             // Aggregated packets continue on the same stream.
             out.extend(produced.into_iter().map(|p| p.with_stream(self.def.id)));
         }
         Ok(out)
+    }
+
+    /// Hands the upstream filter instance (with the context it runs
+    /// under) to a shard executor. After this, released waves must be
+    /// dispatched there; [`StreamManager::transform_waves`] errors.
+    pub fn take_up_filter(&mut self) -> Option<(BoxedTransform, FilterContext)> {
+        self.up.take().map(|f| (f, self.ctx.clone()))
+    }
+
+    /// True while the manager still owns its upstream filter (inline
+    /// transformation mode).
+    pub fn has_up_filter(&self) -> bool {
+        self.up.is_some()
+    }
+
+    /// True when the stream's upstream filter is the null passthrough —
+    /// such streams never need the shard executor, and their packets
+    /// stay in raw wire form end to end.
+    pub fn up_filter_is_null(&self) -> bool {
+        self.def.up_filter == "null"
     }
 
     /// Applies the downstream transformation to a packet flowing
@@ -235,6 +287,14 @@ impl StreamManager {
     /// released aggregate packets and whether the stream now has no
     /// end-points left at all.
     pub fn prune(&mut self, dead: &[Rank], now: f64) -> Result<(Vec<Packet>, bool)> {
+        let (released, empty) = self.prune_sync(dead, now);
+        Ok((self.transform_waves(released)?, empty))
+    }
+
+    /// The synchronization half of [`StreamManager::prune`]: shrinks
+    /// membership and returns the released waves untransformed, plus
+    /// whether the stream has no end-points left.
+    pub fn prune_sync(&mut self, dead: &[Rank], now: f64) -> (Vec<Vec<Packet>>, bool) {
         self.def.endpoints.retain(|r| !dead.contains(r));
         let mut released = Vec::new();
         for slot in 0..self.slot_targets.len() {
@@ -253,8 +313,7 @@ impl StreamManager {
             .filter(|&(slot, _)| !self.slot_targets[slot].is_empty())
             .map(|(_, &child)| child)
             .collect();
-        let packets = self.run_waves(released)?;
-        Ok((packets, self.def.endpoints.is_empty()))
+        (released, self.def.endpoints.is_empty())
     }
 }
 
@@ -497,6 +556,82 @@ mod tests {
         let (_, empty) = m.prune(&[12], 0.1).unwrap();
         assert!(empty);
         assert!(m.live_endpoints().is_empty());
+    }
+
+    #[test]
+    fn sync_half_releases_untransformed_waves() {
+        let reg = FilterRegistry::with_builtins();
+        let mut m = StreamManager::new(
+            def(vec![10, 12], "f_sum", SyncMode::WaitForAll),
+            &routes(),
+            &reg,
+            3,
+        )
+        .unwrap();
+        assert!(m.up_sync(0, fpkt(1.0), 0.0).unwrap().is_empty());
+        let waves = m.up_sync(1, fpkt(2.0), 0.1).unwrap();
+        // One wave of two raw packets — the sum filter has not run.
+        assert_eq!(waves.len(), 1);
+        assert_eq!(waves[0].len(), 2);
+        let out = m.transform_waves(waves).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get(0).unwrap().as_f32(), Some(3.0));
+    }
+
+    #[test]
+    fn taking_the_up_filter_disables_inline_transformation() {
+        let reg = FilterRegistry::with_builtins();
+        let mut m = StreamManager::new(
+            def(vec![12], "f_sum", SyncMode::DoNotWait),
+            &routes(),
+            &reg,
+            3,
+        )
+        .unwrap();
+        assert!(m.has_up_filter());
+        assert!(!m.up_filter_is_null());
+        let (mut filter, ctx) = m.take_up_filter().expect("filter present");
+        assert!(!m.has_up_filter());
+        assert!(m.take_up_filter().is_none());
+        // Sync still works; transformation must now happen elsewhere.
+        let waves = m.up_sync(1, fpkt(4.0), 0.0).unwrap();
+        assert_eq!(waves.len(), 1);
+        let err = m.transform_waves(vec![vec![fpkt(1.0)]]).unwrap_err();
+        assert!(matches!(err, MrnetError::Protocol(_)));
+        // The extracted instance transforms the wave identically.
+        let out = filter.transform(waves.into_iter().next().unwrap(), &ctx).unwrap();
+        assert_eq!(out[0].get(0).unwrap().as_f32(), Some(4.0));
+    }
+
+    #[test]
+    fn null_streams_are_identified_for_the_bypass() {
+        let reg = FilterRegistry::with_builtins();
+        let m = StreamManager::new(
+            def(vec![12], "null", SyncMode::DoNotWait),
+            &routes(),
+            &reg,
+            3,
+        )
+        .unwrap();
+        assert!(m.up_filter_is_null());
+    }
+
+    #[test]
+    fn prune_sync_returns_raw_waves() {
+        let reg = FilterRegistry::with_builtins();
+        let mut m = StreamManager::new(
+            def(vec![10, 12], "f_sum", SyncMode::WaitForAll),
+            &routes(),
+            &reg,
+            3,
+        )
+        .unwrap();
+        assert!(m.up_sync(0, fpkt(1.0), 0.0).unwrap().is_empty());
+        let (waves, empty) = m.prune_sync(&[12], 0.1);
+        assert_eq!(waves.len(), 1);
+        assert!(!empty);
+        let out = m.transform_waves(waves).unwrap();
+        assert_eq!(out[0].get(0).unwrap().as_f32(), Some(1.0));
     }
 
     #[test]

@@ -12,9 +12,9 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use mrnet_filters::SyncMode;
 use mrnet_obs::tracectx::TraceEnvelope;
 use mrnet_packet::{
-    decode_batch, decode_packet, encode_batch, encode_packet,
+    decode_batch_lazy_with, decode_packet_from, encode_batch, encode_packet,
     trace::{decode_trailer_from, encode_trailer_into},
-    Packet, PacketBuilder, Rank, StreamId, Value,
+    DecodeLimits, Packet, PacketBuilder, Rank, StreamId, Value,
 };
 
 use crate::error::{MrnetError, Result};
@@ -139,15 +139,31 @@ pub fn encode_control_frame(packet: &Packet) -> Bytes {
 }
 
 /// Decodes a frame.
+///
+/// Data-frame packets come back **lazy**: headers parsed and wire
+/// structure validated (against [`DecodeLimits::from_env`], so
+/// `MRNET_DECODE_MAX` governs the network ingress), but payloads stay
+/// zero-copy slices of `bytes` until something touches them. A node
+/// that only relays the packets never pays the decode.
 pub fn decode_frame(bytes: Bytes) -> Result<Frame> {
     if bytes.is_empty() {
         return Err(MrnetError::Protocol("empty frame".into()));
     }
+    let limits = DecodeLimits::from_env();
     let kind = bytes[0];
     let body = bytes.slice(1..);
     match kind {
-        FRAME_DATA => Ok(Frame::Data(decode_batch(body)?)),
-        FRAME_CONTROL => Ok(Frame::Control(decode_packet(body)?)),
+        FRAME_DATA => Ok(Frame::Data(decode_batch_lazy_with(body, &limits)?)),
+        FRAME_CONTROL => {
+            let mut body = body;
+            let packet = decode_packet_from(&mut body, &limits)?;
+            if body.has_remaining() {
+                return Err(MrnetError::Protocol(
+                    "trailing bytes after control packet".into(),
+                ));
+            }
+            Ok(Frame::Control(packet))
+        }
         FRAME_DATA_TRACED => {
             let mut body = body;
             if body.remaining() < 4 {
@@ -159,7 +175,7 @@ pub fn decode_frame(bytes: Bytes) -> Result<Frame> {
             }
             let batch = body.slice(..batch_len);
             body.advance(batch_len);
-            let packets = decode_batch(batch)?;
+            let packets = decode_batch_lazy_with(batch, &limits)?;
             let envelopes = decode_trailer_from(&mut body)?;
             if body.has_remaining() {
                 return Err(MrnetError::Protocol(
@@ -658,6 +674,48 @@ mod tests {
             }
             other => panic!("expected traced frame, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn data_frame_packets_decode_lazily_and_relay_byte_identically() {
+        let packets = vec![
+            PacketBuilder::new(5, 1).push(1i32).push("a").build(),
+            PacketBuilder::new(5, 1).push(2i32).push("b").build(),
+        ];
+        let inbound = encode_data_frame(&packets);
+        let relayed = match decode_frame(inbound.clone()).unwrap() {
+            Frame::Data(got) => got,
+            other => panic!("expected data frame, got {other:?}"),
+        };
+        assert!(relayed.iter().all(Packet::is_lazy));
+        // An untouched relay re-encodes to the identical frame.
+        let outbound = encode_data_frame(&relayed);
+        assert_eq!(outbound, inbound);
+        assert!(relayed.iter().all(Packet::is_lazy), "relay must not decode");
+    }
+
+    #[test]
+    fn traced_frame_packets_decode_lazily_and_relay_byte_identically() {
+        use mrnet_obs::tracectx::HopRecord;
+        let packets = vec![PacketBuilder::new(5, 1).push(7i32).build()];
+        let env = TraceEnvelope {
+            trace_id: 3,
+            stream: 5,
+            hops: vec![HopRecord {
+                rank: 2,
+                recv_us: 10,
+                send_us: 20,
+            }],
+        };
+        let inbound = encode_traced_data_frame(&packets, &[env]);
+        let (relayed, envs) = match decode_frame(inbound.clone()).unwrap() {
+            Frame::Traced(got, envs) => (got, envs),
+            other => panic!("expected traced frame, got {other:?}"),
+        };
+        assert!(relayed.iter().all(Packet::is_lazy));
+        let outbound = encode_traced_data_frame(&relayed, &envs);
+        assert_eq!(outbound, inbound);
+        assert!(relayed.iter().all(Packet::is_lazy));
     }
 
     #[test]

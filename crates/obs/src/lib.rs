@@ -41,7 +41,7 @@ pub use export::{json_text, prometheus_text};
 pub use log::Level;
 pub use metrics::{
     ConnSendStats, Counter, FilterStats, Gauge, Histogram, HistogramSnapshot, NodeMetrics,
-    StreamCounters, HIST_BUCKETS,
+    ShardExecStats, StreamCounters, HIST_BUCKETS,
 };
 pub use snapshot::{MetricsSection, NetworkSnapshot};
 pub use trace::{TraceBuffer, TraceDir, TraceEvent};

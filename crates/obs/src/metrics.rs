@@ -244,6 +244,20 @@ pub struct StreamCounters {
     pub down_pkts: Counter,
 }
 
+/// Per-shard upstream-filter-executor counters, handed out by
+/// [`NodeMetrics::shard_stats`] and cached by the executor's worker
+/// threads.
+#[derive(Debug, Default)]
+pub struct ShardExecStats {
+    /// Synchronized waves this shard ran through a transformation
+    /// filter.
+    pub waves: Counter,
+    /// Wall-clock microseconds this shard spent inside transformation
+    /// filters; comparing shards exposes skew from the stream-id
+    /// hashing.
+    pub busy_us: Counter,
+}
+
 /// Per-filter timing, handed out by [`NodeMetrics::filter_stats`].
 #[derive(Debug, Default)]
 pub struct FilterStats {
@@ -324,9 +338,18 @@ pub struct NodeMetrics {
     pub trace_frames: Counter,
     /// Hop records this node stamped into passing trace envelopes.
     pub trace_hops: Counter,
+    /// Packets this node forwarded (or delivered) still in their raw
+    /// wire form — no payload decode, no re-encode, the outbound bytes
+    /// are the inbound bytes (the lazy relay fast path).
+    pub pkts_lazy_relayed: Counter,
+    /// Wire-arrived packets whose payload a transformation filter on
+    /// this node materialized (decoded). A pure relay keeps this at
+    /// zero.
+    pub pkts_decoded: Counter,
     streams: Mutex<BTreeMap<u32, Arc<StreamCounters>>>,
     filters: Mutex<BTreeMap<String, Arc<FilterStats>>>,
     conns: Mutex<BTreeMap<u32, ConnSendStats>>,
+    shards: Mutex<BTreeMap<usize, Arc<ShardExecStats>>>,
 }
 
 impl NodeMetrics {
@@ -353,6 +376,17 @@ impl NodeMetrics {
                 .lock()
                 .entry(name.to_string())
                 .or_insert_with(|| Arc::new(FilterStats::default())),
+        )
+    }
+
+    /// The counters for filter-executor shard `idx`, created on first
+    /// use. The executor caches one handle per worker thread.
+    pub fn shard_stats(&self, idx: usize) -> Arc<ShardExecStats> {
+        Arc::clone(
+            self.shards
+                .lock()
+                .entry(idx)
+                .or_insert_with(|| Arc::new(ShardExecStats::default())),
         )
     }
 
@@ -391,6 +425,8 @@ impl NodeMetrics {
         s.push("frames.shared", self.frames_shared.get());
         s.push("trace.frames", self.trace_frames.get());
         s.push("trace.hops", self.trace_hops.get());
+        s.push("pkts.lazy_relayed", self.pkts_lazy_relayed.get());
+        s.push("pkts.decoded", self.pkts_decoded.get());
         s.push_histogram("batch.pkts", &self.batch_pkts.snapshot());
         s.push_histogram("hop_up_us", &self.hop_up_us.snapshot());
         s.push_histogram("hop_down_us", &self.hop_down_us.snapshot());
@@ -407,6 +443,10 @@ impl NodeMetrics {
             s.push(&format!("conn.{rank}.send.queue_depth"), c.queue_depth);
             s.push(&format!("conn.{rank}.send.coalesced_frames"), c.coalesced);
             s.push(&format!("conn.{rank}.send.enqueue_stalls"), c.stalls);
+        }
+        for (idx, sh) in self.shards.lock().iter() {
+            s.push(&format!("filter.exec.{idx}.waves"), sh.waves.get());
+            s.push(&format!("filter.exec.{idx}.busy_us"), sh.busy_us.get());
         }
         s
     }
@@ -603,6 +643,13 @@ mod tests {
         m.frames_shared.add(3);
         m.trace_frames.add(2);
         m.trace_hops.add(6);
+        m.pkts_lazy_relayed.add(40);
+        m.pkts_decoded.add(9);
+        let sh = m.shard_stats(1);
+        sh.waves.add(5);
+        sh.busy_us.add(1234);
+        // Second lookup returns the same instrument.
+        assert_eq!(m.shard_stats(1).waves.get(), 5);
         m.set_conn_send_stats(
             9,
             ConnSendStats {
@@ -633,6 +680,10 @@ mod tests {
         assert_eq!(s.get("stream.1.down.pkts"), Some(0));
         assert_eq!(s.get("filter.sum_u32.waves"), Some(1));
         assert_eq!(s.get("filter.sum_u32.exec_us.count"), Some(1));
+        assert_eq!(s.get("pkts.lazy_relayed"), Some(40));
+        assert_eq!(s.get("pkts.decoded"), Some(9));
+        assert_eq!(s.get("filter.exec.1.waves"), Some(5));
+        assert_eq!(s.get("filter.exec.1.busy_us"), Some(1234));
         assert_eq!(s.get("no.such.metric"), None);
     }
 }

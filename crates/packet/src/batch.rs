@@ -12,7 +12,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-use crate::codec::{decode_packet_from, encode_packet_into, DecodeLimits};
+use crate::codec::{decode_packet_from, encode_packet_into, validate_packet_at, DecodeLimits};
 use crate::error::{PacketError, Result};
 use crate::packet::Packet;
 
@@ -115,7 +115,14 @@ impl Batcher {
 
 /// Encodes a sequence of packets as one packet buffer:
 /// `u32 count` followed by the packets back to back.
+///
+/// When every packet is an untouched slice of one inbound batch and
+/// together they tile it exactly, that original buffer is returned
+/// as-is — a relayed batch costs zero encodes and zero copies.
 pub fn encode_batch(packets: &[Packet]) -> Bytes {
+    if let Some(reused) = try_reuse_batch(packets) {
+        return reused;
+    }
     let size: usize = 4 + packets.iter().map(Packet::encoded_size_hint).sum::<usize>();
     let mut buf = BytesMut::with_capacity(size);
     buf.put_u32_le(packets.len() as u32);
@@ -123,6 +130,70 @@ pub fn encode_batch(packets: &[Packet]) -> Bytes {
         encode_packet_into(p, &mut buf);
     }
     buf.freeze()
+}
+
+/// The original inbound batch buffer, if `packets` are exactly its
+/// packets, in order, with untouched headers. Contiguity is checked
+/// by address, so a reordered, filtered, or re-headered batch never
+/// falsely matches.
+fn try_reuse_batch(packets: &[Packet]) -> Option<Bytes> {
+    let origin = packets.first()?.raw_origin()?.clone();
+    if origin.len() < 4
+        || u32::from_le_bytes(origin[..4].try_into().ok()?) as usize != packets.len()
+    {
+        return None;
+    }
+    let base = origin.as_ref().as_ptr() as usize;
+    let mut expect = base + 4;
+    for p in packets {
+        let o = p.raw_origin()?;
+        if o.as_ref().as_ptr() as usize != base || o.len() != origin.len() {
+            return None;
+        }
+        let wire = p.raw_wire()?;
+        if wire.as_ref().as_ptr() as usize != expect {
+            return None;
+        }
+        expect += wire.len();
+    }
+    (expect == base + origin.len()).then_some(origin)
+}
+
+/// Decodes a packet buffer produced by [`encode_batch`] into lazy
+/// packets: headers are parsed and every packet's wire structure is
+/// validated against [`DecodeLimits::from_env`], but payloads stay as
+/// zero-copy slices of `bytes` until first touched.
+pub fn decode_batch_lazy(bytes: Bytes) -> Result<Vec<Packet>> {
+    decode_batch_lazy_with(bytes, &DecodeLimits::from_env())
+}
+
+/// [`decode_batch_lazy`] with explicit decode limits.
+pub fn decode_batch_lazy_with(bytes: Bytes, limits: &DecodeLimits) -> Result<Vec<Packet>> {
+    let data: &[u8] = &bytes;
+    if data.len() < 4 {
+        return Err(PacketError::MalformedBatch("missing count"));
+    }
+    let count = u32::from_le_bytes(data[..4].try_into().expect("4 bytes")) as usize;
+    if count as u64 > limits.max_elems {
+        return Err(PacketError::MalformedBatch("count exceeds limit"));
+    }
+    let mut packets = Vec::with_capacity(count.min(4096));
+    let mut pos = 4usize;
+    for _ in 0..count {
+        let (stream_id, tag, src, end) = validate_packet_at(data, pos, limits)?;
+        packets.push(Packet::from_validated_wire(
+            stream_id,
+            tag,
+            src,
+            bytes.slice(pos..end),
+            Some(bytes.clone()),
+        ));
+        pos = end;
+    }
+    if pos != data.len() {
+        return Err(PacketError::MalformedBatch("trailing bytes after batch"));
+    }
+    Ok(packets)
 }
 
 /// Decodes a packet buffer produced by [`encode_batch`].
@@ -251,6 +322,73 @@ mod tests {
         assert!(!batcher.pending_matches(&[b])); // handle identity, not equality
         assert!(!batcher.pending_matches(&[])); // length mismatch
         assert!(!batcher.pending_matches(&[a.clone(), a]));
+    }
+
+    #[test]
+    fn lazy_batch_round_trips_and_stays_raw() {
+        let packets: Vec<_> = (0..10).map(pkt).collect();
+        let decoded = decode_batch_lazy(encode_batch(&packets)).unwrap();
+        assert!(decoded.iter().all(Packet::is_lazy));
+        assert_eq!(decoded, packets); // equality materializes
+        assert!(decoded.iter().all(|p| !p.is_lazy()));
+    }
+
+    #[test]
+    fn untouched_relayed_batch_reuses_the_inbound_buffer() {
+        let packets: Vec<_> = (0..4).map(pkt).collect();
+        let inbound = encode_batch(&packets);
+        let relayed = decode_batch_lazy(inbound.clone()).unwrap();
+        let outbound = encode_batch(&relayed);
+        assert_eq!(outbound, inbound);
+        // Pointer-identical, not just equal: the same backing buffer.
+        assert_eq!(outbound.as_ref().as_ptr(), inbound.as_ref().as_ptr());
+        assert!(relayed.iter().all(Packet::is_lazy), "relay must not decode");
+    }
+
+    #[test]
+    fn reordered_or_partial_batch_does_not_reuse() {
+        let packets: Vec<_> = (0..3).map(pkt).collect();
+        let inbound = encode_batch(&packets);
+        let decoded = decode_batch_lazy(inbound.clone()).unwrap();
+
+        let partial = encode_batch(&decoded[..2]);
+        assert_ne!(partial.as_ref().as_ptr(), inbound.as_ref().as_ptr());
+        assert_eq!(decode_batch(partial).unwrap(), packets[..2]);
+
+        let swapped = vec![decoded[1].clone(), decoded[0].clone(), decoded[2].clone()];
+        let reordered = encode_batch(&swapped);
+        assert_ne!(reordered.as_ref().as_ptr(), inbound.as_ref().as_ptr());
+        assert_eq!(decode_batch(reordered).unwrap(), swapped);
+    }
+
+    #[test]
+    fn retagged_packet_spoils_batch_reuse_but_encodes_correctly() {
+        let packets: Vec<_> = (0..2).map(pkt).collect();
+        let inbound = encode_batch(&packets);
+        let decoded = decode_batch_lazy(inbound.clone()).unwrap();
+        let retargeted: Vec<_> = decoded.into_iter().map(|p| p.with_stream(9)).collect();
+        let outbound = encode_batch(&retargeted);
+        assert_ne!(outbound.as_ref().as_ptr(), inbound.as_ref().as_ptr());
+        let back = decode_batch(outbound).unwrap();
+        assert!(back.iter().all(|p| p.stream_id() == 9));
+    }
+
+    #[test]
+    fn lazy_decode_rejects_malformed_batches() {
+        // Same hostile shapes the eager decoder rejects.
+        assert!(decode_batch_lazy(Bytes::from_static(&[1, 0])).is_err());
+        let mut trailing = BytesMut::from(&encode_batch(&[pkt(1)])[..]);
+        trailing.put_u8(0);
+        assert!(matches!(
+            decode_batch_lazy(trailing.freeze()).unwrap_err(),
+            PacketError::MalformedBatch(_)
+        ));
+        let mut lying = BytesMut::from(&encode_batch(&[pkt(1)])[..]);
+        lying[0] = 3;
+        assert!(matches!(
+            decode_batch_lazy(lying.freeze()).unwrap_err(),
+            PacketError::Truncated { .. }
+        ));
     }
 
     #[test]

@@ -32,9 +32,14 @@ pub mod trace;
 mod unpack;
 mod value;
 
-pub use batch::{decode_batch, decode_batch_with, encode_batch, BatchPolicy, Batcher};
+pub use batch::{
+    decode_batch, decode_batch_lazy, decode_batch_lazy_with, decode_batch_with, encode_batch,
+    BatchPolicy, Batcher,
+};
 pub use codec::{
-    decode_packet, decode_packet_from, encode_packet, encode_packet_into, DecodeLimits,
+    decode_packet, decode_packet_from, encode_packet, encode_packet_into, parse_decode_max,
+    DecodeLimits, DEFAULT_DECODE_MAX_BYTES, DEFAULT_DECODE_MAX_ELEMS, MAX_DECODE_MAX,
+    MIN_DECODE_MAX,
 };
 pub use error::{PacketError, Result};
 pub use format::FormatString;

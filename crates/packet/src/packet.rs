@@ -11,10 +11,25 @@
 //! reference-counted handle, so routing a packet to multiple output
 //! buffers (downstream multicast) clones only the handle, never the
 //! payload.
+//!
+//! ## Lazy payloads
+//!
+//! A packet decoded from the wire keeps its payload as the raw wire
+//! bytes; the typed `FormatString` + `Vec<Value>` form is materialized
+//! at most once, on first access ([`Packet::fmt`], [`Packet::values`],
+//! `unpack`, …). A commnode that only relays a packet never touches
+//! the payload, so the decode (and the re-encode: see
+//! [`crate::encode_packet`]'s raw fast path) is skipped entirely. The
+//! wire form is structurally validated *before* a lazy packet is
+//! built, so materialization cannot fail and hostile frames are still
+//! rejected at the network boundary.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
+use bytes::Bytes;
+
+use crate::codec::{self, PACKET_HEADER_LEN};
 use crate::error::Result;
 use crate::format::FormatString;
 use crate::value::Value;
@@ -29,18 +44,55 @@ pub type Rank = u32;
 /// Application-defined message tag.
 pub type Tag = i32;
 
-/// The immutable interior of a packet, shared between handles.
+/// A materialized payload: the format string and the typed values,
+/// built together at most once per packet.
 #[derive(Debug, PartialEq)]
+pub(crate) struct Decoded {
+    pub(crate) fmt: FormatString,
+    pub(crate) values: Vec<Value>,
+}
+
+/// How a packet stores its payload.
+#[derive(Debug)]
+enum PayloadRepr {
+    /// Constructed in this process: the typed form is the only form.
+    Eager(Decoded),
+    /// Decoded from the wire: the raw bytes are authoritative and the
+    /// typed form is materialized on demand. `wire` is the packet's
+    /// full, structurally validated wire form (header included);
+    /// `origin` is the batch body it was sliced from, kept so an
+    /// untouched relayed batch can hand the identical buffer back.
+    Raw {
+        wire: Bytes,
+        origin: Option<Bytes>,
+        cache: OnceLock<Decoded>,
+    },
+}
+
+/// The immutable interior of a packet, shared between handles.
+#[derive(Debug)]
 struct PacketInner {
     stream_id: StreamId,
     tag: Tag,
     src: Rank,
-    fmt: FormatString,
-    values: Vec<Value>,
+    payload: PayloadRepr,
+}
+
+impl PacketInner {
+    /// The typed payload, materializing (and caching) it if this is
+    /// the first access to a wire-decoded packet.
+    fn decoded(&self) -> &Decoded {
+        match &self.payload {
+            PayloadRepr::Eager(d) => d,
+            PayloadRepr::Raw { wire, cache, .. } => {
+                cache.get_or_init(|| codec::decode_payload_validated(wire))
+            }
+        }
+    }
 }
 
 /// A typed MRNet data packet. Cloning is O(1) (reference counted).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Packet {
     inner: Arc<PacketInner>,
 }
@@ -59,8 +111,7 @@ impl Packet {
                 stream_id,
                 tag,
                 src: 0,
-                fmt,
-                values,
+                payload: PayloadRepr::Eager(Decoded { fmt, values }),
             }),
         })
     }
@@ -83,54 +134,87 @@ impl Packet {
             .expect("empty payload always matches empty format")
     }
 
+    /// Builds a packet around a structurally validated wire form
+    /// (header + tagged values). The payload stays raw until first
+    /// touched. Callers must have run the wire bytes through the
+    /// codec's validation pass; materialization assumes they decode.
+    pub(crate) fn from_validated_wire(
+        stream_id: StreamId,
+        tag: Tag,
+        src: Rank,
+        wire: Bytes,
+        origin: Option<Bytes>,
+    ) -> Packet {
+        Packet {
+            inner: Arc::new(PacketInner {
+                stream_id,
+                tag,
+                src,
+                payload: PayloadRepr::Raw {
+                    wire,
+                    origin,
+                    cache: OnceLock::new(),
+                },
+            }),
+        }
+    }
+
     /// Returns a copy of this packet with the originating rank set.
     ///
     /// If this handle is the sole owner the interior is reused without
-    /// copying the payload.
+    /// copying the payload. Changing the rank of a wire-decoded packet
+    /// materializes its payload (the raw bytes would carry the stale
+    /// rank).
     pub fn with_src(self, src: Rank) -> Packet {
         if self.inner.src == src {
             return self;
         }
-        match Arc::try_unwrap(self.inner) {
-            Ok(mut inner) => {
-                inner.src = src;
-                Packet {
-                    inner: Arc::new(inner),
-                }
-            }
-            Err(shared) => Packet {
-                inner: Arc::new(PacketInner {
-                    stream_id: shared.stream_id,
-                    tag: shared.tag,
-                    src,
-                    fmt: shared.fmt.clone(),
-                    values: shared.values.clone(),
-                }),
-            },
-        }
+        self.rebuild(|inner| inner.src = src)
     }
 
     /// Returns a copy of this packet retargeted to a different stream.
+    ///
+    /// Like [`Packet::with_src`], retargeting a wire-decoded packet
+    /// materializes its payload.
     pub fn with_stream(self, stream_id: StreamId) -> Packet {
         if self.inner.stream_id == stream_id {
             return self;
         }
-        match Arc::try_unwrap(self.inner) {
-            Ok(mut inner) => {
-                inner.stream_id = stream_id;
-                Packet {
-                    inner: Arc::new(inner),
-                }
-            }
-            Err(shared) => Packet {
-                inner: Arc::new(PacketInner {
-                    stream_id,
-                    tag: shared.tag,
-                    src: shared.src,
-                    fmt: shared.fmt.clone(),
-                    values: shared.values.clone(),
+        self.rebuild(|inner| inner.stream_id = stream_id)
+    }
+
+    /// Clones-on-write the interior with a header edit applied,
+    /// converting any raw payload to its typed form first so the raw
+    /// bytes never disagree with the header.
+    fn rebuild(self, edit: impl FnOnce(&mut PacketInner)) -> Packet {
+        let mut inner = match Arc::try_unwrap(self.inner) {
+            Ok(inner) => PacketInner {
+                stream_id: inner.stream_id,
+                tag: inner.tag,
+                src: inner.src,
+                payload: PayloadRepr::Eager(match inner.payload {
+                    PayloadRepr::Eager(d) => d,
+                    PayloadRepr::Raw { wire, cache, .. } => cache
+                        .into_inner()
+                        .unwrap_or_else(|| codec::decode_payload_validated(&wire)),
                 }),
             },
+            Err(shared) => {
+                let d = shared.decoded();
+                PacketInner {
+                    stream_id: shared.stream_id,
+                    tag: shared.tag,
+                    src: shared.src,
+                    payload: PayloadRepr::Eager(Decoded {
+                        fmt: d.fmt.clone(),
+                        values: d.values.clone(),
+                    }),
+                }
+            }
+        };
+        edit(&mut inner);
+        Packet {
+            inner: Arc::new(inner),
         }
     }
 
@@ -149,32 +233,74 @@ impl Packet {
         self.inner.src
     }
 
-    /// The payload's format string.
+    /// The payload's format string (materializes a lazy payload).
     pub fn fmt(&self) -> &FormatString {
-        &self.inner.fmt
+        &self.inner.decoded().fmt
     }
 
-    /// The payload values.
+    /// The payload values (materializes a lazy payload).
     pub fn values(&self) -> &[Value] {
-        &self.inner.values
+        &self.inner.decoded().values
     }
 
-    /// The value at position `i`, if present.
+    /// The value at position `i`, if present (materializes a lazy
+    /// payload).
     pub fn get(&self, i: usize) -> Option<&Value> {
-        self.inner.values.get(i)
+        self.inner.decoded().values.get(i)
+    }
+
+    /// Number of payload values, read from the wire header for a raw
+    /// packet — this never materializes the payload.
+    pub fn arity(&self) -> usize {
+        match &self.inner.payload {
+            PayloadRepr::Eager(d) => d.values.len(),
+            PayloadRepr::Raw { wire, .. } => {
+                u16::from_le_bytes([wire[PACKET_HEADER_LEN - 2], wire[PACKET_HEADER_LEN - 1]])
+                    as usize
+            }
+        }
+    }
+
+    /// True while this packet's payload is still raw wire bytes —
+    /// nothing has forced the `FormatString` + `Values` form yet.
+    /// Relay-only nodes keep this true end to end.
+    pub fn is_lazy(&self) -> bool {
+        matches!(&self.inner.payload, PayloadRepr::Raw { cache, .. } if cache.get().is_none())
+    }
+
+    /// The packet's original wire form, when it was decoded from the
+    /// wire and its header has not been rewritten since. Re-encoding
+    /// such a packet hands these bytes back without touching the
+    /// payload (materialization does not invalidate them — values are
+    /// immutable, so the bytes stay authoritative).
+    pub fn raw_wire(&self) -> Option<&Bytes> {
+        match &self.inner.payload {
+            PayloadRepr::Raw { wire, .. } => Some(wire),
+            PayloadRepr::Eager(_) => None,
+        }
+    }
+
+    /// The batch body this packet was sliced from, when it arrived as
+    /// part of a wire batch. Used to hand an untouched relayed batch
+    /// back as the identical buffer.
+    pub(crate) fn raw_origin(&self) -> Option<&Bytes> {
+        match &self.inner.payload {
+            PayloadRepr::Raw { origin, .. } => origin.as_ref(),
+            PayloadRepr::Eager(_) => None,
+        }
     }
 
     /// Approximate encoded size in bytes, used for batching decisions.
+    /// Exact for raw packets.
     pub fn encoded_size_hint(&self) -> usize {
-        // header: stream id + tag + src + fmt string + count
-        let header = 4 + 4 + 4 + 4 + self.inner.fmt.canonical().len() + 4;
-        header
-            + self
-                .inner
-                .values
-                .iter()
-                .map(Value::encoded_size_hint)
-                .sum::<usize>()
+        match &self.inner.payload {
+            PayloadRepr::Raw { wire, .. } => wire.len(),
+            PayloadRepr::Eager(d) => {
+                // header: stream id + tag + src + fmt string + count
+                let header = 4 + 4 + 4 + 4 + d.fmt.canonical().len() + 4;
+                header + d.values.iter().map(Value::encoded_size_hint).sum::<usize>()
+            }
+        }
     }
 
     /// True when two handles share the same interior allocation (used
@@ -184,17 +310,45 @@ impl Packet {
     }
 }
 
+impl PartialEq for Packet {
+    /// Logical equality: header fields plus the typed payload.
+    /// Comparing a lazy packet materializes it.
+    fn eq(&self, other: &Packet) -> bool {
+        if self.ptr_eq(other) {
+            return true;
+        }
+        self.inner.stream_id == other.inner.stream_id
+            && self.inner.tag == other.inner.tag
+            && self.inner.src == other.inner.src
+            && self.inner.decoded() == other.inner.decoded()
+    }
+}
+
 impl fmt::Display for Packet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "Packet{{stream={}, tag={}, src={}, fmt=\"{}\", {} value(s)}}",
-            self.inner.stream_id,
-            self.inner.tag,
-            self.inner.src,
-            self.inner.fmt,
-            self.inner.values.len()
-        )
+        match &self.inner.payload {
+            PayloadRepr::Raw { wire, cache, .. } if cache.get().is_none() => write!(
+                f,
+                "Packet{{stream={}, tag={}, src={}, {} value(s), lazy ({} wire bytes)}}",
+                self.inner.stream_id,
+                self.inner.tag,
+                self.inner.src,
+                self.arity(),
+                wire.len(),
+            ),
+            _ => {
+                let d = self.inner.decoded();
+                write!(
+                    f,
+                    "Packet{{stream={}, tag={}, src={}, fmt=\"{}\", {} value(s)}}",
+                    self.inner.stream_id,
+                    self.inner.tag,
+                    self.inner.src,
+                    d.fmt,
+                    d.values.len()
+                )
+            }
+        }
     }
 }
 
@@ -254,6 +408,7 @@ impl PacketBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codec::encode_packet;
     use crate::error::PacketError;
 
     fn sample() -> Packet {
@@ -264,6 +419,12 @@ mod tests {
             vec![Value::Int32(1), Value::Float(2.0), Value::Str("x".into())],
         )
         .unwrap()
+    }
+
+    fn lazy(p: &Packet) -> Packet {
+        crate::batch::decode_batch_lazy(crate::batch::encode_batch(std::slice::from_ref(p)))
+            .unwrap()
+            .remove(0)
     }
 
     #[test]
@@ -282,6 +443,9 @@ mod tests {
         assert_eq!(p.get(0), Some(&Value::Int32(1)));
         assert_eq!(p.get(3), None);
         assert_eq!(p.values().len(), 3);
+        assert_eq!(p.arity(), 3);
+        assert!(!p.is_lazy());
+        assert!(p.raw_wire().is_none());
     }
 
     #[test]
@@ -347,5 +511,76 @@ mod tests {
         let msg = sample().to_string();
         assert!(msg.contains("stream=3"));
         assert!(msg.contains("%d %f %s"));
+    }
+
+    #[test]
+    fn lazy_packet_stays_raw_until_touched() {
+        let p = lazy(&sample().with_src(6));
+        assert!(p.is_lazy());
+        // Header accessors and arity never materialize.
+        assert_eq!(p.stream_id(), 3);
+        assert_eq!(p.tag(), 17);
+        assert_eq!(p.src(), 6);
+        assert_eq!(p.arity(), 3);
+        assert_eq!(p.encoded_size_hint(), p.raw_wire().unwrap().len());
+        assert!(p.is_lazy());
+        // First payload touch materializes, exactly once.
+        assert_eq!(p.get(0), Some(&Value::Int32(1)));
+        assert!(!p.is_lazy());
+        // Raw bytes remain available after materialization.
+        assert!(p.raw_wire().is_some());
+    }
+
+    #[test]
+    fn lazy_display_does_not_materialize() {
+        let p = lazy(&sample());
+        let msg = p.to_string();
+        assert!(msg.contains("lazy"), "got: {msg}");
+        assert!(p.is_lazy());
+        p.values();
+        assert!(p.to_string().contains("%d %f %s"));
+    }
+
+    #[test]
+    fn header_edit_on_lazy_packet_drops_raw_bytes() {
+        let p = lazy(&sample());
+        let q = p.with_stream(99);
+        assert_eq!(q.stream_id(), 99);
+        assert!(q.raw_wire().is_none(), "stale wire header must not leak");
+        assert_eq!(q.values(), sample().values());
+        // Same for a shared handle (copy-on-write path).
+        let p = lazy(&sample());
+        let keep = p.clone();
+        let q = p.with_src(31);
+        assert_eq!(q.src(), 31);
+        assert!(q.raw_wire().is_none());
+        assert_eq!(keep.src(), 0);
+    }
+
+    #[test]
+    fn unchanged_header_edit_keeps_lazy_packet_raw() {
+        let p = lazy(&sample().with_src(5));
+        let q = p.clone().with_src(5).with_stream(3);
+        assert!(q.ptr_eq(&p));
+        assert!(q.is_lazy());
+    }
+
+    #[test]
+    fn lazy_and_eager_compare_equal() {
+        let e = sample().with_src(2);
+        let l = lazy(&e);
+        assert_eq!(l, e);
+        assert_eq!(e, l);
+        let other = sample().with_src(3);
+        assert_ne!(l, other);
+    }
+
+    #[test]
+    fn reencoding_untouched_packet_is_byte_identical() {
+        let p = lazy(&sample().with_src(4));
+        let wire = p.raw_wire().unwrap().clone();
+        let reenc = encode_packet(&p);
+        assert_eq!(reenc, wire);
+        assert!(p.is_lazy(), "re-encode must not materialize");
     }
 }

@@ -198,6 +198,17 @@ mod tests {
     }
 
     #[test]
+    fn unpack_materializes_a_lazy_packet() {
+        let p = PacketBuilder::new(1, 0).push(7i32).push("be0").build();
+        let batch = crate::batch::encode_batch(std::slice::from_ref(&p));
+        let lazy = crate::batch::decode_batch_lazy(batch).unwrap().remove(0);
+        assert!(lazy.is_lazy());
+        let (n, host): (i32, String) = lazy.unpack().unwrap();
+        assert_eq!((n, host.as_str()), (7, "be0"));
+        assert!(!lazy.is_lazy());
+    }
+
+    #[test]
     #[allow(clippy::type_complexity)]
     fn all_array_types_extract() {
         let p = PacketBuilder::new(1, 0)

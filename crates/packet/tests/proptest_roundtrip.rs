@@ -4,7 +4,8 @@
 
 use bytes::Bytes;
 use mrnet_packet::{
-    decode_batch, decode_packet, encode_batch, encode_packet, FormatString, Packet, Value,
+    decode_batch, decode_batch_lazy, decode_packet, encode_batch, encode_packet, FormatString,
+    Packet, Value,
 };
 use proptest::prelude::*;
 
@@ -113,6 +114,48 @@ proptest! {
         let fmt = FormatString::from_codes(codes.clone());
         let reparsed = FormatString::parse(&fmt.to_string()).unwrap();
         prop_assert_eq!(reparsed.codes(), &codes[..]);
+    }
+
+    #[test]
+    fn lazy_and_eager_decode_are_observationally_equivalent(
+        packets in proptest::collection::vec(arb_packet(), 0..10),
+    ) {
+        // Same batch bytes through both decoders: every header field,
+        // format string, and value must agree for every Value type.
+        let wire = encode_batch(&packets);
+        let eager = decode_batch(wire.clone()).unwrap();
+        let lazy = decode_batch_lazy(wire).unwrap();
+        prop_assert_eq!(lazy.len(), eager.len());
+        for (l, e) in lazy.iter().zip(&eager) {
+            prop_assert!(l.is_lazy());
+            prop_assert!(packets_eq(l, e));
+            prop_assert!(!l.is_lazy());
+        }
+    }
+
+    #[test]
+    fn untouched_lazy_batch_reencodes_byte_identically(
+        packets in proptest::collection::vec(arb_packet(), 1..10),
+    ) {
+        let inbound = encode_batch(&packets);
+        let relayed = decode_batch_lazy(inbound.clone()).unwrap();
+        let outbound = encode_batch(&relayed);
+        prop_assert_eq!(&outbound, &inbound);
+        prop_assert_eq!(outbound.as_ref().as_ptr(), inbound.as_ref().as_ptr());
+    }
+
+    #[test]
+    fn lazy_decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_batch_lazy(Bytes::from(bytes));
+    }
+
+    #[test]
+    fn lazy_and_eager_agree_on_rejection(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // The structural validation pass must accept exactly the byte
+        // strings the eager decoder accepts.
+        let eager = decode_batch(Bytes::from(bytes.clone()));
+        let lazy = decode_batch_lazy(Bytes::from(bytes));
+        prop_assert_eq!(eager.is_ok(), lazy.is_ok());
     }
 
     #[test]
